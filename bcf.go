@@ -1,0 +1,229 @@
+// Package bcf is the public API of BCF-Go, a reproduction of "Prove It
+// to the Kernel: Precise Extension Analysis via Proof-Guided Abstraction
+// Refinement" (SOSP 2025).
+//
+// It bundles an eBPF substrate (instruction set, assembler, interpreter),
+// a kernel-style verifier (tnum + four interval domains, path-sensitive
+// analysis), and the BCF machinery: on-demand abstraction refinement
+// whose soundness is established by user-space proof search and
+// kernel-space linear-time proof checking.
+//
+// Typical use:
+//
+//	prog := &bcf.Program{
+//		Name:  "demo",
+//		Type:  bcf.ProgTracepoint,
+//		Insns: bcf.MustAssemble(src),
+//		Maps:  []*bcf.MapSpec{...},
+//	}
+//	report := bcf.Verify(prog, bcf.WithBCF())
+//	if report.Accepted { ... }
+package bcf
+
+import (
+	"bcf/internal/ebpf"
+	"bcf/internal/loader"
+	"bcf/internal/solver"
+	"bcf/internal/verifier"
+)
+
+// Re-exported substrate types. The aliases make the full functionality of
+// the internal packages available through the public API.
+type (
+	// Program is a loadable eBPF program.
+	Program = ebpf.Program
+	// Instruction is one eBPF instruction.
+	Instruction = ebpf.Instruction
+	// MapSpec describes a map referenced by a program.
+	MapSpec = ebpf.MapSpec
+	// ProgType selects the program attach type (context layout).
+	ProgType = ebpf.ProgType
+	// Interp is the concrete interpreter (differential safety oracle).
+	Interp = ebpf.Interp
+	// Fault is a runtime safety violation detected by the interpreter.
+	Fault = ebpf.Fault
+	// ProofCache memoizes proofs across loads of the same program.
+	ProofCache = loader.ProofCache
+	// VerifierStats are the analyzer's counters.
+	VerifierStats = verifier.Stats
+)
+
+// Program types.
+const (
+	ProgSocketFilter = ebpf.ProgSocketFilter
+	ProgXDP          = ebpf.ProgXDP
+	ProgTracepoint   = ebpf.ProgTracepoint
+	ProgSchedCLS     = ebpf.ProgSchedCLS
+)
+
+// Map types.
+const (
+	MapHash    = ebpf.MapHash
+	MapArray   = ebpf.MapArray
+	MapRingBuf = ebpf.MapRingBuf
+)
+
+// Assemble parses the textual assembly dialect into instructions.
+func Assemble(src string) ([]Instruction, error) { return ebpf.Assemble(src) }
+
+// MustAssemble is Assemble but panics on error.
+func MustAssemble(src string) []Instruction { return ebpf.MustAssemble(src) }
+
+// DecodeBytecode parses raw wire-format bytecode into instructions.
+func DecodeBytecode(raw []byte) ([]Instruction, error) { return ebpf.DecodeProgram(raw) }
+
+// EncodeBytecode serializes instructions to wire format.
+func EncodeBytecode(insns []Instruction) []byte { return ebpf.EncodeProgram(insns) }
+
+// Disassemble renders instructions as text.
+func Disassemble(p *Program) string { return p.Disassemble() }
+
+// NewInterp prepares the concrete interpreter for a program.
+func NewInterp(p *Program, seed int64) *Interp { return ebpf.NewInterp(p, seed) }
+
+// NewProofCache returns an empty proof cache (see WithProofCache).
+func NewProofCache() *ProofCache { return loader.NewProofCache() }
+
+// Report is the outcome of a Verify call.
+type Report struct {
+	// Accepted reports whether the program passed verification.
+	Accepted bool
+	// Err is the rejection reason when !Accepted.
+	Err error
+	// Stats are the verifier's counters.
+	Stats VerifierStats
+	// Refinements is the number of proof-checked refinements adopted.
+	Refinements int
+	// RefinementRequests is the number of conditions sent to user space.
+	RefinementRequests int
+	// ProofBytes and ConditionBytes total the wire traffic.
+	ProofBytes, ConditionBytes int
+	// KernelNanos/UserNanos split the analysis time (§6.3).
+	KernelNanos, UserNanos int64
+	// CacheHits counts proofs served from the cache.
+	CacheHits int
+	// Counterexample holds a violating assignment from the last failed
+	// refinement condition, when one was found.
+	Counterexample map[uint32]uint64
+	// Log is the verifier debug log (WithDebug only).
+	Log []string
+
+	raw *loader.Result
+}
+
+// Option configures Verify.
+type Option func(*loader.Options)
+
+// WithBCF enables proof-guided abstraction refinement. Without it the
+// verifier behaves like the baseline in-tree analyzer.
+func WithBCF() Option {
+	return func(o *loader.Options) { o.EnableBCF = true }
+}
+
+// WithInsnLimit overrides the one-million analyzed-instruction budget.
+func WithInsnLimit(n int) Option {
+	return func(o *loader.Options) { o.Verifier.InsnLimit = n }
+}
+
+// WithDebug records a verifier log into the report.
+func WithDebug() Option {
+	return func(o *loader.Options) { o.Verifier.Debug = true }
+}
+
+// WithoutPruning disables state pruning (ablation).
+func WithoutPruning() Option {
+	return func(o *loader.Options) { o.Verifier.NoPruning = true }
+}
+
+// WithProofCache reuses proofs across loads (the §7 load-time cache).
+func WithProofCache(c *ProofCache) Option {
+	return func(o *loader.Options) { o.ProofCache = c }
+}
+
+// WithoutRewriteTier forces every proof through bit-blasting (ablation).
+func WithoutRewriteTier() Option {
+	return func(o *loader.Options) { o.Solver.DisableRewriteTier = true }
+}
+
+// WithSolverBudget bounds the SAT search in conflicts.
+func WithSolverBudget(maxConflicts int64) Option {
+	return func(o *loader.Options) { o.Solver.MaxConflicts = maxConflicts }
+}
+
+// WithoutBackwardAnalysis starts symbolic tracking at the path head
+// instead of the dependency-closed suffix (ablation of §4).
+func WithoutBackwardAnalysis() Option {
+	return func(o *loader.Options) { o.DisableBackward = true }
+}
+
+// WithLoopInvariant supplies a precomputed loop fixpoint (the paper's §7
+// extension): at instruction insn, register reg is declared to stay in
+// [lo, hi]. The verifier validates the fixpoint in a single pass — loads
+// whose state escapes the declared range are rejected — and loop bodies
+// are analyzed once instead of being unrolled to the instruction budget.
+func WithLoopInvariant(insn int, reg uint8, lo, hi uint64) Option {
+	return func(o *loader.Options) {
+		o.Verifier.LoopInvariants = append(o.Verifier.LoopInvariants, verifier.LoopInvariant{
+			Insn: insn,
+			Regs: []verifier.RegRange{{Reg: ebpf.Reg(reg), UMin: lo, UMax: hi}},
+		})
+	}
+}
+
+// Verify analyzes a program and returns a detailed report.
+func Verify(prog *Program, opts ...Option) *Report {
+	var lo loader.Options
+	lo.Solver = solver.Options{}
+	for _, o := range opts {
+		o(&lo)
+	}
+	res := loader.Load(prog, lo)
+	rep := &Report{
+		Accepted:       res.Accepted,
+		Err:            res.Err,
+		Stats:          res.VerifierStats,
+		KernelNanos:    res.KernelTime.Nanoseconds(),
+		UserNanos:      res.UserTime.Nanoseconds(),
+		CacheHits:      res.CacheHits,
+		Counterexample: res.Counterexample,
+		Log:            res.Log,
+		raw:            res,
+	}
+	if res.RefineStats != nil {
+		rep.Refinements = res.RefineStats.Granted
+		rep.RefinementRequests = len(res.RefineStats.Requests)
+		for _, r := range res.RefineStats.Requests {
+			rep.ProofBytes += r.ProofBytes
+			rep.ConditionBytes += r.CondBytes
+		}
+	}
+	return rep
+}
+
+// RefinementDetail describes one refinement request for inspection and
+// benchmarking.
+type RefinementDetail struct {
+	TrackLen   int
+	CondBytes  int
+	ProofBytes int
+	CheckNanos int64
+	UserNanos  int64
+}
+
+// Refinements returns per-request details of the last Verify.
+func (r *Report) RefinementDetails() []RefinementDetail {
+	if r.raw == nil || r.raw.RefineStats == nil {
+		return nil
+	}
+	out := make([]RefinementDetail, 0, len(r.raw.RefineStats.Requests))
+	for _, q := range r.raw.RefineStats.Requests {
+		out = append(out, RefinementDetail{
+			TrackLen:   q.TrackLen,
+			CondBytes:  q.CondBytes,
+			ProofBytes: q.ProofBytes,
+			CheckNanos: q.CheckDuration.Nanoseconds(),
+			UserNanos:  q.UserDuration.Nanoseconds(),
+		})
+	}
+	return out
+}

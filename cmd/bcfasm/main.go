@@ -1,0 +1,58 @@
+// Command bcfasm assembles and disassembles eBPF programs in the textual
+// dialect used throughout this repository.
+//
+// Usage:
+//
+//	bcfasm -o prog.bin prog.s        # assemble
+//	bcfasm -d prog.bin               # disassemble to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcf/internal/ebpf"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (assembled bytecode)")
+	dis := flag.Bool("d", false, "disassemble the input instead of assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bcfasm [-d] [-o out.bin] input")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		insns, err := ebpf.DecodeProgram(data)
+		if err != nil {
+			fatal(err)
+		}
+		p := &ebpf.Program{Insns: insns}
+		fmt.Print(p.Disassemble())
+		return
+	}
+	insns, err := ebpf.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	raw := ebpf.EncodeProgram(insns)
+	if *out == "" {
+		fmt.Printf("%d instructions, %d bytes\n", len(insns), len(raw))
+		p := &ebpf.Program{Insns: insns}
+		fmt.Print(p.Disassemble())
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcfasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command bcfbench regenerates the paper's evaluation (§6): it runs the
+// 512-program dataset through the baseline verifier and through BCF, then
+// prints every table and figure with the paper's reference values
+// alongside the measured ones.
+//
+// Usage:
+//
+//	bcfbench                 # everything
+//	bcfbench -table accept   # just the acceptance headline
+//	bcfbench -table 1|2|3    # a specific table
+//	bcfbench -fig 8          # the proof-size distribution
+//	bcfbench -table duration # the §6.3 time split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcf/internal/corpus"
+	"bcf/internal/eval"
+)
+
+func main() {
+	table := flag.String("table", "", "which table: accept|1|2|3|duration|zone (default all)")
+	fig := flag.String("fig", "", "which figure: 8")
+	limit := flag.Int("insn-limit", corpusInsnLimit(), "analyzed-instruction budget")
+	src := flag.String("src", ".", "repository root (for Table 1 line counts)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	wantAll := *table == "" && *fig == ""
+	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" || *fig == "8"
+
+	var ev *eval.Evaluation
+	if needRun {
+		progress := func(done, total int) {
+			if !*quiet && done%64 == 0 {
+				fmt.Fprintf(os.Stderr, "  ... %d/%d programs\n", done, total)
+			}
+		}
+		if *quiet {
+			progress = nil
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running the %d-program evaluation (insn limit %d)...\n",
+				corpus.Size, *limit)
+		}
+		ev = eval.Run(*limit, progress)
+	}
+
+	printed := false
+	show := func(name string, s string) {
+		fmt.Println(s)
+		printed = true
+		_ = name
+	}
+	if wantAll || *table == "accept" {
+		show("accept", ev.AcceptanceTable())
+	}
+	if wantAll || *table == "1" {
+		show("1", eval.Table1String(*src))
+	}
+	if wantAll || *table == "2" {
+		show("2", eval.Table2String())
+	}
+	if wantAll || *table == "3" {
+		show("3", ev.Table3String())
+	}
+	if wantAll || *fig == "8" {
+		show("8", ev.Figure8String())
+	}
+	if wantAll || *table == "duration" {
+		show("duration", ev.DurationString())
+	}
+	if wantAll || *table == "zone" {
+		show("zone", eval.ZoneTable())
+	}
+	if !printed {
+		fmt.Fprintln(os.Stderr, "nothing selected; see -h")
+		os.Exit(2)
+	}
+}
+
+// corpusInsnLimit mirrors the scaled-down budget used by the test suite;
+// see EXPERIMENTS.md for the rationale.
+func corpusInsnLimit() int { return 4000 }

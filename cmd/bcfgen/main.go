@@ -1,0 +1,73 @@
+// Command bcfgen materializes the evaluation dataset to disk: one
+// bytecode object per program plus a manifest with family, provenance
+// analog, expected outcome and map configuration (the public-dataset
+// analog of the paper's bpf-progs release).
+//
+// Usage:
+//
+//	bcfgen -o dataset/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bcf/internal/corpus"
+	"bcf/internal/ebpf"
+)
+
+type manifestEntry struct {
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	Family    string `json:"family"`
+	Project   string `json:"project"`
+	Source    string `json:"source"`
+	Variant   string `json:"variant"`
+	Expect    string `json:"expected_outcome"`
+	File      string `json:"file"`
+	Insns     int    `json:"insns"`
+	Bytes     int    `json:"bytes"`
+	ValueSize uint32 `json:"map_value_size,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "dataset", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var manifest []manifestEntry
+	for _, e := range corpus.Generate() {
+		raw := ebpf.EncodeProgram(e.Prog.Insns)
+		file := fmt.Sprintf("%03d_%s.bin", e.Index, e.Prog.Name)
+		if err := os.WriteFile(filepath.Join(*out, file), raw, 0o644); err != nil {
+			fatal(err)
+		}
+		me := manifestEntry{
+			Index: e.Index, Name: e.Prog.Name, Family: e.Family.String(),
+			Project: e.Project, Source: e.Source, Variant: e.Variant,
+			Expect: e.Expect.String(), File: file,
+			Insns: len(e.Prog.Insns), Bytes: len(raw),
+		}
+		if len(e.Prog.Maps) > 0 {
+			me.ValueSize = e.Prog.Maps[0].ValueSize
+		}
+		manifest = append(manifest, me)
+	}
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "manifest.json"), data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d programs + manifest.json to %s\n", len(manifest), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcfgen:", err)
+	os.Exit(1)
+}

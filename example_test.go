@@ -1,0 +1,50 @@
+package bcf_test
+
+import (
+	"fmt"
+
+	"bcf"
+)
+
+// ExampleVerify loads the paper's Figure 2 program: rejected by the
+// baseline abstraction, accepted after one proof-checked refinement.
+func ExampleVerify() {
+	prog := &bcf.Program{
+		Name: "figure2",
+		Type: bcf.ProgTracepoint,
+		Insns: bcf.MustAssemble(`
+			r1 = map[0]
+			r2 = r10
+			r2 += -4
+			*(u32 *)(r10 -4) = 0
+			call 1                 ; bpf_map_lookup_elem
+			if r0 == 0 goto miss
+			r1 = r0
+			r2 = *(u64 *)(r1 +0)   ; untrusted input
+			r2 &= 0xf              ; r2 in [0, 15]
+			r1 += r2
+			r3 = 0xf
+			r3 -= r2               ; r3 = 15 - r2
+			r1 += r3               ; offset is exactly 15; verifier sees [0, 30]
+			r0 = *(u8 *)(r1 +0)
+			exit
+		miss:
+			r0 = 0
+			exit
+		`),
+		Maps: []*bcf.MapSpec{{
+			Name: "values", Type: bcf.MapArray,
+			KeySize: 4, ValueSize: 16, MaxEntries: 4,
+		}},
+	}
+
+	baseline := bcf.Verify(prog)
+	withBCF := bcf.Verify(prog, bcf.WithBCF())
+	fmt.Println("baseline accepted:", baseline.Accepted)
+	fmt.Println("with BCF accepted:", withBCF.Accepted)
+	fmt.Println("refinements:", withBCF.Refinements)
+	// Output:
+	// baseline accepted: false
+	// with BCF accepted: true
+	// refinements: 1
+}

@@ -1,0 +1,119 @@
+// Bounded-buffer example: the paper's Listing 7 scenario (distilled from
+// KubeArmor's save_str_to_buffer).
+//
+// An event-serialization routine checks that at least six bytes remain in
+// its buffer, then reads a string into the remaining space with
+// bpf_probe_read. The *relationship* between the check and the computed
+// read size is lost by the baseline verifier's local interval updates, so
+// the helper call is falsely rejected; BCF recovers the relation with an
+// exact symbolic expression, proves the size bounded in user space, and
+// the kernel adopts the refined range after a linear-time proof check.
+//
+// This is the class of false rejection that forces production projects
+// into workarounds like doubling buffer sizes (paper Listing 3, Elastic).
+//
+// Run with: go run ./examples/boundedbuf
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcf"
+)
+
+const bufSize = 32
+
+var program = fmt.Sprintf(`
+	r1 = map[0]
+	r2 = r10
+	r2 += -4
+	*(u32 *)(r10 -4) = 0
+	call 1
+	if r0 == 0 goto out
+
+	r6 = *(u64 *)(r0 +0)       ; type_pos: untrusted cursor into the buffer
+	r6 &= %d                   ; bounded by the buffer mask
+	r7 = %d
+	r7 -= r6                   ; free = BUF - type_pos
+	if r7 < 6 goto out         ; need one type byte + 4 length bytes + 1
+
+	r8 = r6
+	r8 += 5                    ; str_pos = type_pos + 1 + sizeof(int)
+	r2 = %d
+	r2 -= r8                   ; read_size = BUF - str_pos  (always >= 1)
+
+	r1 = r10
+	r1 += -%d                  ; &buf[0] on the stack
+	r3 = 0
+	call 4                     ; bpf_probe_read(buf, read_size, src)
+
+	r0 = 0
+	exit
+out:
+	r0 = 0
+	exit
+`, bufSize-1, bufSize, bufSize, bufSize)
+
+func main() {
+	prog := &bcf.Program{
+		Name:  "save_str_to_buffer",
+		Type:  bcf.ProgTracepoint,
+		Insns: bcf.MustAssemble(program),
+		Maps: []*bcf.MapSpec{{
+			Name: "events", Type: bcf.MapArray,
+			KeySize: 4, ValueSize: 16, MaxEntries: 8,
+		}},
+	}
+
+	base := bcf.Verify(prog)
+	fmt.Printf("baseline: accepted=%v err=%v\n", base.Accepted, base.Err)
+	if base.Accepted {
+		log.Fatal("expected the baseline to reject (this is a known false positive)")
+	}
+
+	rep := bcf.Verify(prog, bcf.WithBCF())
+	fmt.Printf("with BCF: accepted=%v refinements=%d\n", rep.Accepted, rep.Refinements)
+	if !rep.Accepted {
+		log.Fatalf("BCF should accept: %v", rep.Err)
+	}
+	fmt.Printf("condition bytes: %d, proof bytes: %d\n", rep.ConditionBytes, rep.ProofBytes)
+
+	// Without BCF, the production workaround (paper Listing 3, Elastic)
+	// is to bound the cursor to *half* the buffer, wasting the other
+	// half: the tighter mask keeps every interval subtraction precise, so
+	// the baseline accepts — at the cost of half the allocated memory.
+	halved := fmt.Sprintf(`
+		r1 = map[0]
+		r2 = r10
+		r2 += -4
+		*(u32 *)(r10 -4) = 0
+		call 1
+		if r0 == 0 goto out
+		r6 = *(u64 *)(r0 +0)
+		r6 &= %d               ; EVENT_BUFFER_SIZE_HALF - 1
+		r7 = %d
+		r7 -= r6
+		if r7 < 6 goto out
+		r8 = r6
+		r8 += 5
+		r2 = %d
+		r2 -= r8
+		r1 = r10
+		r1 += -%d
+		r3 = 0
+		call 4
+		r0 = 0
+		exit
+	out:
+		r0 = 0
+		exit
+	`, bufSize/2-1, bufSize, bufSize, bufSize)
+	workaround := &bcf.Program{
+		Name: "workaround", Type: bcf.ProgTracepoint,
+		Insns: bcf.MustAssemble(halved), Maps: prog.Maps,
+	}
+	wrep := bcf.Verify(workaround)
+	fmt.Printf("workaround (half-usable buffer, no BCF): accepted=%v — %d of %d bytes wasted\n",
+		wrep.Accepted, bufSize/2, bufSize)
+}

@@ -1,0 +1,128 @@
+// Tracer: a realistic event-serialization program of the kind the
+// paper's motivation describes (security monitors like KubeArmor and
+// Tetragon serialize variable-length event records into per-CPU
+// buffers). It combines everything BCF provides in one load:
+//
+//   - a variable-length field loop, made tractable with a declared loop
+//     fixpoint (§7 extension),
+//   - relational cursor arithmetic (write_pos + remaining = BUF), which
+//     the baseline verifier cannot track and BCF proves per access,
+//   - a computed probe_read size (the Listing 7 pattern),
+//   - and a modulo-computed record slot (exact division tracking).
+//
+// The baseline rejects it; with BCF plus the loop fixpoint it loads, and
+// repeated loads are served from the proof cache.
+//
+// Run with: go run ./examples/tracer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcf"
+)
+
+const bufSize = 64
+
+var program = fmt.Sprintf(`
+	r9 = r1                    ; ctx
+	r1 = map[0]
+	r2 = r10
+	r2 += -4
+	*(u32 *)(r10 -4) = 0
+	call 1                     ; lookup the event descriptor
+	if r0 == 0 goto out
+	r7 = r0                    ; descriptor pointer
+
+	; slot = desc.id %% 8, a modulo-computed record index (8-byte records)
+	r6 = *(u64 *)(r7 +0)
+	r6 %%= 8
+	r5 = r6
+	r5 <<= 3                   ; slot * 8, still provably <= 56
+	r1 = r7
+	r1 += r5
+	r8 = *(u8 *)(r1 +0)        ; record tag for this slot
+
+	; field loop: serialize up to 8 variable-length fields
+	r6 = 0                     ; field counter (declared fixpoint below)
+loop:
+	r6 += 1                    ; <- loop head
+
+	; cursor = desc.cursor & (BUF-1); remaining = BUF - cursor
+	r2 = *(u64 *)(r7 +8)
+	r2 &= %d
+	r3 = %d
+	r3 -= r2                   ; remaining
+	if r3 < 6 goto out         ; need header room (Listing 7 pattern)
+
+	; read_size = BUF - (cursor + 5)
+	r4 = r2
+	r4 += 5
+	r2 = %d
+	r2 -= r4
+	r1 = r10
+	r1 += -%d                  ; &buf[0]
+	r3 = 0
+	call 4                     ; probe_read(buf, read_size, src)
+
+	; continue while the (random) event stream yields more fields
+	call 7                     ; get_prandom_u32
+	if r0 == 0 goto loop
+out:
+	r0 = 0
+	exit
+`, bufSize-1, bufSize, bufSize, bufSize)
+
+const loopHead = 17 // the "r6 += 1" instruction
+
+func main() {
+	prog := &bcf.Program{
+		Name:  "tracer",
+		Type:  bcf.ProgTracepoint,
+		Insns: bcf.MustAssemble(program),
+		Maps: []*bcf.MapSpec{{
+			Name: "events", Type: bcf.MapArray,
+			KeySize: 4, ValueSize: 64, MaxEntries: 16,
+		}},
+	}
+	if prog.Insns[loopHead].String() != "r6 += 1" {
+		log.Fatalf("loop head drifted: insn %d is %q", loopHead, prog.Insns[loopHead])
+	}
+
+	fmt.Println("=== baseline ===")
+	base := bcf.Verify(prog, bcf.WithInsnLimit(5000))
+	fmt.Printf("accepted: %v\n  err: %v\n", base.Accepted, base.Err)
+
+	fmt.Println("\n=== BCF + declared loop fixpoint ===")
+	cache := bcf.NewProofCache()
+	opts := []bcf.Option{
+		bcf.WithBCF(),
+		bcf.WithInsnLimit(5000),
+		bcf.WithLoopInvariant(loopHead, 6, 0, ^uint64(0)),
+		bcf.WithProofCache(cache),
+	}
+	rep := bcf.Verify(prog, opts...)
+	if !rep.Accepted {
+		log.Fatalf("rejected: %v", rep.Err)
+	}
+	fmt.Printf("accepted with %d proof-checked refinements\n", rep.Refinements)
+	fmt.Printf("wire traffic: %d condition bytes, %d proof bytes\n",
+		rep.ConditionBytes, rep.ProofBytes)
+	fmt.Printf("analysis: %d insns, kernel %dµs / user %dµs\n",
+		rep.Stats.InsnProcessed, rep.KernelNanos/1000, rep.UserNanos/1000)
+
+	// Reload: the deterministic analysis hits the proof cache.
+	again := bcf.Verify(prog, opts...)
+	fmt.Printf("\nreload: accepted=%v, cache hits=%d (user time %dµs)\n",
+		again.Accepted, again.CacheHits, again.UserNanos/1000)
+
+	// Concrete safety sweep.
+	for seed := int64(0); seed < 10; seed++ {
+		in := bcf.NewInterp(prog, seed)
+		if _, fault := in.Run(make([]byte, prog.Type.CtxSize())); fault != nil {
+			log.Fatalf("fault (seed %d): %v", seed, fault)
+		}
+	}
+	fmt.Println("concrete sweep: 10 randomized runs, no faults")
+}

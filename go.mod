@@ -1,0 +1,3 @@
+module bcf
+
+go 1.23

@@ -1,0 +1,129 @@
+package bcf
+
+import (
+	"fmt"
+	"time"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/verifier"
+)
+
+// Session emulates the kernel side of the extended BPF_PROG_LOAD
+// protocol (§5 System Call): the load request runs until the verifier
+// either finishes or emits a refinement condition into the shared buffer,
+// at which point control returns to user space holding a handle (the
+// paper's bcf_fd) used to resume with a proof. Only encoded bytes cross
+// the boundary in either direction.
+type Session struct {
+	prog *ebpf.Program
+	v    *verifier.Verifier
+	ref  *Refiner
+
+	condCh chan []byte
+	respCh chan proveResp
+	doneCh chan error
+
+	// timing split for §6.3.
+	kernelStart time.Time
+	kernelTime  time.Duration
+	userStart   time.Time
+	userTime    time.Duration
+
+	finished bool
+	result   error
+}
+
+type proveResp struct {
+	proof []byte
+	err   error
+}
+
+// sessionService adapts the channel pump to the ProofService interface
+// used by the Refiner inside the verification goroutine.
+type sessionService struct{ s *Session }
+
+func (ss sessionService) Prove(cond []byte) ([]byte, error) {
+	ss.s.condCh <- cond
+	resp := <-ss.s.respCh
+	return resp.proof, resp.err
+}
+
+// LoadResult describes the state of the session after Load or Resume.
+type LoadResult struct {
+	// Done reports whether verification concluded.
+	Done bool
+	// Err is the final verdict when Done (nil = accepted).
+	Err error
+	// Condition holds the refinement condition awaiting a user-space
+	// proof when !Done (the paper's shared buffer, flag = proof request).
+	Condition []byte
+}
+
+// NewSession prepares a load session for prog.
+func NewSession(prog *ebpf.Program, cfg verifier.Config) *Session {
+	s := &Session{
+		prog:   prog,
+		condCh: make(chan []byte),
+		respCh: make(chan proveResp),
+		doneCh: make(chan error, 1),
+	}
+	s.ref = NewRefiner(sessionService{s})
+	cfg.Refiner = s.ref
+	s.v = verifier.New(prog, cfg)
+	return s
+}
+
+// Refiner exposes the refinement statistics of this session.
+func (s *Session) Refiner() *Refiner { return s.ref }
+
+// Verifier exposes the underlying verifier (for stats and logs).
+func (s *Session) Verifier() *verifier.Verifier { return s.v }
+
+// KernelTime and UserTime report the time split of §6.3.
+func (s *Session) KernelTime() time.Duration { return s.kernelTime }
+func (s *Session) UserTime() time.Duration   { return s.userTime }
+
+// Load starts verification and runs until the first refinement condition
+// or completion.
+func (s *Session) Load() LoadResult {
+	s.kernelStart = time.Now()
+	go func() {
+		s.doneCh <- s.v.Verify()
+	}()
+	return s.wait()
+}
+
+// Resume submits a user-space proof (or failure) and continues.
+func (s *Session) Resume(proofBytes []byte, userErr error) LoadResult {
+	if s.finished {
+		return LoadResult{Done: true, Err: s.result}
+	}
+	s.userTime += time.Since(s.userStart)
+	s.kernelStart = time.Now()
+	s.respCh <- proveResp{proof: proofBytes, err: userErr}
+	return s.wait()
+}
+
+func (s *Session) wait() LoadResult {
+	select {
+	case cond := <-s.condCh:
+		s.kernelTime += time.Since(s.kernelStart)
+		s.userStart = time.Now()
+		return LoadResult{Condition: cond}
+	case err := <-s.doneCh:
+		s.kernelTime += time.Since(s.kernelStart)
+		s.finished = true
+		s.result = err
+		return LoadResult{Done: true, Err: err}
+	}
+}
+
+// Abort terminates an in-flight session (rejecting the pending request).
+func (s *Session) Abort() {
+	for !s.finished {
+		res := s.Resume(nil, fmt.Errorf("bcf: session aborted"))
+		if res.Done {
+			return
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package bcf
+
+import (
+	"fmt"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/expr"
+	"bcf/internal/verifier"
+)
+
+// valKind classifies a symbolically tracked register.
+type valKind uint8
+
+const (
+	kindScalar   valKind = iota
+	kindStackPtr         // e is the byte offset from the frame top (r10)
+	kindPtr              // e is the full offset from the object base
+)
+
+// symVal is the symbolic state of one register: an exact 64-bit
+// expression for its value (scalars) or its offset (pointers).
+type symVal struct {
+	e    *expr.Expr
+	kind valKind
+}
+
+// tracker performs the forward symbolic execution of a path suffix
+// (§4 Symbolic Tracking). Unlike classical symbolic execution it never
+// forks: the verifier's recorded branch history fixes every decision.
+type tracker struct {
+	prog   *ebpf.Program
+	regs   [ebpf.MaxReg]*symVal
+	stack  map[int16]*symVal // 8-byte aligned register-size slots only
+	constr []*expr.Expr
+	nextID uint32
+	steps  int
+}
+
+func newTracker(prog *ebpf.Program) *tracker {
+	return &tracker{prog: prog, stack: map[int16]*symVal{}}
+}
+
+// fresh introduces a new symbolic variable of the given width, extended
+// to 64 bits. Narrow loads thereby carry their width bound for free (the
+// paper's 32-bit narrowing generalized).
+func (tk *tracker) fresh(width uint8) *expr.Expr {
+	v := expr.Var(tk.nextID, width)
+	tk.nextID++
+	if width < 64 {
+		return expr.ZExt(v, 64)
+	}
+	return v
+}
+
+// reg returns the register's symbolic value, lazily introducing a fresh
+// variable for registers defined before the suffix.
+func (tk *tracker) reg(r ebpf.Reg) *symVal {
+	if tk.regs[r] == nil {
+		if r == ebpf.R10 {
+			tk.regs[r] = &symVal{e: expr.Const(0, 64), kind: kindStackPtr}
+		} else {
+			tk.regs[r] = &symVal{e: tk.fresh(64)}
+		}
+	}
+	return tk.regs[r]
+}
+
+func (tk *tracker) setReg(r ebpf.Reg, v symVal) {
+	if v.e == nil {
+		v.e = tk.fresh(64)
+	}
+	tk.regs[r] = &v
+}
+
+// fold constant-folds ground expressions so the fixed/variable split of
+// pointer offsets mirrors the verifier's (which folds through tnum).
+func fold(e *expr.Expr) *expr.Expr {
+	if e.Op != expr.OpConst && e.IsGround() {
+		return expr.Const(e.Eval(func(uint32) uint64 { return 0 }), e.Width)
+	}
+	return e
+}
+
+// low32 extracts the low word of a 64-bit expression.
+func low32(e *expr.Expr) *expr.Expr { return fold(expr.Extract(e, 0, 32)) }
+
+// zext64 zero-extends back to 64 bits.
+func zext64(e *expr.Expr) *expr.Expr { return fold(expr.ZExt(e, 64)) }
+
+// run symbolically executes path[start:len-1] (the failing instruction
+// itself has not executed). It returns an error for suffixes the tracker
+// cannot follow.
+func (tk *tracker) run(path []verifier.PathStep, start int) error {
+	for i := start; i < len(path)-1; i++ {
+		step := path[i]
+		ins := tk.prog.Insns[step.Idx]
+		tk.steps++
+		if err := tk.exec(ins, step.Taken); err != nil {
+			return fmt.Errorf("bcf: symbolic tracking at insn %d: %w", step.Idx, err)
+		}
+	}
+	return nil
+}
+
+func (tk *tracker) exec(ins ebpf.Instruction, taken bool) error {
+	switch ins.Class() {
+	case ebpf.ClassALU64:
+		return tk.execALU(ins, false)
+	case ebpf.ClassALU:
+		return tk.execALU(ins, true)
+	case ebpf.ClassLD:
+		if !ins.IsLoadImm64() {
+			return fmt.Errorf("unsupported load mode")
+		}
+		if ins.Src == ebpf.PseudoMapFD {
+			// A map pointer: offset tracking starts at zero.
+			tk.setReg(ins.Dst, symVal{e: expr.Const(0, 64), kind: kindPtr})
+		} else {
+			tk.setReg(ins.Dst, symVal{e: expr.Const(uint64(ins.Imm), 64)})
+		}
+		return nil
+	case ebpf.ClassLDX:
+		return tk.execLoad(ins)
+	case ebpf.ClassST, ebpf.ClassSTX:
+		return tk.execStore(ins)
+	case ebpf.ClassJMP, ebpf.ClassJMP32:
+		return tk.execJump(ins, taken)
+	}
+	return fmt.Errorf("unsupported class %d", ins.Class())
+}
+
+func (tk *tracker) execALU(ins ebpf.Instruction, is32 bool) error {
+	op := ins.AluOp()
+	dst := tk.reg(ins.Dst)
+
+	// Source operand as a 64-bit expression (sign-extended immediate).
+	var src *symVal
+	if ins.UsesSrcReg() && op != ebpf.AluNEG && op != ebpf.AluEND {
+		src = tk.reg(ins.Src)
+	} else {
+		src = &symVal{e: expr.Const(uint64(ins.Imm), 64)}
+	}
+
+	if op == ebpf.AluMOV {
+		if is32 {
+			if src.kind != kindScalar {
+				tk.setReg(ins.Dst, symVal{e: tk.fresh(64)})
+				return nil
+			}
+			tk.setReg(ins.Dst, symVal{e: zext64(low32(src.e))})
+			return nil
+		}
+		tk.setReg(ins.Dst, *src)
+		return nil
+	}
+
+	// Pointer arithmetic: offsets accumulate; everything else on a
+	// pointer (or mixing pointers) degrades to a fresh scalar.
+	if dst.kind != kindScalar || src.kind != kindScalar {
+		if !is32 && (op == ebpf.AluADD || op == ebpf.AluSUB) {
+			switch {
+			case dst.kind != kindScalar && src.kind == kindScalar:
+				e := expr.Bin(aluExprOp(op), dst.e, src.e)
+				tk.setReg(ins.Dst, symVal{e: fold(e), kind: dst.kind})
+				return nil
+			case dst.kind == kindScalar && src.kind != kindScalar && op == ebpf.AluADD:
+				e := expr.Add(src.e, dst.e)
+				tk.setReg(ins.Dst, symVal{e: fold(e), kind: src.kind})
+				return nil
+			}
+		}
+		tk.setReg(ins.Dst, symVal{e: tk.fresh(64)})
+		return nil
+	}
+
+	if op == ebpf.AluNEG {
+		if is32 {
+			tk.setReg(ins.Dst, symVal{e: zext64(fold(expr.Neg(low32(dst.e))))})
+		} else {
+			tk.setReg(ins.Dst, symVal{e: fold(expr.Neg(dst.e))})
+		}
+		return nil
+	}
+	if op == ebpf.AluEND {
+		// Byteswaps introduce fresh variables (paper §5: incomplete
+		// tracking is sound — conditions just get weaker).
+		tk.setReg(ins.Dst, symVal{e: tk.fresh(64)})
+		return nil
+	}
+
+	eop := aluExprOp(op)
+	if eop == expr.OpInvalid {
+		tk.setReg(ins.Dst, symVal{e: tk.fresh(64)})
+		return nil
+	}
+	if is32 {
+		a, b := low32(dst.e), low32(src.e)
+		tk.setReg(ins.Dst, symVal{e: zext64(fold(expr.Bin(eop, a, b)))})
+		return nil
+	}
+	tk.setReg(ins.Dst, symVal{e: fold(expr.Bin(eop, dst.e, src.e))})
+	return nil
+}
+
+func aluExprOp(op uint8) expr.Op {
+	switch op {
+	case ebpf.AluADD:
+		return expr.OpAdd
+	case ebpf.AluSUB:
+		return expr.OpSub
+	case ebpf.AluMUL:
+		return expr.OpMul
+	case ebpf.AluAND:
+		return expr.OpAnd
+	case ebpf.AluOR:
+		return expr.OpOr
+	case ebpf.AluXOR:
+		return expr.OpXor
+	case ebpf.AluLSH:
+		return expr.OpShl
+	case ebpf.AluRSH:
+		return expr.OpLshr
+	case ebpf.AluARSH:
+		return expr.OpAshr
+	case ebpf.AluDIV:
+		return expr.OpUDiv
+	case ebpf.AluMOD:
+		return expr.OpURem
+	}
+	return expr.OpInvalid
+}
+
+// stackSlot returns the constant frame offset when the register is a
+// frame pointer with an exactly known offset.
+func (tk *tracker) stackSlot(r ebpf.Reg, off int16) (int16, bool) {
+	v := tk.reg(r)
+	if v.kind != kindStackPtr {
+		return 0, false
+	}
+	c, ok := v.e.IsConst()
+	if !ok {
+		return 0, false
+	}
+	return int16(int64(c)) + off, true
+}
+
+func (tk *tracker) execLoad(ins ebpf.Instruction) error {
+	size := ins.LoadSize()
+	if slot, ok := tk.stackSlot(ins.Src, ins.Off); ok {
+		if size == 8 && slot%8 == 0 {
+			if v, present := tk.stack[slot]; present {
+				tk.setReg(ins.Dst, *v)
+				return nil
+			}
+		}
+		// Sub-register or untracked slot: fresh, width-bounded (§5
+		// Limitations: only register-sized spills are tracked).
+		tk.setReg(ins.Dst, symVal{e: tk.fresh(uint8(size * 8))})
+		return nil
+	}
+	tk.setReg(ins.Dst, symVal{e: tk.fresh(uint8(size * 8))})
+	return nil
+}
+
+func (tk *tracker) execStore(ins ebpf.Instruction) error {
+	size := ins.LoadSize()
+	slot, isStack := tk.stackSlot(ins.Dst, ins.Off)
+	if !isStack {
+		v := tk.reg(ins.Dst)
+		if v.kind == kindPtr {
+			// Stores through non-stack object pointers cannot alias the
+			// tracked frame slots.
+			return nil
+		}
+		// A store through an untracked pointer may alias anything.
+		tk.stack = map[int16]*symVal{}
+		return nil
+	}
+	if size == 8 && slot%8 == 0 {
+		if ins.Class() == ebpf.ClassSTX {
+			v := *tk.reg(ins.Src)
+			tk.stack[slot] = &v
+		} else {
+			tk.stack[slot] = &symVal{e: expr.Const(uint64(ins.Imm), 64)}
+		}
+		return nil
+	}
+	// Partial overwrite invalidates any overlapping tracked slot.
+	lo := slot &^ 7
+	hi := (slot + int16(size) - 1) &^ 7
+	for s := lo; s <= hi; s += 8 {
+		delete(tk.stack, s)
+	}
+	return nil
+}
+
+func (tk *tracker) execJump(ins ebpf.Instruction, taken bool) error {
+	op := ins.JmpOp()
+	switch op {
+	case ebpf.JmpJA:
+		return nil
+	case ebpf.JmpEXIT:
+		return fmt.Errorf("exit inside path suffix")
+	case ebpf.JmpCALL:
+		// Helper calls clobber R0-R5 and may write through pointer
+		// arguments; conservatively drop the tracked stack.
+		for r := ebpf.R0; r <= ebpf.R5; r++ {
+			tk.setReg(r, symVal{e: tk.fresh(64)})
+		}
+		tk.stack = map[int16]*symVal{}
+		// Map lookups return object pointers whose offset we track.
+		if ebpf.HelperID(ins.Imm) == ebpf.FnMapLookupElem {
+			tk.setReg(ebpf.R0, symVal{e: expr.Const(0, 64), kind: kindPtr})
+		}
+		return nil
+	}
+	is32 := ins.Class() == ebpf.ClassJMP32
+	dst := tk.reg(ins.Dst)
+	var src *symVal
+	if ins.UsesSrcReg() {
+		src = tk.reg(ins.Src)
+	} else {
+		src = &symVal{e: expr.Const(uint64(ins.Imm), 64)}
+	}
+	if dst.kind != kindScalar || src.kind != kindScalar {
+		// Constraints over pointers (null checks) are dropped: sound,
+		// merely weaker premises.
+		return nil
+	}
+	a, b := dst.e, src.e
+	if is32 {
+		a, b = low32(a), low32(b)
+		if !ins.UsesSrcReg() {
+			b = expr.Const(uint64(uint32(ins.Imm)), 32)
+		}
+	}
+	c := condExpr(op, a, b)
+	if c == nil {
+		return nil
+	}
+	if !taken {
+		c = expr.BoolNot(c)
+	}
+	tk.constr = append(tk.constr, c)
+	return nil
+}
+
+// condExpr builds the branch predicate for a jump operation.
+func condExpr(op uint8, a, b *expr.Expr) *expr.Expr {
+	switch op {
+	case ebpf.JmpJEQ:
+		return expr.Eq(a, b)
+	case ebpf.JmpJNE:
+		return expr.Ne(a, b)
+	case ebpf.JmpJGT:
+		return expr.Ult(b, a)
+	case ebpf.JmpJGE:
+		return expr.Ule(b, a)
+	case ebpf.JmpJLT:
+		return expr.Ult(a, b)
+	case ebpf.JmpJLE:
+		return expr.Ule(a, b)
+	case ebpf.JmpJSGT:
+		return expr.Slt(b, a)
+	case ebpf.JmpJSGE:
+		return expr.Sle(b, a)
+	case ebpf.JmpJSLT:
+		return expr.Slt(a, b)
+	case ebpf.JmpJSLE:
+		return expr.Sle(a, b)
+	case ebpf.JmpJSET:
+		return expr.Ne(expr.And(a, b), expr.Const(0, a.Width))
+	}
+	return nil
+}

@@ -1,0 +1,533 @@
+// Package corpus generates the evaluation dataset: 512 distinct eBPF
+// programs that are safe yet rejected by the baseline verifier.
+//
+// The paper's dataset (§6.1) was built by compiling 106 real-world
+// sources (Cilium, Calico, BCC, xdp-project, …) under Clang-13…21 at
+// -O1…-O3 and keeping the objects the in-tree verifier rejects. That
+// exact artifact is not reproducible offline, so this package substitutes
+// a generator organized the same way: eight pattern families distilled
+// from the paper's own case studies (Figure 2; Listings 1, 2, 6, 7, 8, 9)
+// each expanded along "compiler-configuration" axes — register
+// allocation, instruction selection, operand width, scheduling noise and
+// object sizes — which is precisely the diversity the paper exploits.
+//
+// Families and their expected outcome under BCF:
+//
+//	F1 split-access      Fig. 2: a + (C - a) relational offsets    accept
+//	F2 helper-size       Listing 7: computed probe_read size       accept
+//	F3 unreachable-path  Listing 8: infeasible branch suffix       accept
+//	F4 reg-alias         Listing 9: 32-bit mov aliases             accept
+//	F8 shift-compare     Listing 2-style shifted-bound aliases     accept
+//	F5 subreg-spill      §5 limitation: sub-register spills        reject (weak condition)
+//	F6 loop              §6.2: instruction-limit loops             reject (insn limit)
+//	F7 uninstrumented    §6.2: rejection site without refinement   reject (not triggered)
+//
+// The family sizes are calibrated to the paper's buckets: 403 accepted
+// (78.7%), 82 weak-condition (16%), 23 insn-limit (4.5%), 4 untriggered
+// (0.8%).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bcf/internal/ebpf"
+)
+
+// Family identifies a generation pattern.
+type Family uint8
+
+// Families.
+const (
+	SplitAccess Family = iota + 1
+	HelperSize
+	UnreachablePath
+	RegAlias
+	ShiftCompare
+	SubregSpill
+	Loop
+	Uninstrumented
+)
+
+func (f Family) String() string {
+	switch f {
+	case SplitAccess:
+		return "split-access"
+	case HelperSize:
+		return "helper-size"
+	case UnreachablePath:
+		return "unreachable-path"
+	case RegAlias:
+		return "reg-alias"
+	case ShiftCompare:
+		return "shift-compare"
+	case SubregSpill:
+		return "subreg-spill"
+	case Loop:
+		return "loop"
+	case Uninstrumented:
+		return "uninstrumented"
+	}
+	return "unknown"
+}
+
+// Outcome is the expected verdict for a program.
+type Outcome uint8
+
+// Expected outcomes under BCF.
+const (
+	ExpectAccept Outcome = iota + 1
+	ExpectRejectWeakCond
+	ExpectRejectInsnLimit
+	ExpectRejectUntriggered
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case ExpectAccept:
+		return "accept"
+	case ExpectRejectWeakCond:
+		return "reject-weak-condition"
+	case ExpectRejectInsnLimit:
+		return "reject-insn-limit"
+	case ExpectRejectUntriggered:
+		return "reject-untriggered"
+	}
+	return "?"
+}
+
+// Entry is one dataset program with its metadata.
+type Entry struct {
+	Index   int
+	Family  Family
+	Project string // pseudo-project the pattern is distilled from
+	Source  string // pseudo source-program identifier
+	Variant string // compiler-configuration analog
+	Expect  Outcome
+	Prog    *ebpf.Program
+}
+
+// familyPlan fixes the family sizes (sums to 512 with the paper's split).
+var familyPlan = []struct {
+	family  Family
+	count   int
+	project string
+	expect  Outcome
+}{
+	{SplitAccess, 97, "cilium", ExpectAccept},
+	{HelperSize, 80, "kubearmor", ExpectAccept},
+	{UnreachablePath, 72, "cilium-wireguard", ExpectAccept},
+	{RegAlias, 82, "bcc", ExpectAccept},
+	{ShiftCompare, 72, "calico", ExpectAccept},
+	{SubregSpill, 82, "tetragon", ExpectRejectWeakCond},
+	{Loop, 23, "xdp-project", ExpectRejectInsnLimit},
+	{Uninstrumented, 4, "elastic", ExpectRejectUntriggered},
+}
+
+// Size is the total number of generated programs.
+const Size = 512
+
+// Generate produces the full deterministic dataset.
+func Generate() []Entry {
+	var out []Entry
+	idx := 0
+	for _, plan := range familyPlan {
+		for i := 0; i < plan.count; i++ {
+			rng := rand.New(rand.NewSource(int64(idx)*7919 + int64(plan.family)))
+			v := newVariant(rng, i)
+			prog := buildFamily(plan.family, v)
+			prog.Name = fmt.Sprintf("%s_%03d", plan.family, i)
+			out = append(out, Entry{
+				Index:   idx,
+				Family:  plan.family,
+				Project: plan.project,
+				Source:  fmt.Sprintf("%s/src%02d", plan.project, i%13),
+				Variant: v.describe(),
+				Expect:  plan.expect,
+				Prog:    prog,
+			})
+			idx++
+		}
+	}
+	if len(out) != Size {
+		panic("corpus: family plan does not sum to 512")
+	}
+	return out
+}
+
+// variant captures the compiler-configuration analog axes.
+type variant struct {
+	rng       *rand.Rand
+	valueSize uint32 // map value size
+	accessSz  int    // final access size
+	mask      uint32 // input mask
+	noise     int    // scheduling-noise instructions
+	use32     bool   // prefer 32-bit ALU forms
+	immForm   bool   // immediate vs register operand selection
+	regBase   int    // register-allocation rotation
+	keyVal    int32  // map key the program looks up
+	clangV    int    // purely cosmetic provenance
+	optLevel  int
+}
+
+func newVariant(rng *rand.Rand, i int) *variant {
+	v := &variant{
+		rng:      rng,
+		accessSz: []int{1, 2, 4}[rng.Intn(3)],
+		noise:    rng.Intn(4),
+		use32:    rng.Intn(2) == 0,
+		immForm:  rng.Intn(2) == 0,
+		regBase:  rng.Intn(3),
+		keyVal:   int32(rng.Intn(4)),
+		clangV:   13 + i%9,
+		optLevel: 1 + i%3,
+	}
+	// mask+accessSz determines the tight value size (baseline must
+	// reject; the program must stay safe).
+	v.mask = []uint32{0x7, 0xf, 0x1f, 0x3f}[rng.Intn(4)]
+	v.valueSize = v.mask + uint32(v.accessSz)
+	return v
+}
+
+func (v *variant) describe() string {
+	return fmt.Sprintf("clang-%d -O%d sz%d m%#x%s", v.clangV, v.optLevel,
+		v.accessSz, v.mask, map[bool]string{true: " w32", false: ""}[v.use32])
+}
+
+// scratch returns rotating callee-saved registers for the variant's
+// register-allocation analog.
+func (v *variant) scratch(i int) ebpf.Reg {
+	return ebpf.Reg(6 + (v.regBase+i)%4) // r6..r9
+}
+
+func (v *variant) theMap() *ebpf.MapSpec {
+	return &ebpf.MapSpec{
+		Name: "values", Type: ebpf.MapArray,
+		KeySize: 4, ValueSize: v.valueSize, MaxEntries: 4,
+	}
+}
+
+// emitNoise appends harmless scheduling noise to the builder.
+func (v *variant) emitNoise(b *ebpf.Builder) {
+	for i := 0; i < v.noise; i++ {
+		r := v.scratch(3)
+		switch v.rng.Intn(3) {
+		case 0:
+			b.Emit(ebpf.Mov64Imm(r, int32(v.rng.Intn(128))))
+		case 1:
+			b.Emit(ebpf.Mov64Imm(r, 1), ebpf.Alu64Imm(ebpf.AluLSH, r, int32(v.rng.Intn(8))))
+		default:
+			b.Emit(ebpf.Mov32Imm(r, int32(v.rng.Intn(64))))
+		}
+	}
+}
+
+// emitLookup emits the map-lookup prologue: on success the value pointer
+// is in R0 and execution continues; otherwise the program exits via the
+// "miss" label (which the caller must define before Program()). The
+// looked-up key varies with the variant, as register allocators and
+// constant pools do across compiler configurations.
+func (v *variant) emitLookup(b *ebpf.Builder) {
+	b.Emit(
+		ebpf.LoadMapPtr(ebpf.R1, 0),
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluADD, ebpf.R2, -4),
+		ebpf.StoreImm(ebpf.R10, -4, v.keyVal, 4),
+		ebpf.Call(ebpf.FnMapLookupElem),
+	)
+	b.EmitJmp(ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 0), "miss")
+}
+
+// emitMiss closes the program with the shared miss/exit epilogue.
+func emitMiss(b *ebpf.Builder) {
+	b.Label("miss")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+}
+
+// maskPow2Bits reports how many low bits v.mask covers when it is of the
+// form 2^k - 1 (all our masks are).
+func (v *variant) maskPow2Bits() int32 {
+	bits := int32(0)
+	for m := v.mask; m != 0; m >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// maskReg applies the variant's mask to reg, choosing among instruction
+// selections a compiler might make: a 32-bit AND, a 64-bit AND with an
+// immediate or a register operand, or the shl/shr pair clang emits for
+// low-bit extraction.
+func (v *variant) maskReg(b *ebpf.Builder, reg ebpf.Reg) {
+	switch {
+	case v.use32:
+		b.Emit(ebpf.Alu32Imm(ebpf.AluAND, reg, int32(v.mask)))
+		b.Emit(ebpf.Mov32Reg(reg, reg)) // explicit zero-extension
+	case v.immForm && v.rng.Intn(3) == 0:
+		// Double-shift low-bit extraction.
+		sh := 64 - v.maskPow2Bits()
+		b.Emit(
+			ebpf.Alu64Imm(ebpf.AluLSH, reg, sh),
+			ebpf.Alu64Imm(ebpf.AluRSH, reg, sh),
+		)
+	case v.immForm:
+		b.Emit(ebpf.Alu64Imm(ebpf.AluAND, reg, int32(v.mask)))
+	default:
+		tmp := v.scratch(2)
+		b.Emit(ebpf.Mov64Imm(tmp, int32(v.mask)), ebpf.Alu64Reg(ebpf.AluAND, reg, tmp))
+	}
+}
+
+func buildFamily(f Family, v *variant) *ebpf.Program {
+	switch f {
+	case SplitAccess:
+		return buildSplitAccess(v, false)
+	case SubregSpill:
+		return buildSplitAccess(v, true)
+	case HelperSize:
+		return buildHelperSize(v)
+	case UnreachablePath:
+		return buildUnreachable(v)
+	case RegAlias:
+		return buildRegAlias(v)
+	case ShiftCompare:
+		return buildShiftCompare(v)
+	case Loop:
+		return buildLoop(v)
+	case Uninstrumented:
+		return buildUninstrumented(v)
+	}
+	panic("corpus: unknown family")
+}
+
+// buildSplitAccess generates the Figure 2 pattern: two contiguous
+// accesses whose sizes are relationally split; total is exactly mask.
+// With subregSpill, the second half round-trips through a 4-byte stack
+// slot, severing symbolic tracking (§5 limitation → F5).
+func buildSplitAccess(v *variant, subregSpill bool) *ebpf.Program {
+	b := ebpf.NewBuilder()
+	v.emitLookup(b)
+	rA := v.scratch(0)
+	rB := v.scratch(1)
+	b.Emit(ebpf.LoadMem(rA, ebpf.R0, 0, 8))
+	v.maskReg(b, rA)
+	v.emitNoise(b)
+	// rB = mask - rA
+	b.Emit(ebpf.Mov64Imm(rB, int32(v.mask)), ebpf.Alu64Reg(ebpf.AluSUB, rB, rA))
+	if subregSpill {
+		// Spill the remainder through a sub-register slot: the value is
+		// preserved concretely (it fits in 32 bits) but the verifier and
+		// BCF's symbolic tracking both lose it.
+		b.Emit(
+			ebpf.StoreMem(ebpf.R10, -8, rB, 4),
+			ebpf.LoadMem(rB, ebpf.R10, -8, 4),
+		)
+	} else if v.rng.Intn(3) == 0 {
+		// Register-sized spills keep the chain intact.
+		b.Emit(
+			ebpf.StoreMem(ebpf.R10, -8, rB, 8),
+			ebpf.LoadMem(rB, ebpf.R10, -8, 8),
+		)
+	}
+	// Pointer advance in variant-selected order.
+	b.Emit(ebpf.Mov64Reg(ebpf.R1, ebpf.R0))
+	if v.rng.Intn(2) == 0 {
+		b.Emit(ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rA), ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rB))
+	} else {
+		b.Emit(ebpf.Alu64Reg(ebpf.AluADD, rA, rB), ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rA))
+	}
+	b.Emit(ebpf.LoadMem(ebpf.R0, ebpf.R1, 0, v.accessSz))
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	emitMiss(b)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram(), Maps: []*ebpf.MapSpec{v.theMap()}}
+}
+
+// buildHelperSize generates the Listing 7 pattern: a bounds check
+// guarantees free space, then the remaining size feeds probe_read.
+func buildHelperSize(v *variant) *ebpf.Program {
+	buf := int32([]int{16, 32, 64}[v.rng.Intn(3)])
+	d := int32(1 + v.rng.Intn(4)) // header bytes consumed
+	// pos must stay below buf (safety) while still being able to exceed
+	// buf-d-1 (so the check branch is live and the baseline's interval
+	// subtraction underflows): mask = buf-1 satisfies both.
+	v.mask = uint32(buf - 1)
+	b := ebpf.NewBuilder()
+	v.emitLookup(b)
+	rPos := v.scratch(0)
+	rFree := v.scratch(1)
+	rSize := v.scratch(2)
+	b.Emit(ebpf.LoadMem(rPos, ebpf.R0, 0, 8))
+	v.maskReg(b, rPos)
+	v.emitNoise(b)
+	// rFree = buf - pos; need at least d+1 free bytes.
+	b.Emit(ebpf.Mov64Imm(rFree, buf), ebpf.Alu64Reg(ebpf.AluSUB, rFree, rPos))
+	b.EmitJmp(ebpf.JmpImm(ebpf.JmpJLT, rFree, d+1, 0), "miss")
+	// read_size = buf - (pos + d) ∈ [1, buf-d]
+	b.Emit(
+		ebpf.Mov64Reg(rSize, rPos),
+		ebpf.Alu64Imm(ebpf.AluADD, rSize, d),
+		ebpf.Mov64Imm(ebpf.R2, buf),
+		ebpf.Alu64Reg(ebpf.AluSUB, ebpf.R2, rSize),
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluADD, ebpf.R1, -buf),
+		ebpf.Mov64Imm(ebpf.R3, 0),
+		ebpf.Call(ebpf.FnProbeRead),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	)
+	emitMiss(b)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram(), Maps: []*ebpf.MapSpec{v.theMap()}}
+}
+
+// buildUnreachable generates the Listing 8 pattern: a sign-shifted and
+// masked value confines a register to {0, C1}, making the C2 branch
+// infeasible; the rejection happens along the unreachable path.
+func buildUnreachable(v *variant) *ebpf.Program {
+	// c1 ≡ 2 (mod 4): bit 1 set, bit 0 clear, so that c2 = c1-2 clears a
+	// set bit and the tristate domain cannot exclude c2 (the baseline
+	// must walk the infeasible path, as in the paper's Listing 8).
+	c1 := -int32(134 + 4*v.rng.Intn(15))
+	c2 := c1 - 2
+	bigOff := int32(v.valueSize) + 50 + int32(v.rng.Intn(100))
+	b := ebpf.NewBuilder()
+	v.emitLookup(b)
+	rA := v.scratch(0)
+	b.Emit(
+		ebpf.LoadMem(rA, ebpf.R0, 0, 4),
+		ebpf.Mov32Reg(ebpf.R1, rA),
+		ebpf.Alu32Imm(ebpf.AluARSH, ebpf.R1, 31),
+		ebpf.Alu32Imm(ebpf.AluAND, ebpf.R1, c1),
+	)
+	v.emitNoise(b)
+	b.EmitJmp(ebpf.Jmp32Imm(ebpf.JmpJSGT, ebpf.R1, -1, 0), "safe")
+	b.EmitJmp(ebpf.Jmp32Imm(ebpf.JmpJNE, ebpf.R1, c2, 0), "safe")
+	// Unreachable: a blatantly out-of-bounds access.
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R0),
+		ebpf.Mov64Imm(ebpf.R2, bigOff),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, ebpf.R2),
+		ebpf.LoadMem(ebpf.R0, ebpf.R1, 0, 1),
+		ebpf.Exit(),
+	)
+	b.Label("safe")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	emitMiss(b)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram(), Maps: []*ebpf.MapSpec{v.theMap()}}
+}
+
+// buildRegAlias generates the Listing 9 pattern: two 32-bit copies of the
+// same source, only one of which is bounds-checked.
+func buildRegAlias(v *variant) *ebpf.Program {
+	// The checked bound may be tighter than strictly necessary, as real
+	// guard code usually is.
+	bound := int32(v.valueSize) - int32(v.accessSz) - int32(v.rng.Intn(3))
+	if bound < 0 {
+		bound = 0
+	}
+	b := ebpf.NewBuilder()
+	v.emitLookup(b)
+	rX := v.scratch(0)
+	b.Emit(
+		ebpf.LoadMem(rX, ebpf.R0, 0, 8),
+		ebpf.Mov32Reg(ebpf.R2, rX), // checked alias
+		ebpf.Mov32Reg(ebpf.R5, rX), // used alias (unlinked, 32-bit mov)
+	)
+	v.emitNoise(b)
+	b.EmitJmp(ebpf.Jmp32Imm(ebpf.JmpJGT, ebpf.R2, bound, 0), "miss")
+	b.Emit(
+		ebpf.Mov32Reg(ebpf.R5, ebpf.R5), // zero-extend before pointer math
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R0),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, ebpf.R5),
+		ebpf.LoadMem(ebpf.R0, ebpf.R1, 0, v.accessSz),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	)
+	emitMiss(b)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram(), Maps: []*ebpf.MapSpec{v.theMap()}}
+}
+
+// buildShiftCompare generates a Listing 2-style pattern: the bound is
+// established on a shifted copy, so only relational reasoning recovers
+// the original register's range.
+func buildShiftCompare(v *variant) *ebpf.Program {
+	sh := int32(1 + v.rng.Intn(3))
+	bound := int32(v.valueSize) - int32(v.accessSz) - int32(v.rng.Intn(2))
+	if bound < 0 {
+		bound = 0
+	}
+	b := ebpf.NewBuilder()
+	v.emitLookup(b)
+	rX := v.scratch(0)
+	rY := v.scratch(1)
+	b.Emit(
+		ebpf.LoadMem(rX, ebpf.R0, 0, 8),
+		ebpf.Alu64Imm(ebpf.AluAND, rX, 0xff),
+		ebpf.Mov32Reg(rY, rX), // unlinked copy
+		ebpf.Alu64Imm(ebpf.AluLSH, rY, sh),
+	)
+	v.emitNoise(b)
+	b.EmitJmp(ebpf.JmpImm(ebpf.JmpJGT, rY, bound<<sh, 0), "miss")
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R0),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rX),
+		ebpf.LoadMem(ebpf.R0, ebpf.R1, 0, v.accessSz),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	)
+	emitMiss(b)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram(), Maps: []*ebpf.MapSpec{v.theMap()}}
+}
+
+// buildLoop generates the §6.2 loop bucket: per-iteration state changes
+// defeat pruning and each iteration re-triggers refinement, so BCF walks
+// the loop until the instruction budget runs out. (Without BCF the first
+// iteration's imprecision rejects immediately.)
+func buildLoop(v *variant) *ebpf.Program {
+	b := ebpf.NewBuilder()
+	// The lookup happens inside the loop body (as in per-packet or
+	// per-event processing loops), so every refinement's dependency chain
+	// is iteration-local, matching the paper's track-length locality.
+	rCtr, rA, rB := ebpf.R8, ebpf.R9, ebpf.R7
+	b.Emit(ebpf.Mov64Imm(rCtr, int32(v.rng.Intn(64))))
+	b.Label("loop")
+	b.Emit(ebpf.Alu64Imm(ebpf.AluADD, rCtr, int32(1+v.rng.Intn(7))))
+	if v.rng.Intn(2) == 0 {
+		b.Emit(ebpf.Mov64Imm(ebpf.R4, int32(v.rng.Intn(128)))) // dead scheduling noise
+	}
+	v.emitLookup(b)
+	// Relational split access inside the loop (re-refined every trip).
+	b.Emit(ebpf.LoadMem(rA, ebpf.R0, 0, 8))
+	b.Emit(ebpf.Alu64Imm(ebpf.AluAND, rA, int32(v.mask)))
+	b.Emit(
+		ebpf.Mov64Imm(rB, int32(v.mask)),
+		ebpf.Alu64Reg(ebpf.AluSUB, rB, rA),
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R0),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rA),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rB),
+		ebpf.LoadMem(ebpf.R2, ebpf.R1, 0, v.accessSz),
+	)
+	// Loop continuation depends on fresh randomness: almost surely
+	// terminates concretely, never statically.
+	b.Emit(ebpf.Call(ebpf.FnGetPrandomU32))
+	b.EmitJmp(ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 0), "loop")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	emitMiss(b)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram(), Maps: []*ebpf.MapSpec{v.theMap()}}
+}
+
+// buildUninstrumented generates the 0.8% bucket: a variable-offset
+// context access, a rejection site BCF does not hook.
+func buildUninstrumented(v *variant) *ebpf.Program {
+	b := ebpf.NewBuilder()
+	rA := v.scratch(0)
+	mask := []int32{1, 3, 7}[v.rng.Intn(3)]
+	off := int16(4 * v.rng.Intn(3))
+	b.Emit(
+		ebpf.LoadMem(rA, ebpf.R1, off, 4),
+		ebpf.Alu64Imm(ebpf.AluAND, rA, mask),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, rA),
+		ebpf.LoadMem(ebpf.R0, ebpf.R1, 8, 4),
+		ebpf.Exit(),
+	)
+	return &ebpf.Program{Type: ebpf.ProgTracepoint, Insns: b.MustProgram()}
+}

@@ -1,0 +1,161 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/loader"
+	"bcf/internal/verifier"
+)
+
+// InsnLimitForEval mirrors the paper's one-million budget scaled down so
+// the loop family converges in laptop-scale test time; see EXPERIMENTS.md.
+const InsnLimitForEval = 4000
+
+func evalOptions(bcfOn bool) loader.Options {
+	return loader.Options{
+		EnableBCF: bcfOn,
+		Verifier:  verifier.Config{InsnLimit: InsnLimitForEval},
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	entries := Generate()
+	if len(entries) != Size {
+		t.Fatalf("dataset size %d, want %d", len(entries), Size)
+	}
+	counts := map[Outcome]int{}
+	for i, e := range entries {
+		if e.Index != i {
+			t.Fatalf("entry %d has index %d", i, e.Index)
+		}
+		if err := e.Prog.Validate(); err != nil {
+			t.Fatalf("entry %d (%s) invalid: %v", i, e.Prog.Name, err)
+		}
+		counts[e.Expect]++
+	}
+	if counts[ExpectAccept] != 403 {
+		t.Errorf("accept bucket = %d, want 403", counts[ExpectAccept])
+	}
+	if counts[ExpectRejectWeakCond] != 82 {
+		t.Errorf("weak-condition bucket = %d, want 82", counts[ExpectRejectWeakCond])
+	}
+	if counts[ExpectRejectInsnLimit] != 23 {
+		t.Errorf("insn-limit bucket = %d, want 23", counts[ExpectRejectInsnLimit])
+	}
+	if counts[ExpectRejectUntriggered] != 4 {
+		t.Errorf("untriggered bucket = %d, want 4", counts[ExpectRejectUntriggered])
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a, b := Generate(), Generate()
+	for i := range a {
+		ba := ebpf.EncodeProgram(a[i].Prog.Insns)
+		bb := ebpf.EncodeProgram(b[i].Prog.Insns)
+		if string(ba) != string(bb) {
+			t.Fatalf("entry %d not deterministic", i)
+		}
+	}
+}
+
+func TestDatasetDistinct(t *testing.T) {
+	seen := map[string]int{}
+	for i, e := range Generate() {
+		key := string(ebpf.EncodeProgram(e.Prog.Insns))
+		if len(e.Prog.Maps) > 0 {
+			key += fmt.Sprintf("/v%d", e.Prog.Maps[0].ValueSize)
+		}
+		if j, dup := seen[key]; dup {
+			t.Fatalf("entries %d and %d have identical bytecode", j, i)
+		}
+		seen[key] = i
+	}
+}
+
+func TestBaselineRejectsAll(t *testing.T) {
+	for _, e := range Generate() {
+		res := loader.Load(e.Prog, evalOptions(false))
+		if res.Accepted {
+			t.Errorf("baseline accepted %s (%s): dataset programs must all be false rejections",
+				e.Prog.Name, e.Variant)
+		}
+	}
+}
+
+// verifyEntry checks one entry's BCF outcome against its expectation.
+func verifyEntry(t *testing.T, e Entry) {
+	t.Helper()
+	res := loader.Load(e.Prog, evalOptions(true))
+	switch e.Expect {
+	case ExpectAccept:
+		if !res.Accepted {
+			t.Errorf("%s (%s): expected accept, got %v", e.Prog.Name, e.Variant, res.Err)
+			return
+		}
+	case ExpectRejectWeakCond:
+		if res.Accepted {
+			t.Errorf("%s: expected weak-condition rejection, got accept", e.Prog.Name)
+			return
+		}
+		if res.Counterexample == nil {
+			t.Errorf("%s: weak-condition rejection should carry a counterexample (err: %v)",
+				e.Prog.Name, res.Err)
+		}
+	case ExpectRejectInsnLimit:
+		if res.Accepted {
+			t.Errorf("%s: expected insn-limit rejection, got accept", e.Prog.Name)
+			return
+		}
+		if !strings.Contains(res.Err.Error(), "too large") {
+			t.Errorf("%s: expected insn-limit rejection, got: %v", e.Prog.Name, res.Err)
+		}
+	case ExpectRejectUntriggered:
+		if res.Accepted {
+			t.Errorf("%s: expected untriggered rejection, got accept", e.Prog.Name)
+			return
+		}
+		if res.RefineStats != nil && len(res.RefineStats.Requests) != 0 {
+			t.Errorf("%s: refinement should not trigger at this site", e.Prog.Name)
+		}
+	}
+	// Accepted programs must be concretely safe.
+	if res.Accepted {
+		for seed := int64(0); seed < 3; seed++ {
+			in := ebpf.NewInterp(e.Prog, seed)
+			if _, fault := in.Run(make([]byte, e.Prog.Type.CtxSize())); fault != nil {
+				t.Errorf("%s: accepted program faulted: %v", e.Prog.Name, fault)
+			}
+		}
+	}
+}
+
+func TestBCFOutcomesSample(t *testing.T) {
+	entries := Generate()
+	for i := 0; i < len(entries); i += 9 {
+		verifyEntry(t, entries[i])
+	}
+}
+
+func TestBCFOutcomesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 512-program evaluation skipped in -short mode")
+	}
+	accepted := 0
+	for _, e := range Generate() {
+		res := loader.Load(e.Prog, evalOptions(true))
+		if res.Accepted {
+			accepted++
+		}
+		want := e.Expect == ExpectAccept
+		if res.Accepted != want {
+			t.Errorf("%s (%s): accepted=%v want %v (err: %v)",
+				e.Prog.Name, e.Variant, res.Accepted, want, res.Err)
+		}
+	}
+	if accepted != 403 {
+		t.Errorf("accepted %d/512, want 403 (78.7%%)", accepted)
+	}
+}

@@ -1,0 +1,447 @@
+package ebpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly dialect used throughout this
+// repository (the same syntax the kernel verifier log and our disassembler
+// print) into a canonical instruction stream.
+//
+// Supported forms:
+//
+//	rX = imm            rX = rY           wX = imm        wX = wY
+//	rX += rY            rX &= 0xf         wX s>>= 3       ...
+//	rX = -rX
+//	rX = imm ll         rX = map[N]
+//	rX = *(u8 *)(rY +off)
+//	*(u32 *)(rX +off) = rY
+//	*(u16 *)(rX +off) = imm
+//	lock *(u64 *)(rX +off) += rY
+//	if rX op rY goto L  if wX op imm goto +N
+//	goto L              call N            exit
+//	label:
+//
+// Comments start with ';', '#' or '//'. Jump targets may be labels or
+// relative offsets like +3 / -2.
+func Assemble(src string) ([]Instruction, error) {
+	b := NewBuilder()
+	lineNo := 0
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNo++
+		line := stripComment(rawLine)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			b.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		if err := assembleLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm line %d: %q: %w", lineNo, line, err)
+		}
+	}
+	return b.Program()
+}
+
+// MustAssemble is Assemble but panics on error; for tests and examples.
+func MustAssemble(src string) []Instruction {
+	insns, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return insns
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func assembleLine(b *Builder, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "exit":
+		b.Emit(Exit())
+		return nil
+	case "call":
+		if len(fields) != 2 {
+			return fmt.Errorf("call needs one operand")
+		}
+		n, err := parseImm(fields[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(Call(HelperID(n)))
+		return nil
+	case "goto":
+		if len(fields) != 2 {
+			return fmt.Errorf("goto needs a target")
+		}
+		return emitJump(b, Ja(0), fields[1])
+	case "if":
+		return assembleCondJump(b, fields)
+	}
+	if fields[0] == "lock" {
+		return assembleAtomic(b, line)
+	}
+	if strings.HasPrefix(fields[0], "*(") {
+		return assembleStore(b, line)
+	}
+	return assembleAlu(b, line, fields)
+}
+
+// emitJump resolves a textual jump target: "+N"/"-N" is a raw offset,
+// anything else a label.
+func emitJump(b *Builder, ins Instruction, target string) error {
+	if strings.HasPrefix(target, "+") || strings.HasPrefix(target, "-") {
+		off, err := strconv.ParseInt(target, 10, 16)
+		if err != nil {
+			return fmt.Errorf("bad jump offset %q", target)
+		}
+		ins.Off = int16(off)
+		b.Emit(ins)
+		return nil
+	}
+	b.EmitJmp(ins, target)
+	return nil
+}
+
+// parseReg parses rN or wN, returning the register and whether it is the
+// 32-bit (w) form.
+func parseReg(s string) (Reg, bool, error) {
+	if len(s) < 2 {
+		return 0, false, fmt.Errorf("bad register %q", s)
+	}
+	is32 := false
+	switch s[0] {
+	case 'r':
+	case 'w':
+		is32 = true
+	default:
+		return 0, false, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= MaxReg {
+		return 0, false, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), is32, nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Try unsigned 64-bit hex like 0xffffffffffffffff.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+var jmpOps = map[string]uint8{
+	"==": JmpJEQ, "!=": JmpJNE, ">": JmpJGT, ">=": JmpJGE,
+	"<": JmpJLT, "<=": JmpJLE, "&": JmpJSET,
+	"s>": JmpJSGT, "s>=": JmpJSGE, "s<": JmpJSLT, "s<=": JmpJSLE,
+}
+
+func assembleCondJump(b *Builder, fields []string) error {
+	// if <lhs> <op> <rhs> goto <target>
+	if len(fields) != 6 || fields[4] != "goto" {
+		return fmt.Errorf("malformed conditional jump")
+	}
+	dst, is32, err := parseReg(fields[1])
+	if err != nil {
+		return err
+	}
+	op, ok := jmpOps[fields[2]]
+	if !ok {
+		return fmt.Errorf("unknown comparison %q", fields[2])
+	}
+	var ins Instruction
+	if src, srcIs32, rerr := parseReg(fields[3]); rerr == nil {
+		if srcIs32 != is32 {
+			return fmt.Errorf("mixed register widths in comparison")
+		}
+		if is32 {
+			ins = Jmp32Reg(op, dst, src, 0)
+		} else {
+			ins = JmpReg(op, dst, src, 0)
+		}
+	} else {
+		imm, ierr := parseImm(fields[3])
+		if ierr != nil {
+			return ierr
+		}
+		if is32 {
+			ins = Jmp32Imm(op, dst, int32(imm), 0)
+		} else {
+			ins = JmpImm(op, dst, int32(imm), 0)
+		}
+	}
+	return emitJump(b, ins, fields[5])
+}
+
+// parseMemRef parses "*(u8 *)(r1 +4)" style memory references, returning
+// size in bytes, base register and offset. The input must have been
+// whitespace-normalized so it looks like: *(u8 *)(r1 +4)
+func parseMemRef(s string) (int, Reg, int16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "*(") {
+		return 0, 0, 0, fmt.Errorf("bad memory reference %q", s)
+	}
+	close1 := strings.Index(s, ")")
+	if close1 < 0 {
+		return 0, 0, 0, fmt.Errorf("bad memory reference %q", s)
+	}
+	sizeTok := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(s[:close1], "*("), "*"))
+	var size int
+	switch sizeTok {
+	case "u8":
+		size = 1
+	case "u16":
+		size = 2
+	case "u32":
+		size = 4
+	case "u64":
+		size = 8
+	default:
+		return 0, 0, 0, fmt.Errorf("bad access size %q", sizeTok)
+	}
+	rest := strings.TrimSpace(s[close1+1:])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return 0, 0, 0, fmt.Errorf("bad memory operand %q", rest)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(rest, "("), ")")
+	parts := strings.Fields(inner)
+	if len(parts) == 1 {
+		// allow "r1+4" without space
+		for i := 1; i < len(parts[0]); i++ {
+			if parts[0][i] == '+' || parts[0][i] == '-' {
+				parts = []string{parts[0][:i], parts[0][i:]}
+				break
+			}
+		}
+	}
+	if len(parts) != 2 {
+		return 0, 0, 0, fmt.Errorf("bad memory operand %q", inner)
+	}
+	reg, is32, err := parseReg(parts[0])
+	if err != nil || is32 {
+		return 0, 0, 0, fmt.Errorf("bad base register %q", parts[0])
+	}
+	off, err := strconv.ParseInt(parts[1], 0, 16)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad offset %q", parts[1])
+	}
+	return size, reg, int16(off), nil
+}
+
+func assembleStore(b *Builder, line string) error {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("malformed store")
+	}
+	size, base, off, err := parseMemRef(line[:eq])
+	if err != nil {
+		return err
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	if src, is32, rerr := parseReg(rhs); rerr == nil {
+		if is32 {
+			return fmt.Errorf("store source must be a 64-bit register name")
+		}
+		b.Emit(StoreMem(base, off, src, size))
+		return nil
+	}
+	imm, err := parseImm(rhs)
+	if err != nil {
+		return err
+	}
+	b.Emit(StoreImm(base, off, int32(imm), size))
+	return nil
+}
+
+// assembleAtomic parses "lock *(u64 *)(rX +off) += rY".
+func assembleAtomic(b *Builder, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "lock"))
+	plusEq := strings.Index(rest, "+=")
+	if plusEq < 0 {
+		return fmt.Errorf("atomic form is: lock *(u64 *)(rX +off) += rY")
+	}
+	size, base, off, err := parseMemRef(rest[:plusEq])
+	if err != nil {
+		return err
+	}
+	if size != 4 && size != 8 {
+		return fmt.Errorf("atomic add requires u32 or u64 access")
+	}
+	src, is32, err := parseReg(strings.TrimSpace(rest[plusEq+2:]))
+	if err != nil || is32 {
+		return fmt.Errorf("atomic source must be a 64-bit register name")
+	}
+	b.Emit(AtomicAdd(base, off, src, size))
+	return nil
+}
+
+var aluOpsBySym = map[string]uint8{
+	"+": AluADD, "-": AluSUB, "*": AluMUL, "/": AluDIV, "%": AluMOD,
+	"|": AluOR, "&": AluAND, "^": AluXOR, "<<": AluLSH, ">>": AluRSH,
+	"s>>": AluARSH,
+}
+
+func assembleAlu(b *Builder, line string, fields []string) error {
+	dst, is32, err := parseReg(fields[0])
+	if err != nil {
+		return err
+	}
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed instruction")
+	}
+	opTok := fields[1]
+	if opTok == "=" {
+		rhs := strings.TrimSpace(line[strings.Index(line, "=")+1:])
+		return assembleMovLike(b, dst, is32, rhs)
+	}
+	if !strings.HasSuffix(opTok, "=") {
+		return fmt.Errorf("unknown operator %q", opTok)
+	}
+	op, ok := aluOpsBySym[strings.TrimSuffix(opTok, "=")]
+	if !ok {
+		return fmt.Errorf("unknown ALU operator %q", opTok)
+	}
+	operand := fields[2]
+	if src, srcIs32, rerr := parseReg(operand); rerr == nil {
+		if srcIs32 != is32 {
+			return fmt.Errorf("mixed register widths")
+		}
+		if is32 {
+			b.Emit(Alu32Reg(op, dst, src))
+		} else {
+			b.Emit(Alu64Reg(op, dst, src))
+		}
+		return nil
+	}
+	imm, ierr := parseImm(operand)
+	if ierr != nil {
+		return ierr
+	}
+	if is32 {
+		b.Emit(Alu32Imm(op, dst, int32(imm)))
+	} else {
+		b.Emit(Alu64Imm(op, dst, int32(imm)))
+	}
+	return nil
+}
+
+func assembleMovLike(b *Builder, dst Reg, is32 bool, rhs string) error {
+	fields := strings.Fields(rhs)
+	// rX = -rX
+	if strings.HasPrefix(rhs, "-r") || strings.HasPrefix(rhs, "-w") {
+		src, srcIs32, err := parseReg(rhs[1:])
+		if err != nil {
+			return err
+		}
+		if src != dst || srcIs32 != is32 {
+			return fmt.Errorf("neg must have the form rX = -rX")
+		}
+		if is32 {
+			b.Emit(Instruction{Op: ClassALU | AluNEG, Dst: dst})
+		} else {
+			b.Emit(Neg64(dst))
+		}
+		return nil
+	}
+	// rX = map[N]
+	if strings.HasPrefix(rhs, "map[") && strings.HasSuffix(rhs, "]") {
+		if is32 {
+			return fmt.Errorf("map load needs a 64-bit register")
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(rhs, "map["), "]"))
+		if err != nil {
+			return err
+		}
+		b.Emit(LoadMapPtr(dst, n))
+		return nil
+	}
+	// rX = *(u8 *)(rY +off)
+	if strings.HasPrefix(rhs, "*(") {
+		if is32 {
+			return fmt.Errorf("memory load needs a 64-bit register name")
+		}
+		size, base, off, err := parseMemRef(rhs)
+		if err != nil {
+			return err
+		}
+		b.Emit(LoadMem(dst, base, off, size))
+		return nil
+	}
+	// rX = N ll  (64-bit immediate)
+	if len(fields) == 2 && fields[1] == "ll" {
+		if is32 {
+			return fmt.Errorf("lddw needs a 64-bit register")
+		}
+		imm, err := parseImm(fields[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(LoadImm64(dst, imm))
+		return nil
+	}
+	// rX = be16 rX / le32 rX  (byteswap)
+	if len(fields) == 2 && (strings.HasPrefix(fields[0], "be") || strings.HasPrefix(fields[0], "le")) {
+		width, err := strconv.Atoi(fields[0][2:])
+		if err != nil || (width != 16 && width != 32 && width != 64) {
+			return fmt.Errorf("bad byteswap %q", fields[0])
+		}
+		src, srcIs32, rerr := parseReg(fields[1])
+		if rerr != nil || src != dst || srcIs32 != is32 {
+			return fmt.Errorf("byteswap must have the form rX = beN rX")
+		}
+		srcBit := uint8(SrcK)
+		if strings.HasPrefix(fields[0], "be") {
+			srcBit = SrcX
+		}
+		b.Emit(Instruction{Op: ClassALU | AluEND | srcBit, Dst: dst, Imm: int64(width)})
+		return nil
+	}
+	// rX = rY / wX = wY
+	if src, srcIs32, rerr := parseReg(rhs); rerr == nil {
+		if srcIs32 != is32 {
+			return fmt.Errorf("mixed register widths in mov")
+		}
+		if is32 {
+			b.Emit(Mov32Reg(dst, src))
+		} else {
+			b.Emit(Mov64Reg(dst, src))
+		}
+		return nil
+	}
+	// rX = imm
+	imm, err := parseImm(rhs)
+	if err != nil {
+		return err
+	}
+	if imm < -1<<31 || imm > 1<<31-1 {
+		if is32 {
+			return fmt.Errorf("immediate %d out of 32-bit range", imm)
+		}
+		b.Emit(LoadImm64(dst, imm))
+		return nil
+	}
+	if is32 {
+		b.Emit(Mov32Imm(dst, int32(imm)))
+	} else {
+		b.Emit(Mov64Imm(dst, int32(imm)))
+	}
+	return nil
+}

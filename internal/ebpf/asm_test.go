@@ -1,0 +1,162 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	src := `
+		; figure 2 program from the paper
+		r1 = map[0]
+		r2 &= 0xf
+		r1 += r2
+		r3 = 0xf
+		r3 -= r2
+		r1 += r3
+		r0 = *(u8 *)(r1 +0)
+		exit
+	`
+	insns, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lddw + placeholder + 6 more
+	if len(insns) != 9 {
+		t.Fatalf("got %d insns: %v", len(insns), insns)
+	}
+	if !insns[0].IsLoadFromMap() {
+		t.Errorf("insn 0 should be a map load: %v", insns[0])
+	}
+	if insns[2].AluOp() != AluAND || insns[2].Imm != 0xf {
+		t.Errorf("insn 2: %v", insns[2])
+	}
+}
+
+func TestAssembleJumpsAndLabels(t *testing.T) {
+	src := `
+		r0 = 0
+		if r1 > 15 goto out
+		if w2 s< -1 goto +1
+		r0 = 1
+	out:
+		exit
+	`
+	insns, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insns[1].Off != 2 {
+		t.Errorf("label jump offset = %d want 2", insns[1].Off)
+	}
+	if insns[2].Class() != ClassJMP32 || insns[2].JmpOp() != JmpJSLT {
+		t.Errorf("insn 2: %v", insns[2])
+	}
+}
+
+func TestAssembleMemOps(t *testing.T) {
+	src := `
+		*(u64 *)(r10 -8) = r1
+		*(u32 *)(r10 -16) = 77
+		r4 = *(u16 *)(r1 +12)
+		exit
+	`
+	insns, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insns[0].Class() != ClassSTX || insns[0].Off != -8 || insns[0].LoadSize() != 8 {
+		t.Errorf("insn 0: %v", insns[0])
+	}
+	if insns[1].Class() != ClassST || insns[1].Imm != 77 || insns[1].LoadSize() != 4 {
+		t.Errorf("insn 1: %v", insns[1])
+	}
+	if insns[2].Class() != ClassLDX || insns[2].Off != 12 || insns[2].LoadSize() != 2 {
+		t.Errorf("insn 2: %v", insns[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"r11 = 0\nexit",
+		"r1 ?= 2\nexit",
+		"if r1 >> 3 goto +1\nexit",
+		"goto nowhere\nexit",
+		"r1 = *(u3 *)(r2 +0)\nexit",
+		"call\nexit",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+// TestAsmRoundTrip: disassembling an assembled program and re-assembling it
+// yields the same instructions.
+func TestAsmRoundTrip(t *testing.T) {
+	src := `
+		r6 = r1
+		w7 = 0
+		r2 = 4096 ll
+		r3 = -1
+		w3 s>>= 31
+		w3 &= -134
+		if w3 s> -1 goto +2
+		if w3 != -136 goto +1
+		r0 = -r0
+		r8 = *(u32 *)(r6 +4)
+		*(u64 *)(r10 -8) = r8
+		r0 = 0
+		exit
+	`
+	insns, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, ins := range insns {
+		if ins.IsPlaceholder() {
+			continue
+		}
+		lines = append(lines, ins.String())
+	}
+	again, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("reassemble: %v\nsource:\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(again) != len(insns) {
+		t.Fatalf("length changed: %d -> %d", len(insns), len(again))
+	}
+	for i := range insns {
+		if insns[i] != again[i] {
+			t.Errorf("insn %d changed: %v -> %v", i, insns[i], again[i])
+		}
+	}
+}
+
+func TestAssembleAtomic(t *testing.T) {
+	insns, err := Assemble(`
+		r2 = 1
+		lock *(u64 *)(r10 -8) += r2
+		lock *(u32 *)(r10 -16) += r3
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := insns[1]
+	if a.Class() != ClassSTX || a.Mode() != ModeATOMIC || a.LoadSize() != 8 ||
+		a.Dst != R10 || a.Src != R2 || a.Off != -8 || a.Imm != AtomicADD {
+		t.Fatalf("atomic insn: %+v", a)
+	}
+	// String round-trips.
+	again, err := Assemble(a.String())
+	if err != nil || again[0] != a {
+		t.Fatalf("atomic String roundtrip: %q -> %v (%v)", a.String(), again, err)
+	}
+	// Invalid widths rejected.
+	if _, err := Assemble("lock *(u8 *)(r10 -8) += r2\nexit"); err == nil {
+		t.Fatal("u8 atomic accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package ebpf
+
+import "fmt"
+
+// The functions in this file form a programmatic assembler: each returns a
+// single Instruction. They are used by the corpus generator, the examples
+// and the tests to construct programs without going through text.
+
+func aluOp(op uint8, class uint8, dst Reg, src Reg, imm int64, useReg bool) Instruction {
+	srcBit := uint8(SrcK)
+	if useReg {
+		srcBit = SrcX
+	}
+	return Instruction{Op: class | srcBit | op, Dst: dst, Src: src, Imm: imm}
+}
+
+// Mov64Reg emits dst = src.
+func Mov64Reg(dst, src Reg) Instruction { return aluOp(AluMOV, ClassALU64, dst, src, 0, true) }
+
+// Mov64Imm emits dst = imm.
+func Mov64Imm(dst Reg, imm int32) Instruction {
+	return aluOp(AluMOV, ClassALU64, dst, 0, int64(imm), false)
+}
+
+// Mov32Reg emits wdst = wsrc (zero-extending into the upper half).
+func Mov32Reg(dst, src Reg) Instruction { return aluOp(AluMOV, ClassALU, dst, src, 0, true) }
+
+// Mov32Imm emits wdst = imm.
+func Mov32Imm(dst Reg, imm int32) Instruction {
+	return aluOp(AluMOV, ClassALU, dst, 0, int64(imm), false)
+}
+
+// Alu64Reg emits dst op= src for the given AluXXX operation code.
+func Alu64Reg(op uint8, dst, src Reg) Instruction { return aluOp(op, ClassALU64, dst, src, 0, true) }
+
+// Alu64Imm emits dst op= imm.
+func Alu64Imm(op uint8, dst Reg, imm int32) Instruction {
+	return aluOp(op, ClassALU64, dst, 0, int64(imm), false)
+}
+
+// Alu32Reg emits wdst op= wsrc.
+func Alu32Reg(op uint8, dst, src Reg) Instruction { return aluOp(op, ClassALU, dst, src, 0, true) }
+
+// Alu32Imm emits wdst op= imm.
+func Alu32Imm(op uint8, dst Reg, imm int32) Instruction {
+	return aluOp(op, ClassALU, dst, 0, int64(imm), false)
+}
+
+// Neg64 emits dst = -dst.
+func Neg64(dst Reg) Instruction { return Instruction{Op: ClassALU64 | AluNEG, Dst: dst} }
+
+// JmpImm emits "if dst op imm goto +off" for the given JmpXXX code.
+func JmpImm(op uint8, dst Reg, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP | SrcK | op, Dst: dst, Off: off, Imm: int64(imm)}
+}
+
+// JmpReg emits "if dst op src goto +off".
+func JmpReg(op uint8, dst, src Reg, off int16) Instruction {
+	return Instruction{Op: ClassJMP | SrcX | op, Dst: dst, Src: src, Off: off}
+}
+
+// Jmp32Imm emits the 32-bit conditional jump "if wdst op imm goto +off".
+func Jmp32Imm(op uint8, dst Reg, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP32 | SrcK | op, Dst: dst, Off: off, Imm: int64(imm)}
+}
+
+// Jmp32Reg emits "if wdst op wsrc goto +off".
+func Jmp32Reg(op uint8, dst, src Reg, off int16) Instruction {
+	return Instruction{Op: ClassJMP32 | SrcX | op, Dst: dst, Src: src, Off: off}
+}
+
+// Ja emits an unconditional jump.
+func Ja(off int16) Instruction { return Instruction{Op: ClassJMP | JmpJA, Off: off} }
+
+// Call emits a helper call.
+func Call(fn HelperID) Instruction {
+	return Instruction{Op: ClassJMP | JmpCALL, Imm: int64(fn)}
+}
+
+// Exit emits the program exit instruction.
+func Exit() Instruction { return Instruction{Op: ClassJMP | JmpEXIT} }
+
+// LoadImm64 emits the two-slot dst = imm ll form.
+func LoadImm64(dst Reg, imm int64) Instruction {
+	return Instruction{Op: ClassLD | ModeIMM | SizeDW, Dst: dst, Imm: imm}
+}
+
+// LoadMapPtr emits dst = map[mapIndex] (pseudo map-fd lddw).
+func LoadMapPtr(dst Reg, mapIndex int) Instruction {
+	return Instruction{Op: ClassLD | ModeIMM | SizeDW, Dst: dst, Src: PseudoMapFD, Imm: int64(mapIndex)}
+}
+
+// LoadMem emits dst = *(size *)(src + off).
+func LoadMem(dst, src Reg, off int16, sizeBytes int) Instruction {
+	return Instruction{Op: ClassLDX | ModeMEM | sizeCodeOf(sizeBytes), Dst: dst, Src: src, Off: off}
+}
+
+// StoreMem emits *(size *)(dst + off) = src.
+func StoreMem(dst Reg, off int16, src Reg, sizeBytes int) Instruction {
+	return Instruction{Op: ClassSTX | ModeMEM | sizeCodeOf(sizeBytes), Dst: dst, Src: src, Off: off}
+}
+
+// AtomicAdd emits lock *(size *)(dst + off) += src (4- or 8-byte).
+func AtomicAdd(dst Reg, off int16, src Reg, sizeBytes int) Instruction {
+	if sizeBytes != 4 && sizeBytes != 8 {
+		panic("ebpf: atomic add requires 4- or 8-byte access")
+	}
+	return Instruction{Op: ClassSTX | ModeATOMIC | sizeCodeOf(sizeBytes), Dst: dst, Src: src, Off: off, Imm: AtomicADD}
+}
+
+// StoreImm emits *(size *)(dst + off) = imm.
+func StoreImm(dst Reg, off int16, imm int32, sizeBytes int) Instruction {
+	return Instruction{Op: ClassST | ModeMEM | sizeCodeOf(sizeBytes), Dst: dst, Off: off, Imm: int64(imm)}
+}
+
+// Builder accumulates a canonical instruction stream (lddw is followed by
+// its placeholder slot automatically) with label-based jump patching.
+type Builder struct {
+	insns  []Instruction
+	labels map[string]int // label -> instruction index
+	fixups map[int]string // insn index -> target label
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+// Emit appends instructions, inserting lddw placeholders as needed.
+func (b *Builder) Emit(insns ...Instruction) *Builder {
+	for _, ins := range insns {
+		b.insns = append(b.insns, ins)
+		if ins.IsLoadImm64() {
+			b.insns = append(b.insns, Instruction{})
+		}
+	}
+	return b
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("ebpf: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insns)
+	return b
+}
+
+// EmitJmp appends a jump instruction whose offset will be patched to target
+// the given label.
+func (b *Builder) EmitJmp(ins Instruction, label string) *Builder {
+	b.fixups[len(b.insns)] = label
+	b.insns = append(b.insns, ins)
+	return b
+}
+
+// Len returns the current instruction count (in slots).
+func (b *Builder) Len() int { return len(b.insns) }
+
+// Program resolves labels and returns the finished instruction stream.
+func (b *Builder) Program() ([]Instruction, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	out := make([]Instruction, len(b.insns))
+	copy(out, b.insns)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: undefined label %q", label)
+		}
+		delta := target - (idx + 1)
+		if delta < -32768 || delta > 32767 {
+			return nil, fmt.Errorf("ebpf: jump to %q out of range (%d)", label, delta)
+		}
+		out[idx].Off = int16(delta)
+	}
+	return out, nil
+}
+
+// MustProgram is Program but panics on error; for tests and generators.
+func (b *Builder) MustProgram() []Instruction {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,132 @@
+package ebpf
+
+import "fmt"
+
+// HelperID identifies a kernel helper function callable from eBPF.
+// The numbering follows the kernel uapi where the helper exists there.
+type HelperID int32
+
+// Supported helpers.
+const (
+	FnMapLookupElem   HelperID = 1
+	FnMapUpdateElem   HelperID = 2
+	FnMapDeleteElem   HelperID = 3
+	FnProbeRead       HelperID = 4
+	FnKtimeGetNs      HelperID = 5
+	FnGetPrandomU32   HelperID = 7
+	FnGetSmpProcID    HelperID = 8
+	FnGetCurrentPid   HelperID = 14
+	FnProbeReadStr    HelperID = 45
+	FnRingbufOutput   HelperID = 130
+	FnProbeReadKernel HelperID = 113
+)
+
+// ArgType describes how the verifier must check one helper argument.
+type ArgType uint8
+
+// Argument kinds, mirroring the kernel's bpf_arg_type.
+const (
+	ArgDontCare ArgType = iota
+	ArgConstMapPtr
+	ArgPtrToMapKey
+	ArgPtrToMapValue
+	ArgPtrToMem       // readable memory, sized by the following ArgConstSize
+	ArgPtrToUninitMem // writable memory, sized by the following ArgConstSize
+	ArgConstSize      // scalar whose range bounds the preceding memory arg
+	ArgConstSizeOrZero
+	ArgAnything // any initialized value
+)
+
+// RetType describes the verifier-visible return value of a helper.
+type RetType uint8
+
+// Return kinds.
+const (
+	RetInteger RetType = iota
+	RetVoid
+	RetPtrToMapValueOrNull
+)
+
+// HelperSpec is the verifier-facing contract of a helper.
+type HelperSpec struct {
+	ID   HelperID
+	Name string
+	Args [5]ArgType
+	Ret  RetType
+}
+
+var helperSpecs = map[HelperID]*HelperSpec{
+	FnMapLookupElem: {
+		ID: FnMapLookupElem, Name: "map_lookup_elem",
+		Args: [5]ArgType{ArgConstMapPtr, ArgPtrToMapKey},
+		Ret:  RetPtrToMapValueOrNull,
+	},
+	FnMapUpdateElem: {
+		ID: FnMapUpdateElem, Name: "map_update_elem",
+		Args: [5]ArgType{ArgConstMapPtr, ArgPtrToMapKey, ArgPtrToMapValue, ArgAnything},
+		Ret:  RetInteger,
+	},
+	FnMapDeleteElem: {
+		ID: FnMapDeleteElem, Name: "map_delete_elem",
+		Args: [5]ArgType{ArgConstMapPtr, ArgPtrToMapKey},
+		Ret:  RetInteger,
+	},
+	FnProbeRead: {
+		ID: FnProbeRead, Name: "probe_read",
+		Args: [5]ArgType{ArgPtrToUninitMem, ArgConstSize, ArgAnything},
+		Ret:  RetInteger,
+	},
+	FnProbeReadStr: {
+		ID: FnProbeReadStr, Name: "probe_read_str",
+		Args: [5]ArgType{ArgPtrToUninitMem, ArgConstSizeOrZero, ArgAnything},
+		Ret:  RetInteger,
+	},
+	FnProbeReadKernel: {
+		ID: FnProbeReadKernel, Name: "probe_read_kernel",
+		Args: [5]ArgType{ArgPtrToUninitMem, ArgConstSize, ArgAnything},
+		Ret:  RetInteger,
+	},
+	FnKtimeGetNs: {
+		ID: FnKtimeGetNs, Name: "ktime_get_ns",
+		Ret: RetInteger,
+	},
+	FnGetPrandomU32: {
+		ID: FnGetPrandomU32, Name: "get_prandom_u32",
+		Ret: RetInteger,
+	},
+	FnGetSmpProcID: {
+		ID: FnGetSmpProcID, Name: "get_smp_processor_id",
+		Ret: RetInteger,
+	},
+	FnGetCurrentPid: {
+		ID: FnGetCurrentPid, Name: "get_current_pid_tgid",
+		Ret: RetInteger,
+	},
+	FnRingbufOutput: {
+		ID: FnRingbufOutput, Name: "ringbuf_output",
+		Args: [5]ArgType{ArgConstMapPtr, ArgPtrToMem, ArgConstSize, ArgAnything},
+		Ret:  RetInteger,
+	},
+}
+
+// LookupHelper returns the spec for a helper ID, or an error for unknown
+// helpers (which the verifier rejects).
+func LookupHelper(id HelperID) (*HelperSpec, error) {
+	spec, ok := helperSpecs[id]
+	if !ok {
+		return nil, fmt.Errorf("ebpf: unknown helper function %d", id)
+	}
+	return spec, nil
+}
+
+// NumArgs returns how many arguments the helper consumes.
+func (h *HelperSpec) NumArgs() int {
+	n := 0
+	for _, a := range h.Args {
+		if a == ArgDontCare {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package ebpf
+
+import "testing"
+
+func TestLookupHelperKnown(t *testing.T) {
+	ids := []HelperID{
+		FnMapLookupElem, FnMapUpdateElem, FnMapDeleteElem, FnProbeRead,
+		FnProbeReadStr, FnProbeReadKernel, FnKtimeGetNs, FnGetPrandomU32,
+		FnGetSmpProcID, FnGetCurrentPid, FnRingbufOutput,
+	}
+	for _, id := range ids {
+		spec, err := LookupHelper(id)
+		if err != nil {
+			t.Fatalf("helper %d: %v", id, err)
+		}
+		if spec.ID != id || spec.Name == "" {
+			t.Errorf("helper %d: bad spec %+v", id, spec)
+		}
+	}
+}
+
+func TestLookupHelperUnknown(t *testing.T) {
+	for _, id := range []HelperID{0, 9999, -1} {
+		if _, err := LookupHelper(id); err == nil {
+			t.Errorf("helper %d should be unknown", id)
+		}
+	}
+}
+
+func TestHelperNumArgs(t *testing.T) {
+	cases := map[HelperID]int{
+		FnMapLookupElem: 2,
+		FnMapUpdateElem: 4,
+		FnProbeRead:     3,
+		FnKtimeGetNs:    0,
+		FnRingbufOutput: 4,
+	}
+	for id, want := range cases {
+		spec, err := LookupHelper(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.NumArgs(); got != want {
+			t.Errorf("%s: NumArgs = %d, want %d", spec.Name, got, want)
+		}
+	}
+}
+
+func TestMapSpecValidate(t *testing.T) {
+	good := &MapSpec{Name: "m", Type: MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := []*MapSpec{
+		{Name: "t0", Type: 0, KeySize: 4, ValueSize: 8, MaxEntries: 1},
+		{Name: "k0", Type: MapHash, KeySize: 0, ValueSize: 8, MaxEntries: 1},
+		{Name: "v0", Type: MapArray, KeySize: 4, ValueSize: 0, MaxEntries: 1},
+		{Name: "e0", Type: MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("spec %q should be invalid", m.Name)
+		}
+	}
+	// Ring buffers have no key/value sizes.
+	rb := &MapSpec{Name: "rb", Type: MapRingBuf, MaxEntries: 4096}
+	if err := rb.Validate(); err != nil {
+		t.Errorf("ringbuf spec rejected: %v", err)
+	}
+}
+
+func TestProgTypeCtxSizes(t *testing.T) {
+	for _, pt := range []ProgType{ProgSocketFilter, ProgXDP, ProgTracepoint, ProgSchedCLS} {
+		if pt.CtxSize() == 0 {
+			t.Errorf("%s has zero ctx size", pt)
+		}
+		if pt.String() == "" {
+			t.Errorf("prog type %d has no name", pt)
+		}
+	}
+}
+
+func TestMapTypeStrings(t *testing.T) {
+	for _, mt := range []MapType{MapHash, MapArray, MapPerCPUArray, MapRingBuf} {
+		if mt.String() == "" || mt.String()[0] == 'm' && mt != MapHash {
+			// Only checking non-empty, readable names.
+		}
+		if mt.String() == "" {
+			t.Errorf("map type %d has no name", mt)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if R0.String() != "r0" || R10.String() != "r10" {
+		t.Errorf("register naming broken: %s %s", R0, R10)
+	}
+}
+
+func TestSizeCodeRoundTrip(t *testing.T) {
+	for _, bytes := range []int{1, 2, 4, 8} {
+		if got := SizeBytes(sizeCodeOf(bytes)); got != bytes {
+			t.Errorf("size %d roundtrips to %d", bytes, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid size should panic")
+		}
+	}()
+	sizeCodeOf(3)
+}

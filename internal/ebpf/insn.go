@@ -1,0 +1,327 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction is one decoded eBPF instruction. The 64-bit immediate form
+// (lddw) occupies two encoding slots but is represented as a single
+// Instruction with the full constant in Imm.
+type Instruction struct {
+	Op  uint8
+	Dst Reg
+	Src Reg
+	Off int16
+	Imm int64 // sign-extended; full 64 bits only for lddw
+}
+
+// Class returns the instruction class bits.
+func (ins Instruction) Class() uint8 { return ins.Op & 0x07 }
+
+// IsALU reports whether the instruction is ALU or ALU64 class.
+func (ins Instruction) IsALU() bool {
+	c := ins.Class()
+	return c == ClassALU || c == ClassALU64
+}
+
+// IsJump reports whether the instruction is JMP or JMP32 class.
+func (ins Instruction) IsJump() bool {
+	c := ins.Class()
+	return c == ClassJMP || c == ClassJMP32
+}
+
+// IsLoadImm64 reports whether the instruction is the two-slot lddw form.
+func (ins Instruction) IsLoadImm64() bool {
+	return ins.Op == ClassLD|ModeIMM|SizeDW
+}
+
+// IsLoadFromMap reports whether the instruction loads a map pointer.
+func (ins Instruction) IsLoadFromMap() bool {
+	return ins.IsLoadImm64() && (ins.Src == PseudoMapFD || ins.Src == PseudoMapValue)
+}
+
+// IsCall reports whether the instruction is a helper call.
+func (ins Instruction) IsCall() bool {
+	return ins.Op == ClassJMP|JmpCALL
+}
+
+// IsExit reports whether the instruction is exit.
+func (ins Instruction) IsExit() bool {
+	return ins.Op == ClassJMP|JmpEXIT
+}
+
+// Slots returns how many 8-byte encoding slots the instruction occupies.
+func (ins Instruction) Slots() int {
+	if ins.IsLoadImm64() {
+		return 2
+	}
+	return 1
+}
+
+// AluOp returns the operation bits for ALU-class instructions.
+func (ins Instruction) AluOp() uint8 { return ins.Op & 0xf0 }
+
+// JmpOp returns the operation bits for JMP-class instructions.
+func (ins Instruction) JmpOp() uint8 { return ins.Op & 0xf0 }
+
+// UsesSrcReg reports whether the X (register source) form is used.
+func (ins Instruction) UsesSrcReg() bool { return ins.Op&0x08 == SrcX }
+
+// LoadSize returns the access width in bytes for load/store instructions.
+func (ins Instruction) LoadSize() int { return SizeBytes(ins.Op & 0x18) }
+
+// Mode returns the mode bits for load/store instructions.
+func (ins Instruction) Mode() uint8 { return ins.Op & 0xe0 }
+
+// IsPlaceholder reports whether the instruction is the all-zero second slot
+// of an lddw. In canonical instruction streams (see Canonicalize), an lddw
+// instruction is followed by exactly one placeholder so that instruction
+// indices coincide with encoding-slot indices, as in the kernel.
+func (ins Instruction) IsPlaceholder() bool { return ins == Instruction{} }
+
+// Encode appends the kernel wire encoding of ins to buf and returns it.
+func (ins Instruction) Encode(buf []byte) []byte {
+	var raw [8]byte
+	raw[0] = ins.Op
+	raw[1] = uint8(ins.Src)<<4 | uint8(ins.Dst)
+	binary.LittleEndian.PutUint16(raw[2:], uint16(ins.Off))
+	binary.LittleEndian.PutUint32(raw[4:], uint32(ins.Imm))
+	buf = append(buf, raw[:]...)
+	if ins.IsLoadImm64() {
+		var hi [8]byte
+		binary.LittleEndian.PutUint32(hi[4:], uint32(uint64(ins.Imm)>>32))
+		buf = append(buf, hi[:]...)
+	}
+	return buf
+}
+
+// Decode parses one instruction from raw (which must hold at least one
+// 8-byte slot; 16 for lddw) and reports the number of bytes consumed.
+func Decode(raw []byte) (Instruction, int, error) {
+	if len(raw) < 8 {
+		return Instruction{}, 0, fmt.Errorf("ebpf: truncated instruction (%d bytes)", len(raw))
+	}
+	ins := Instruction{
+		Op:  raw[0],
+		Dst: Reg(raw[1] & 0x0f),
+		Src: Reg(raw[1] >> 4),
+		Off: int16(binary.LittleEndian.Uint16(raw[2:])),
+		Imm: int64(int32(binary.LittleEndian.Uint32(raw[4:]))),
+	}
+	if !ins.IsLoadImm64() {
+		return ins, 8, nil
+	}
+	if len(raw) < 16 {
+		return Instruction{}, 0, fmt.Errorf("ebpf: truncated lddw")
+	}
+	if raw[8] != 0 || raw[9] != 0 || binary.LittleEndian.Uint16(raw[10:]) != 0 {
+		return Instruction{}, 0, fmt.Errorf("ebpf: malformed lddw second slot")
+	}
+	hi := binary.LittleEndian.Uint32(raw[12:])
+	ins.Imm = int64(uint64(uint32(ins.Imm)) | uint64(hi)<<32)
+	return ins, 16, nil
+}
+
+// Canonicalize inserts a placeholder after every lddw that lacks one, so
+// that len(result) equals the number of encoding slots and every jump
+// offset indexes directly into the slice. Already-canonical input is
+// returned as a fresh copy unchanged.
+func Canonicalize(insns []Instruction) []Instruction {
+	out := make([]Instruction, 0, len(insns)+4)
+	for i := 0; i < len(insns); i++ {
+		ins := insns[i]
+		out = append(out, ins)
+		if ins.IsLoadImm64() {
+			if i+1 < len(insns) && insns[i+1].IsPlaceholder() {
+				out = append(out, insns[i+1])
+				i++
+			} else {
+				out = append(out, Instruction{})
+			}
+		}
+	}
+	return out
+}
+
+// EncodeProgram encodes a canonical instruction stream to wire format.
+func EncodeProgram(insns []Instruction) []byte {
+	buf := make([]byte, 0, len(insns)*8)
+	for i := 0; i < len(insns); i++ {
+		ins := insns[i]
+		buf = ins.Encode(buf)
+		if ins.IsLoadImm64() {
+			i++ // skip the placeholder; Encode already wrote both slots
+		}
+	}
+	return buf
+}
+
+// DecodeProgram decodes a wire-format instruction stream into canonical
+// form (lddw followed by a placeholder entry).
+func DecodeProgram(raw []byte) ([]Instruction, error) {
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("ebpf: program size %d not a multiple of 8", len(raw))
+	}
+	var out []Instruction
+	for off := 0; off < len(raw); {
+		ins, n, err := Decode(raw[off:])
+		if err != nil {
+			return nil, fmt.Errorf("ebpf: at byte %d: %w", off, err)
+		}
+		out = append(out, ins)
+		if n == 16 {
+			out = append(out, Instruction{})
+		}
+		off += n
+	}
+	return out, nil
+}
+
+// String renders the instruction in the textual assembly syntax accepted by
+// Assemble.
+func (ins Instruction) String() string {
+	if ins.IsPlaceholder() {
+		return "(lddw cont.)"
+	}
+	switch ins.Class() {
+	case ClassALU, ClassALU64:
+		w := "r"
+		if ins.Class() == ClassALU {
+			w = "w"
+		}
+		dst := fmt.Sprintf("%s%d", w, ins.Dst)
+		op := AluOpName(ins.Op)
+		switch ins.AluOp() {
+		case AluNEG:
+			return fmt.Sprintf("%s = -%s", dst, dst)
+		case AluEND:
+			kind := "le"
+			if ins.UsesSrcReg() {
+				kind = "be"
+			}
+			return fmt.Sprintf("%s = %s%d %s", dst, kind, ins.Imm, dst)
+		case AluMOV:
+			if ins.UsesSrcReg() {
+				return fmt.Sprintf("%s = %s%d", dst, w, ins.Src)
+			}
+			return fmt.Sprintf("%s = %d", dst, ins.Imm)
+		}
+		sym := aluSym(op)
+		if ins.UsesSrcReg() {
+			return fmt.Sprintf("%s %s= %s%d", dst, sym, w, ins.Src)
+		}
+		return fmt.Sprintf("%s %s= %d", dst, sym, ins.Imm)
+	case ClassJMP, ClassJMP32:
+		w := "r"
+		if ins.Class() == ClassJMP32 {
+			w = "w"
+		}
+		switch ins.JmpOp() {
+		case JmpJA:
+			return fmt.Sprintf("goto %+d", ins.Off)
+		case JmpCALL:
+			return fmt.Sprintf("call %d", ins.Imm)
+		case JmpEXIT:
+			return "exit"
+		}
+		sym := jmpSym(ins.JmpOp())
+		lhs := fmt.Sprintf("%s%d", w, ins.Dst)
+		if ins.UsesSrcReg() {
+			return fmt.Sprintf("if %s %s %s%d goto %+d", lhs, sym, w, ins.Src, ins.Off)
+		}
+		return fmt.Sprintf("if %s %s %d goto %+d", lhs, sym, ins.Imm, ins.Off)
+	case ClassLD:
+		if ins.IsLoadImm64() {
+			switch ins.Src {
+			case PseudoMapFD:
+				return fmt.Sprintf("r%d = map[%d]", ins.Dst, ins.Imm)
+			case PseudoMapValue:
+				return fmt.Sprintf("r%d = map_value[%d]+%d", ins.Dst, uint32(ins.Imm), uint64(ins.Imm)>>32)
+			default:
+				return fmt.Sprintf("r%d = %d ll", ins.Dst, ins.Imm)
+			}
+		}
+		return fmt.Sprintf("ld?(op=%#x)", ins.Op)
+	case ClassLDX:
+		return fmt.Sprintf("r%d = *(%s *)(r%d %+d)", ins.Dst, sizeName(ins.LoadSize()), ins.Src, ins.Off)
+	case ClassST:
+		return fmt.Sprintf("*(%s *)(r%d %+d) = %d", sizeName(ins.LoadSize()), ins.Dst, ins.Off, ins.Imm)
+	case ClassSTX:
+		if ins.Mode() == ModeATOMIC {
+			return fmt.Sprintf("lock *(%s *)(r%d %+d) += r%d", sizeName(ins.LoadSize()), ins.Dst, ins.Off, ins.Src)
+		}
+		return fmt.Sprintf("*(%s *)(r%d %+d) = r%d", sizeName(ins.LoadSize()), ins.Dst, ins.Off, ins.Src)
+	}
+	return fmt.Sprintf("insn?(op=%#x)", ins.Op)
+}
+
+func sizeName(bytes int) string {
+	switch bytes {
+	case 1:
+		return "u8"
+	case 2:
+		return "u16"
+	case 4:
+		return "u32"
+	case 8:
+		return "u64"
+	}
+	return "u?"
+}
+
+func aluSym(name string) string {
+	switch name {
+	case "add":
+		return "+"
+	case "sub":
+		return "-"
+	case "mul":
+		return "*"
+	case "div":
+		return "/"
+	case "or":
+		return "|"
+	case "and":
+		return "&"
+	case "lsh":
+		return "<<"
+	case "rsh":
+		return ">>"
+	case "mod":
+		return "%"
+	case "xor":
+		return "^"
+	case "arsh":
+		return "s>>"
+	}
+	return name
+}
+
+func jmpSym(op uint8) string {
+	switch op {
+	case JmpJEQ:
+		return "=="
+	case JmpJGT:
+		return ">"
+	case JmpJGE:
+		return ">="
+	case JmpJSET:
+		return "&"
+	case JmpJNE:
+		return "!="
+	case JmpJSGT:
+		return "s>"
+	case JmpJSGE:
+		return "s>="
+	case JmpJLT:
+		return "<"
+	case JmpJLE:
+		return "<="
+	case JmpJSLT:
+		return "s<"
+	case JmpJSLE:
+		return "s<="
+	}
+	return "?"
+}

@@ -1,0 +1,203 @@
+package ebpf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insns := []Instruction{
+		Mov64Imm(R0, 0),
+		Mov64Reg(R1, R10),
+		Alu64Imm(AluADD, R1, -8),
+		Alu64Imm(AluAND, R2, 0xf),
+		Alu32Reg(AluXOR, R3, R4),
+		JmpImm(JmpJGT, R2, 15, 3),
+		Jmp32Reg(JmpJSLT, R1, R2, -2),
+		LoadImm64(R5, 0x1234_5678_9abc_def0),
+		LoadMapPtr(R1, 2),
+		LoadMem(R0, R1, 4, 1),
+		StoreMem(R10, -8, R1, 8),
+		StoreImm(R10, -16, 42, 4),
+		Call(FnMapLookupElem),
+		Ja(5),
+		Exit(),
+	}
+	canon := Canonicalize(insns)
+	raw := EncodeProgram(canon)
+	back, err := DecodeProgram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(canon) {
+		t.Fatalf("got %d insns want %d", len(back), len(canon))
+	}
+	for i := range canon {
+		if back[i] != canon[i] {
+			t.Errorf("insn %d: got %+v want %+v", i, back[i], canon[i])
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, dst, src uint8, off int16, imm int32) bool {
+		ins := Instruction{
+			Op:  op,
+			Dst: Reg(dst & 0x0f),
+			Src: Reg(src & 0x0f),
+			Off: off,
+			Imm: int64(imm),
+		}
+		if ins.IsLoadImm64() || ins.IsPlaceholder() {
+			return true // two-slot and placeholder forms tested separately
+		}
+		raw := ins.Encode(nil)
+		if len(raw) != 8 {
+			return false
+		}
+		back, n, err := Decode(raw)
+		return err == nil && n == 8 && back == ins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLddwFullImm(t *testing.T) {
+	vals := []int64{0, -1, 1 << 62, -(1 << 40), 0x7fffffff, -0x80000000}
+	for _, v := range vals {
+		ins := LoadImm64(R3, v)
+		raw := ins.Encode(nil)
+		if len(raw) != 16 {
+			t.Fatalf("lddw encoded to %d bytes", len(raw))
+		}
+		back, n, err := Decode(raw)
+		if err != nil || n != 16 {
+			t.Fatalf("decode: %v n=%d", err, n)
+		}
+		if back.Imm != v {
+			t.Errorf("imm roundtrip: got %#x want %#x", back.Imm, v)
+		}
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(Mov64Imm(R0, 0))
+	b.EmitJmp(JmpImm(JmpJEQ, R1, 0, 0), "out")
+	b.Emit(Mov64Imm(R0, 1))
+	b.Emit(LoadImm64(R2, 99)) // occupies 2 slots
+	b.EmitJmp(Ja(0), "out")
+	b.Emit(Mov64Imm(R0, 2))
+	b.Label("out")
+	b.Emit(Exit())
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: 0 mov, 1 jeq, 2 mov, 3 lddw, 4 placeholder, 5 ja, 6 mov, 7 exit
+	if prog[1].Off != 5 {
+		t.Errorf("jeq offset = %d, want 5", prog[1].Off)
+	}
+	if prog[5].Off != 1 {
+		t.Errorf("ja offset = %d, want 1", prog[5].Off)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.EmitJmp(Ja(0), "nowhere")
+	b.Emit(Exit())
+	if _, err := b.Program(); err == nil {
+		t.Error("expected undefined-label error")
+	}
+	b2 := NewBuilder()
+	b2.Label("x")
+	b2.Label("x")
+	b2.Emit(Exit())
+	if _, err := b2.Program(); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	valid := &Program{
+		Type: ProgTracepoint,
+		Insns: Canonicalize([]Instruction{
+			Mov64Imm(R0, 0),
+			Exit(),
+		}),
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	cases := map[string]*Program{
+		"empty":   {Type: ProgTracepoint},
+		"no exit": {Type: ProgTracepoint, Insns: []Instruction{Mov64Imm(R0, 0)}},
+		"jump oob": {Type: ProgTracepoint, Insns: []Instruction{
+			JmpImm(JmpJEQ, R1, 0, 100), Exit(),
+		}},
+		"jump into lddw": {Type: ProgTracepoint, Insns: Canonicalize([]Instruction{
+			JmpImm(JmpJEQ, R1, 0, 1), // targets placeholder slot
+			LoadImm64(R1, 1),
+			Exit(),
+		})},
+		"map index oob": {Type: ProgTracepoint, Insns: Canonicalize([]Instruction{
+			LoadMapPtr(R1, 3), Exit(),
+		})},
+		"stray placeholder": {Type: ProgTracepoint, Insns: []Instruction{
+			{}, Exit(),
+		}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	p := &Program{
+		Type: ProgTracepoint,
+		Insns: Canonicalize([]Instruction{
+			Mov64Imm(R2, 7),
+			Alu64Imm(AluAND, R2, 0xf),
+			Alu64Imm(AluLSH, R2, 1),
+			Mov64Reg(R1, R10),
+			Alu64Reg(AluADD, R1, R2),
+			LoadMem(R0, R1, 0, 1),
+			Exit(),
+		}),
+	}
+	got := p.Disassemble()
+	want := "   0: r2 = 7\n" +
+		"   1: r2 &= 15\n" +
+		"   2: r2 <<= 1\n" +
+		"   3: r1 = r10\n" +
+		"   4: r1 += r2\n" +
+		"   5: r0 = *(u8 *)(r1 +0)\n" +
+		"   6: exit\n"
+	if got != want {
+		t.Errorf("disassembly:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestStringDecodeFuzz(t *testing.T) {
+	// Every valid random instruction's String() must not panic and must be
+	// non-empty.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		ins := Instruction{
+			Op:  uint8(rng.Intn(256)),
+			Dst: Reg(rng.Intn(11)),
+			Src: Reg(rng.Intn(11)),
+			Off: int16(rng.Intn(65536) - 32768),
+			Imm: int64(int32(rng.Uint32())),
+		}
+		if s := ins.String(); s == "" {
+			t.Fatalf("empty String for %+v", ins)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// FaultKind classifies a runtime safety violation detected by the
+// interpreter. A verifier that accepts a program which then faults has a
+// soundness bug; the test suite uses the interpreter as that oracle.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultOOBRead
+	FaultOOBWrite
+	FaultUnmapped
+	FaultBadInsn
+	FaultStepLimit
+	FaultBadHelper
+	FaultNullDeref
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultOOBRead:
+		return "out-of-bounds read"
+	case FaultOOBWrite:
+		return "out-of-bounds write"
+	case FaultUnmapped:
+		return "unmapped access"
+	case FaultBadInsn:
+		return "invalid instruction"
+	case FaultStepLimit:
+		return "step limit exceeded"
+	case FaultBadHelper:
+		return "invalid helper call"
+	case FaultNullDeref:
+		return "null dereference"
+	}
+	return "ok"
+}
+
+// Fault describes a runtime safety violation.
+type Fault struct {
+	Kind FaultKind
+	PC   int
+	Addr uint64
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault at insn %d: %s (%s, addr=%#x)", f.PC, f.Msg, f.Kind, f.Addr)
+}
+
+// region is one mapped area of the synthetic address space. Region bases
+// are spaced 1<<32 apart, so any overflowing pointer arithmetic lands in
+// unmapped space and is caught.
+type region struct {
+	base     uint64
+	data     []byte
+	writable bool
+	name     string
+}
+
+const regionShift = 32
+
+// Interp executes programs concretely over the synthetic address space.
+type Interp struct {
+	prog      *Program
+	regions   map[uint64]*region // keyed by base>>regionShift
+	nextID    uint64
+	maps      []*mapInstance
+	rng       *rand.Rand
+	StepLimit int
+}
+
+type mapInstance struct {
+	spec   *MapSpec
+	values map[string]*region // key bytes -> value region
+}
+
+// NewInterp prepares an interpreter for prog. Array maps are fully
+// pre-populated (every index present); hash maps start empty and are
+// populated by update or by Seed.
+func NewInterp(prog *Program, seed int64) *Interp {
+	in := &Interp{
+		prog:      prog,
+		regions:   map[uint64]*region{},
+		nextID:    1,
+		rng:       rand.New(rand.NewSource(seed)),
+		StepLimit: 4 << 20,
+	}
+	for _, spec := range prog.Maps {
+		mi := &mapInstance{spec: spec, values: map[string]*region{}}
+		if spec.Type == MapArray || spec.Type == MapPerCPUArray {
+			n := spec.MaxEntries
+			if n > 64 {
+				n = 64 // cap pre-population; higher indexes allocate lazily
+			}
+			for i := uint32(0); i < n; i++ {
+				key := make([]byte, spec.KeySize)
+				binary.LittleEndian.PutUint32(key, i)
+				mi.values[string(key)] = in.alloc(int(spec.ValueSize), true, fmt.Sprintf("%s[%d]", spec.Name, i))
+			}
+		}
+		in.maps = append(in.maps, mi)
+	}
+	return in
+}
+
+// alloc maps a fresh region and returns it.
+func (in *Interp) alloc(size int, writable bool, name string) *region {
+	id := in.nextID
+	in.nextID++
+	r := &region{
+		base:     id << regionShift,
+		data:     make([]byte, size),
+		writable: writable,
+		name:     name,
+	}
+	in.regions[id] = r
+	return r
+}
+
+// SeedMapValue ensures a hash-map entry exists for the given key and fills
+// it with bytes from the interpreter's RNG, returning the value region.
+func (in *Interp) SeedMapValue(mapIdx int, key []byte) error {
+	if mapIdx >= len(in.maps) {
+		return fmt.Errorf("ebpf: map index %d out of range", mapIdx)
+	}
+	mi := in.maps[mapIdx]
+	if uint32(len(key)) != mi.spec.KeySize {
+		return fmt.Errorf("ebpf: key size mismatch")
+	}
+	if _, ok := mi.values[string(key)]; !ok {
+		r := in.alloc(int(mi.spec.ValueSize), true, mi.spec.Name)
+		in.rng.Read(r.data)
+		mi.values[string(key)] = r
+	}
+	return nil
+}
+
+// lookup resolves an address to its region, or nil if unmapped.
+func (in *Interp) region(addr uint64) *region {
+	return in.regions[addr>>regionShift]
+}
+
+// checkAccess validates [addr, addr+size) against the region map.
+func (in *Interp) checkAccess(pc int, addr uint64, size int, write bool) *Fault {
+	if addr == 0 {
+		return &Fault{Kind: FaultNullDeref, PC: pc, Addr: addr, Msg: "null pointer dereference"}
+	}
+	r := in.region(addr)
+	if r == nil {
+		return &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr, Msg: "access to unmapped address"}
+	}
+	off := addr - r.base
+	if off+uint64(size) > uint64(len(r.data)) {
+		kind := FaultOOBRead
+		if write {
+			kind = FaultOOBWrite
+		}
+		return &Fault{Kind: kind, PC: pc, Addr: addr,
+			Msg: fmt.Sprintf("%s at %s+%d size %d (region size %d)",
+				map[bool]string{true: "write", false: "read"}[write], r.name, off, size, len(r.data))}
+	}
+	if write && !r.writable {
+		return &Fault{Kind: FaultOOBWrite, PC: pc, Addr: addr, Msg: "write to read-only region " + r.name}
+	}
+	return nil
+}
+
+func (in *Interp) load(addr uint64, size int) uint64 {
+	r := in.region(addr)
+	off := addr - r.base
+	switch size {
+	case 1:
+		return uint64(r.data[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(r.data[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(r.data[off:]))
+	default:
+		return binary.LittleEndian.Uint64(r.data[off:])
+	}
+}
+
+func (in *Interp) store(addr uint64, size int, val uint64) {
+	r := in.region(addr)
+	off := addr - r.base
+	switch size {
+	case 1:
+		r.data[off] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(r.data[off:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(r.data[off:], uint32(val))
+	default:
+		binary.LittleEndian.PutUint64(r.data[off:], val)
+	}
+}
+
+// Run executes the program with the given context bytes in R1 and returns
+// the value of R0 at exit. A non-nil *Fault reports a safety violation.
+func (in *Interp) Run(ctx []byte) (uint64, *Fault) {
+	stack := in.alloc(StackSize, true, "stack")
+	ctxRegion := in.alloc(len(ctx), true, "ctx")
+	copy(ctxRegion.data, ctx)
+
+	var regs [MaxReg]uint64
+	regs[R1] = ctxRegion.base
+	regs[R10] = stack.base + StackSize
+
+	pc := 0
+	insns := in.prog.Insns
+	for steps := 0; ; steps++ {
+		if steps >= in.StepLimit {
+			return 0, &Fault{Kind: FaultStepLimit, PC: pc, Msg: "interpreter step limit"}
+		}
+		if pc < 0 || pc >= len(insns) {
+			return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "pc out of range"}
+		}
+		ins := insns[pc]
+		switch ins.Class() {
+		case ClassALU64, ClassALU:
+			is32 := ins.Class() == ClassALU
+			var src uint64
+			if ins.UsesSrcReg() {
+				src = regs[ins.Src]
+			} else {
+				src = uint64(ins.Imm)
+			}
+			dst := regs[ins.Dst]
+			if is32 {
+				src = uint64(uint32(src))
+				dst = uint64(uint32(dst))
+			}
+			var out uint64
+			switch ins.AluOp() {
+			case AluADD:
+				out = dst + src
+			case AluSUB:
+				out = dst - src
+			case AluMUL:
+				out = dst * src
+			case AluDIV:
+				if is32 {
+					if uint32(src) == 0 {
+						out = 0
+					} else {
+						out = uint64(uint32(dst) / uint32(src))
+					}
+				} else if src == 0 {
+					out = 0
+				} else {
+					out = dst / src
+				}
+			case AluMOD:
+				if is32 {
+					if uint32(src) == 0 {
+						out = dst
+					} else {
+						out = uint64(uint32(dst) % uint32(src))
+					}
+				} else if src == 0 {
+					out = dst
+				} else {
+					out = dst % src
+				}
+			case AluOR:
+				out = dst | src
+			case AluAND:
+				out = dst & src
+			case AluXOR:
+				out = dst ^ src
+			case AluLSH:
+				if is32 {
+					out = uint64(uint32(dst) << (src & 31))
+				} else {
+					out = dst << (src & 63)
+				}
+			case AluRSH:
+				if is32 {
+					out = uint64(uint32(dst) >> (src & 31))
+				} else {
+					out = dst >> (src & 63)
+				}
+			case AluARSH:
+				if is32 {
+					out = uint64(uint32(int32(uint32(dst)) >> (src & 31)))
+				} else {
+					out = uint64(int64(dst) >> (src & 63))
+				}
+			case AluNEG:
+				out = -dst
+			case AluMOV:
+				out = src
+			case AluEND:
+				out = byteswap(dst, int(ins.Imm), ins.UsesSrcReg())
+			default:
+				return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "unknown alu op"}
+			}
+			if is32 {
+				out = uint64(uint32(out))
+			}
+			regs[ins.Dst] = out
+			pc++
+
+		case ClassJMP, ClassJMP32:
+			op := ins.JmpOp()
+			switch op {
+			case JmpJA:
+				pc += 1 + int(ins.Off)
+				continue
+			case JmpEXIT:
+				return regs[R0], nil
+			case JmpCALL:
+				if f := in.callHelper(pc, HelperID(ins.Imm), &regs); f != nil {
+					return 0, f
+				}
+				pc++
+				continue
+			}
+			is32 := ins.Class() == ClassJMP32
+			var a, b uint64
+			a = regs[ins.Dst]
+			if ins.UsesSrcReg() {
+				b = regs[ins.Src]
+			} else {
+				b = uint64(ins.Imm)
+			}
+			if is32 {
+				a, b = uint64(uint32(a)), uint64(uint32(b))
+			}
+			taken, err := evalCond(op, a, b, is32)
+			if err != nil {
+				return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: err.Error()}
+			}
+			if taken {
+				pc += 1 + int(ins.Off)
+			} else {
+				pc++
+			}
+
+		case ClassLDX:
+			size := ins.LoadSize()
+			addr := regs[ins.Src] + uint64(int64(ins.Off))
+			if f := in.checkAccess(pc, addr, size, false); f != nil {
+				return 0, f
+			}
+			regs[ins.Dst] = in.load(addr, size)
+			pc++
+
+		case ClassSTX:
+			size := ins.LoadSize()
+			addr := regs[ins.Dst] + uint64(int64(ins.Off))
+			if f := in.checkAccess(pc, addr, size, true); f != nil {
+				return 0, f
+			}
+			if ins.Mode() == ModeATOMIC {
+				if ins.Imm != AtomicADD || (size != 4 && size != 8) {
+					return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "unsupported atomic operation"}
+				}
+				in.store(addr, size, in.load(addr, size)+regs[ins.Src])
+			} else {
+				in.store(addr, size, regs[ins.Src])
+			}
+			pc++
+
+		case ClassST:
+			size := ins.LoadSize()
+			addr := regs[ins.Dst] + uint64(int64(ins.Off))
+			if f := in.checkAccess(pc, addr, size, true); f != nil {
+				return 0, f
+			}
+			in.store(addr, size, uint64(ins.Imm))
+			pc++
+
+		case ClassLD:
+			if !ins.IsLoadImm64() {
+				return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "unsupported ld mode"}
+			}
+			if ins.Src == PseudoMapFD {
+				idx := int(uint32(ins.Imm))
+				if idx >= len(in.maps) {
+					return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "map index out of range"}
+				}
+				// A map pointer is opaque; encode it as an unmapped
+				// sentinel the helpers understand.
+				regs[ins.Dst] = mapPtrSentinel | uint64(idx)
+			} else {
+				regs[ins.Dst] = uint64(ins.Imm)
+			}
+			pc += 2
+
+		default:
+			return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "unknown class"}
+		}
+	}
+}
+
+// mapPtrSentinel marks opaque map pointers; it lives far outside any
+// region ID that alloc can produce.
+const mapPtrSentinel = uint64(0xffff) << 48
+
+func evalCond(op uint8, a, b uint64, is32 bool) (bool, error) {
+	var sa, sb int64
+	if is32 {
+		sa, sb = int64(int32(uint32(a))), int64(int32(uint32(b)))
+	} else {
+		sa, sb = int64(a), int64(b)
+	}
+	switch op {
+	case JmpJEQ:
+		return a == b, nil
+	case JmpJNE:
+		return a != b, nil
+	case JmpJGT:
+		return a > b, nil
+	case JmpJGE:
+		return a >= b, nil
+	case JmpJLT:
+		return a < b, nil
+	case JmpJLE:
+		return a <= b, nil
+	case JmpJSET:
+		return a&b != 0, nil
+	case JmpJSGT:
+		return sa > sb, nil
+	case JmpJSGE:
+		return sa >= sb, nil
+	case JmpJSLT:
+		return sa < sb, nil
+	case JmpJSLE:
+		return sa <= sb, nil
+	}
+	return false, fmt.Errorf("unknown jump op %#x", op)
+}
+
+func byteswap(v uint64, width int, toBE bool) uint64 {
+	// The interpreter host is little-endian by construction of the memory
+	// model, so "to le" is the identity and "to be" swaps.
+	if !toBE {
+		switch width {
+		case 16:
+			return uint64(uint16(v))
+		case 32:
+			return uint64(uint32(v))
+		default:
+			return v
+		}
+	}
+	switch width {
+	case 16:
+		x := uint16(v)
+		return uint64(x>>8 | x<<8)
+	case 32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		return uint64(binary.BigEndian.Uint32(b[:]))
+	default:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return binary.BigEndian.Uint64(b[:])
+	}
+}
+
+// callHelper emulates the supported helper functions.
+func (in *Interp) callHelper(pc int, id HelperID, regs *[MaxReg]uint64) *Fault {
+	spec, err := LookupHelper(id)
+	if err != nil {
+		return &Fault{Kind: FaultBadHelper, PC: pc, Msg: err.Error()}
+	}
+	badHelper := func(msg string) *Fault {
+		return &Fault{Kind: FaultBadHelper, PC: pc, Msg: spec.Name + ": " + msg}
+	}
+	switch id {
+	case FnMapLookupElem:
+		mi, f := in.mapArg(pc, regs[R1])
+		if f != nil {
+			return f
+		}
+		key, f := in.readBytes(pc, regs[R2], int(mi.spec.KeySize))
+		if f != nil {
+			return f
+		}
+		if r, ok := mi.values[string(key)]; ok {
+			regs[R0] = r.base
+		} else {
+			regs[R0] = 0
+		}
+	case FnMapUpdateElem:
+		mi, f := in.mapArg(pc, regs[R1])
+		if f != nil {
+			return f
+		}
+		key, f := in.readBytes(pc, regs[R2], int(mi.spec.KeySize))
+		if f != nil {
+			return f
+		}
+		val, f := in.readBytes(pc, regs[R3], int(mi.spec.ValueSize))
+		if f != nil {
+			return f
+		}
+		r, ok := mi.values[string(key)]
+		if !ok {
+			r = in.alloc(int(mi.spec.ValueSize), true, mi.spec.Name)
+			mi.values[string(key)] = r
+		}
+		copy(r.data, val)
+		regs[R0] = 0
+	case FnMapDeleteElem:
+		mi, f := in.mapArg(pc, regs[R1])
+		if f != nil {
+			return f
+		}
+		key, f := in.readBytes(pc, regs[R2], int(mi.spec.KeySize))
+		if f != nil {
+			return f
+		}
+		delete(mi.values, string(key))
+		regs[R0] = 0
+	case FnProbeRead, FnProbeReadKernel, FnProbeReadStr:
+		dst := regs[R1]
+		size := int(int64(regs[R2]))
+		if size < 0 {
+			return badHelper("negative size")
+		}
+		if size == 0 && id == FnProbeReadStr {
+			regs[R0] = 0
+			break
+		}
+		if f := in.checkAccess(pc, dst, size, true); f != nil {
+			return f
+		}
+		r := in.region(dst)
+		off := dst - r.base
+		in.rng.Read(r.data[off : off+uint64(size)])
+		if id == FnProbeReadStr {
+			n := in.rng.Intn(size) + 1
+			r.data[off+uint64(n)-1] = 0
+			regs[R0] = uint64(n)
+		} else {
+			regs[R0] = 0
+		}
+	case FnRingbufOutput:
+		if _, f := in.mapArg(pc, regs[R1]); f != nil {
+			return f
+		}
+		size := int(int64(regs[R3]))
+		if size < 0 {
+			return badHelper("negative size")
+		}
+		if f := in.checkAccess(pc, regs[R2], size, false); f != nil {
+			return f
+		}
+		regs[R0] = 0
+	case FnKtimeGetNs, FnGetPrandomU32, FnGetSmpProcID, FnGetCurrentPid:
+		regs[R0] = in.rng.Uint64()
+		if id == FnGetPrandomU32 {
+			regs[R0] = uint64(uint32(regs[R0]))
+		}
+		if id == FnGetSmpProcID {
+			regs[R0] &= 0x3f
+		}
+	default:
+		return badHelper("unimplemented")
+	}
+	// R1-R5 are clobbered by calls.
+	for r := R1; r <= R5; r++ {
+		regs[r] = in.rng.Uint64()
+	}
+	return nil
+}
+
+func (in *Interp) mapArg(pc int, v uint64) (*mapInstance, *Fault) {
+	if v&mapPtrSentinel != mapPtrSentinel {
+		return nil, &Fault{Kind: FaultBadHelper, PC: pc, Msg: "argument is not a map pointer"}
+	}
+	idx := int(v &^ mapPtrSentinel)
+	if idx >= len(in.maps) {
+		return nil, &Fault{Kind: FaultBadHelper, PC: pc, Msg: "map index out of range"}
+	}
+	return in.maps[idx], nil
+}
+
+func (in *Interp) readBytes(pc int, addr uint64, size int) ([]byte, *Fault) {
+	if f := in.checkAccess(pc, addr, size, false); f != nil {
+		return nil, f
+	}
+	r := in.region(addr)
+	off := addr - r.base
+	out := make([]byte, size)
+	copy(out, r.data[off:])
+	return out, nil
+}

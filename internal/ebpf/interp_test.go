@@ -1,0 +1,345 @@
+package ebpf
+
+import "testing"
+
+func tpProg(insns []Instruction, maps ...*MapSpec) *Program {
+	return &Program{Name: "test", Type: ProgTracepoint, Insns: Canonicalize(insns), Maps: maps}
+}
+
+func run(t *testing.T, p *Program) (uint64, *Fault) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	in := NewInterp(p, 42)
+	return in.Run(make([]byte, p.Type.CtxSize()))
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r0 = 6
+		r1 = 7
+		r0 *= r1
+		r0 += 58
+		r0 >>= 2
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 25 {
+		t.Errorf("got %d want 25", got)
+	}
+}
+
+func TestInterp32BitOps(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r0 = -1
+		w0 += 1
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 0 {
+		t.Errorf("w-add must zero-extend: got %#x", got)
+	}
+
+	p2 := tpProg(MustAssemble(`
+		w0 = -1
+		exit
+	`))
+	got2, fault := run(t, p2)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got2 != 0xffffffff {
+		t.Errorf("w0 = -1 should zero-extend to 0xffffffff, got %#x", got2)
+	}
+}
+
+func TestInterpDivModByZero(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r0 = 100
+		r1 = 0
+		r0 /= r1
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 0 {
+		t.Errorf("div by zero yields 0, got %d", got)
+	}
+	p2 := tpProg(MustAssemble(`
+		r0 = 100
+		r1 = 0
+		r0 %= r1
+		exit
+	`))
+	got2, fault := run(t, p2)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got2 != 100 {
+		t.Errorf("mod by zero keeps dst, got %d", got2)
+	}
+}
+
+func TestInterpStackAccess(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r1 = 0xdead
+		*(u64 *)(r10 -8) = r1
+		r0 = *(u64 *)(r10 -8)
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 0xdead {
+		t.Errorf("stack roundtrip: got %#x", got)
+	}
+}
+
+func TestInterpStackOverflowFault(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r0 = *(u64 *)(r10 -520)
+		exit
+	`))
+	_, fault := run(t, p)
+	if fault == nil {
+		t.Fatal("expected fault for stack underflow read")
+	}
+}
+
+func TestInterpStackAboveFrameFault(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r1 = 1
+		*(u8 *)(r10 +0) = r1
+		exit
+	`))
+	_, fault := run(t, p)
+	if fault == nil || fault.Kind != FaultOOBWrite {
+		t.Fatalf("expected OOB write above frame, got %v", fault)
+	}
+}
+
+func TestInterpMapLookupAndAccess(t *testing.T) {
+	m := &MapSpec{Name: "vals", Type: MapArray, KeySize: 4, ValueSize: 16, MaxEntries: 4}
+	p := tpProg(MustAssemble(`
+		r1 = map[0]
+		r2 = r10
+		r2 += -4
+		*(u32 *)(r10 -4) = 0
+		call 1
+		if r0 == 0 goto miss
+		r1 = 5
+		*(u64 *)(r0 +8) = r1
+		r0 = *(u64 *)(r0 +8)
+		exit
+	miss:
+		r0 = 0
+		exit
+	`), m)
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 5 {
+		t.Errorf("map value roundtrip: got %d", got)
+	}
+}
+
+func TestInterpMapOOBFault(t *testing.T) {
+	m := &MapSpec{Name: "vals", Type: MapArray, KeySize: 4, ValueSize: 16, MaxEntries: 4}
+	p := tpProg(MustAssemble(`
+		r1 = map[0]
+		r2 = r10
+		r2 += -4
+		*(u32 *)(r10 -4) = 0
+		call 1
+		if r0 == 0 goto miss
+		r0 = *(u8 *)(r0 +16)
+		exit
+	miss:
+		r0 = 0
+		exit
+	`), m)
+	_, fault := run(t, p)
+	if fault == nil || fault.Kind != FaultOOBRead {
+		t.Fatalf("expected OOB read one past value end, got %v", fault)
+	}
+}
+
+func TestInterpNullDerefFault(t *testing.T) {
+	m := &MapSpec{Name: "h", Type: MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 4}
+	p := tpProg(MustAssemble(`
+		r1 = map[0]
+		r2 = r10
+		r2 += -4
+		*(u32 *)(r10 -4) = 9
+		call 1
+		r0 = *(u64 *)(r0 +0)
+		exit
+	`), m)
+	_, fault := run(t, p)
+	if fault == nil || fault.Kind != FaultNullDeref {
+		t.Fatalf("expected null deref on missing hash key, got %v", fault)
+	}
+}
+
+func TestInterpProbeRead(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r1 = r10
+		r1 += -16
+		r2 = 16
+		r3 = 0
+		call 4
+		r0 = 0
+		exit
+	`))
+	if _, fault := run(t, p); fault != nil {
+		t.Fatal(fault)
+	}
+	// Size larger than the remaining stack must fault.
+	p2 := tpProg(MustAssemble(`
+		r1 = r10
+		r1 += -16
+		r2 = 17
+		r3 = 0
+		call 4
+		r0 = 0
+		exit
+	`))
+	if _, fault := run(t, p2); fault == nil {
+		t.Fatal("expected probe_read OOB fault")
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	p := tpProg(MustAssemble(`
+	loop:
+		goto loop
+	`))
+	// No exit needed for Validate since ja counts as control transfer.
+	in := NewInterp(p, 1)
+	in.StepLimit = 1000
+	_, fault := in.Run(make([]byte, 128))
+	if fault == nil || fault.Kind != FaultStepLimit {
+		t.Fatalf("expected step-limit fault, got %v", fault)
+	}
+}
+
+func TestInterpCtxAccess(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r0 = *(u32 *)(r1 +0)
+		exit
+	`))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p, 1)
+	ctx := make([]byte, 128)
+	ctx[0] = 0x2a
+	got, fault := in.Run(ctx)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 0x2a {
+		t.Errorf("ctx read: got %#x", got)
+	}
+	// Past the end of ctx must fault.
+	p2 := tpProg(MustAssemble(`
+		r0 = *(u32 *)(r1 +126)
+		exit
+	`))
+	in2 := NewInterp(p2, 1)
+	if _, fault := in2.Run(ctx); fault == nil {
+		t.Fatal("expected ctx OOB fault")
+	}
+}
+
+func TestInterpByteswap(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r0 = 0x1234
+		r0 = be16 r0
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 0x3412 {
+		t.Errorf("be16: got %#x", got)
+	}
+}
+
+func TestInterpPointerEscapeFault(t *testing.T) {
+	// Wild pointer arithmetic beyond the region must land in unmapped space.
+	p := tpProg(MustAssemble(`
+		r1 = r10
+		r2 = 1
+		r2 <<= 33
+		r1 += r2
+		r0 = *(u8 *)(r1 +0)
+		exit
+	`))
+	_, fault := run(t, p)
+	if fault == nil {
+		t.Fatal("expected unmapped-access fault")
+	}
+	if fault.Kind != FaultUnmapped && fault.Kind != FaultOOBRead {
+		t.Fatalf("unexpected fault kind: %v", fault)
+	}
+}
+
+func TestInterpAtomicAdd(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r1 = 5
+		*(u64 *)(r10 -8) = r1
+		r2 = 37
+		lock *(u64 *)(r10 -8) += r2
+		r0 = *(u64 *)(r10 -8)
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 42 {
+		t.Errorf("atomic add: got %d want 42", got)
+	}
+}
+
+func TestInterpAtomicAdd32Wraps(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r1 = -1
+		*(u32 *)(r10 -4) = r1
+		r2 = 2
+		lock *(u32 *)(r10 -4) += r2
+		r0 = *(u32 *)(r10 -4)
+		exit
+	`))
+	got, fault := run(t, p)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != 1 {
+		t.Errorf("32-bit atomic add wrap: got %d want 1", got)
+	}
+}
+
+func TestInterpAtomicOOBFault(t *testing.T) {
+	p := tpProg(MustAssemble(`
+		r2 = 1
+		lock *(u64 *)(r10 +0) += r2
+		exit
+	`))
+	if _, fault := run(t, p); fault == nil {
+		t.Fatal("expected OOB fault for atomic above the frame")
+	}
+}

@@ -1,0 +1,223 @@
+// Package ebpf implements the eBPF substrate that the verifier and the BCF
+// refinement machinery operate on: the instruction set (encoding and
+// decoding per the kernel's instruction-set standardization document), a
+// programmatic assembler, a textual assembler/disassembler, a program and
+// map model, and a concrete interpreter with a fault-detecting memory model
+// used as the differential safety oracle in tests.
+package ebpf
+
+import "fmt"
+
+// Reg is an eBPF register number. R0 holds return values, R1-R5 are
+// scratch/argument registers, R6-R9 are callee-saved, R10 is the read-only
+// frame pointer.
+type Reg uint8
+
+// Register numbers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	// MaxReg is the number of addressable registers.
+	MaxReg = 11
+)
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Instruction classes (low 3 bits of the opcode).
+const (
+	ClassLD    = 0x00
+	ClassLDX   = 0x01
+	ClassST    = 0x02
+	ClassSTX   = 0x03
+	ClassALU   = 0x04
+	ClassJMP   = 0x05
+	ClassJMP32 = 0x06
+	ClassALU64 = 0x07
+)
+
+// Source bit for ALU and JMP classes (bit 3 of the opcode).
+const (
+	SrcK = 0x00 // immediate operand
+	SrcX = 0x08 // register operand
+)
+
+// ALU/ALU64 operation codes (high 4 bits of the opcode).
+const (
+	AluADD  = 0x00
+	AluSUB  = 0x10
+	AluMUL  = 0x20
+	AluDIV  = 0x30
+	AluOR   = 0x40
+	AluAND  = 0x50
+	AluLSH  = 0x60
+	AluRSH  = 0x70
+	AluNEG  = 0x80
+	AluMOD  = 0x90
+	AluXOR  = 0xa0
+	AluMOV  = 0xb0
+	AluARSH = 0xc0
+	AluEND  = 0xd0
+)
+
+// JMP/JMP32 operation codes (high 4 bits of the opcode).
+const (
+	JmpJA   = 0x00
+	JmpJEQ  = 0x10
+	JmpJGT  = 0x20
+	JmpJGE  = 0x30
+	JmpJSET = 0x40
+	JmpJNE  = 0x50
+	JmpJSGT = 0x60
+	JmpJSGE = 0x70
+	JmpCALL = 0x80
+	JmpEXIT = 0x90
+	JmpJLT  = 0xa0
+	JmpJLE  = 0xb0
+	JmpJSLT = 0xc0
+	JmpJSLE = 0xd0
+)
+
+// Load/store width codes (bits 3-4 of the opcode).
+const (
+	SizeW  = 0x00 // 4 bytes
+	SizeH  = 0x08 // 2 bytes
+	SizeB  = 0x10 // 1 byte
+	SizeDW = 0x18 // 8 bytes
+)
+
+// Load/store mode codes (high 3 bits of the opcode).
+const (
+	ModeIMM    = 0x00
+	ModeABS    = 0x20
+	ModeIND    = 0x40
+	ModeMEM    = 0x60
+	ModeATOMIC = 0xc0
+)
+
+// Atomic operation codes carried in the Imm field of
+// ClassSTX|ModeATOMIC instructions. Only the plain (non-fetching)
+// atomic add is supported, the form compilers emit for counters.
+const (
+	AtomicADD = 0x00
+)
+
+// Pseudo source-register values for BPF_LD|BPF_IMM|BPF_DW.
+const (
+	PseudoMapFD    = 1 // Imm is a map file descriptor (here: map index)
+	PseudoMapValue = 2
+)
+
+// SizeBytes returns the access width in bytes for a load/store size code.
+func SizeBytes(sizeCode uint8) int {
+	switch sizeCode {
+	case SizeW:
+		return 4
+	case SizeH:
+		return 2
+	case SizeB:
+		return 1
+	case SizeDW:
+		return 8
+	}
+	return 0
+}
+
+// sizeCodeOf is the inverse of SizeBytes.
+func sizeCodeOf(bytes int) uint8 {
+	switch bytes {
+	case 1:
+		return SizeB
+	case 2:
+		return SizeH
+	case 4:
+		return SizeW
+	case 8:
+		return SizeDW
+	}
+	panic(fmt.Sprintf("ebpf: invalid access size %d", bytes))
+}
+
+// AluOpName returns the mnemonic root of an ALU operation code.
+func AluOpName(op uint8) string {
+	switch op & 0xf0 {
+	case AluADD:
+		return "add"
+	case AluSUB:
+		return "sub"
+	case AluMUL:
+		return "mul"
+	case AluDIV:
+		return "div"
+	case AluOR:
+		return "or"
+	case AluAND:
+		return "and"
+	case AluLSH:
+		return "lsh"
+	case AluRSH:
+		return "rsh"
+	case AluNEG:
+		return "neg"
+	case AluMOD:
+		return "mod"
+	case AluXOR:
+		return "xor"
+	case AluMOV:
+		return "mov"
+	case AluARSH:
+		return "arsh"
+	case AluEND:
+		return "end"
+	}
+	return "alu?"
+}
+
+// JmpOpName returns the mnemonic of a jump operation code.
+func JmpOpName(op uint8) string {
+	switch op & 0xf0 {
+	case JmpJA:
+		return "ja"
+	case JmpJEQ:
+		return "jeq"
+	case JmpJGT:
+		return "jgt"
+	case JmpJGE:
+		return "jge"
+	case JmpJSET:
+		return "jset"
+	case JmpJNE:
+		return "jne"
+	case JmpJSGT:
+		return "jsgt"
+	case JmpJSGE:
+		return "jsge"
+	case JmpCALL:
+		return "call"
+	case JmpEXIT:
+		return "exit"
+	case JmpJLT:
+		return "jlt"
+	case JmpJLE:
+		return "jle"
+	case JmpJSLT:
+		return "jslt"
+	case JmpJSLE:
+		return "jsle"
+	}
+	return "jmp?"
+}
+
+// StackSize is the per-frame stack size available to eBPF programs.
+const StackSize = 512
+
+// MaxInsns is the per-program instruction-count limit enforced at load.
+const MaxInsns = 65536

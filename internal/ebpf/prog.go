@@ -1,0 +1,188 @@
+package ebpf
+
+import "fmt"
+
+// MapType identifies the kind of eBPF map.
+type MapType uint8
+
+// Supported map types.
+const (
+	MapHash MapType = iota + 1
+	MapArray
+	MapPerCPUArray
+	MapRingBuf
+)
+
+func (t MapType) String() string {
+	switch t {
+	case MapHash:
+		return "hash"
+	case MapArray:
+		return "array"
+	case MapPerCPUArray:
+		return "percpu_array"
+	case MapRingBuf:
+		return "ringbuf"
+	}
+	return fmt.Sprintf("map_type(%d)", uint8(t))
+}
+
+// MapSpec describes one map referenced by a program. Programs address maps
+// by index into Program.Maps (the analog of a map fd in the load request).
+type MapSpec struct {
+	Name       string
+	Type       MapType
+	KeySize    uint32
+	ValueSize  uint32
+	MaxEntries uint32
+}
+
+// Validate checks basic well-formedness of the spec.
+func (m *MapSpec) Validate() error {
+	if m.Type < MapHash || m.Type > MapRingBuf {
+		return fmt.Errorf("ebpf: map %q: invalid type", m.Name)
+	}
+	if m.Type != MapRingBuf {
+		if m.KeySize == 0 || m.ValueSize == 0 {
+			return fmt.Errorf("ebpf: map %q: zero key or value size", m.Name)
+		}
+	}
+	if m.MaxEntries == 0 {
+		return fmt.Errorf("ebpf: map %q: zero max_entries", m.Name)
+	}
+	return nil
+}
+
+// ProgType identifies the attach type of a program, which determines the
+// context layout and the permitted helpers.
+type ProgType uint8
+
+// Supported program types.
+const (
+	ProgSocketFilter ProgType = iota + 1
+	ProgXDP
+	ProgTracepoint
+	ProgSchedCLS
+)
+
+func (t ProgType) String() string {
+	switch t {
+	case ProgSocketFilter:
+		return "socket_filter"
+	case ProgXDP:
+		return "xdp"
+	case ProgTracepoint:
+		return "tracepoint"
+	case ProgSchedCLS:
+		return "sched_cls"
+	}
+	return fmt.Sprintf("prog_type(%d)", uint8(t))
+}
+
+// CtxSize returns the size in bytes of the context structure passed in R1.
+func (t ProgType) CtxSize() uint32 {
+	switch t {
+	case ProgXDP:
+		return 64 // struct xdp_md analog
+	case ProgTracepoint:
+		return 128
+	case ProgSocketFilter, ProgSchedCLS:
+		return 192 // struct __sk_buff analog
+	}
+	return 0
+}
+
+// Program is a loadable eBPF program: a canonical instruction stream plus
+// the maps it references.
+type Program struct {
+	Name  string
+	Type  ProgType
+	Insns []Instruction
+	Maps  []*MapSpec
+}
+
+// Validate performs the structural checks the kernel does before
+// verification proper: opcode validity, jump targets in range, register
+// numbers in range, lddw pairing, map references resolvable, and that the
+// program ends in an unconditional control transfer.
+func (p *Program) Validate() error {
+	n := len(p.Insns)
+	if n == 0 {
+		return fmt.Errorf("ebpf: empty program")
+	}
+	if n > MaxInsns {
+		return fmt.Errorf("ebpf: program too large (%d insns)", n)
+	}
+	for _, m := range p.Maps {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		ins := p.Insns[i]
+		if ins.IsPlaceholder() {
+			if i == 0 || !p.Insns[i-1].IsLoadImm64() {
+				return fmt.Errorf("ebpf: insn %d: stray zero instruction", i)
+			}
+			continue
+		}
+		if ins.Dst >= MaxReg || ins.Src >= MaxReg {
+			if !ins.IsLoadFromMap() {
+				return fmt.Errorf("ebpf: insn %d: bad register", i)
+			}
+		}
+		if ins.IsLoadImm64() {
+			if i+1 >= n || !p.Insns[i+1].IsPlaceholder() {
+				return fmt.Errorf("ebpf: insn %d: lddw missing second slot", i)
+			}
+			if ins.IsLoadFromMap() {
+				idx := int(uint32(ins.Imm))
+				if idx >= len(p.Maps) {
+					return fmt.Errorf("ebpf: insn %d: map index %d out of range", i, idx)
+				}
+			}
+			continue
+		}
+		if ins.Class() == ClassSTX {
+			switch ins.Mode() {
+			case ModeMEM:
+			case ModeATOMIC:
+				if ins.Imm != AtomicADD || (ins.LoadSize() != 4 && ins.LoadSize() != 8) {
+					return fmt.Errorf("ebpf: insn %d: unsupported atomic operation", i)
+				}
+			default:
+				return fmt.Errorf("ebpf: insn %d: unsupported store mode", i)
+			}
+		}
+		if ins.IsJump() {
+			op := ins.JmpOp()
+			if op == JmpCALL || op == JmpEXIT {
+				continue
+			}
+			tgt := i + 1 + int(ins.Off)
+			if tgt < 0 || tgt >= n {
+				return fmt.Errorf("ebpf: insn %d: jump target %d out of range", i, tgt)
+			}
+			if p.Insns[tgt].IsPlaceholder() {
+				return fmt.Errorf("ebpf: insn %d: jump into middle of lddw", i)
+			}
+		}
+	}
+	last := p.Insns[n-1]
+	if !last.IsExit() && !(last.IsJump() && last.JmpOp() == JmpJA) {
+		return fmt.Errorf("ebpf: program does not end with exit or jump")
+	}
+	return nil
+}
+
+// Disassemble renders the whole program as numbered assembly lines.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, ins := range p.Insns {
+		if ins.IsPlaceholder() {
+			continue
+		}
+		out += fmt.Sprintf("%4d: %s\n", i, ins.String())
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"bcf/internal/corpus"
+)
+
+// runSmall runs the evaluation over a truncated dataset view by running
+// the real harness (the corpus is fixed; we just verify plumbing and
+// rendering, not re-verify 512 programs in unit tests — corpus tests do
+// that).
+func TestTables12RenderWithoutRun(t *testing.T) {
+	t2 := Table2String()
+	for _, want := range []string{"split-access", "helper-size", "reject-weak-condition", "512"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, t2)
+		}
+	}
+	t1 := Table1String("../..")
+	for _, want := range []string{"Verifier", "Proof Checker", "Kernel space", "Total"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	if strings.Contains(t1, "unavailable") {
+		t.Errorf("table 1 could not locate sources:\n%s", t1)
+	}
+}
+
+func TestTable1CountsArePlausible(t *testing.T) {
+	rows, err := Table1("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rows {
+		if r.Lines <= 0 || r.Files <= 0 {
+			t.Errorf("component %s has no sources", r.Component)
+		}
+		total += r.Lines
+	}
+	if total < 5000 {
+		t.Errorf("total LoC suspiciously small: %d", total)
+	}
+}
+
+func TestZoneTableRenders(t *testing.T) {
+	s := ZoneTable()
+	for _, want := range []string{"Zone-domain", "split-access", "total", "BCF accepts 403"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("zone table missing %q:\n%s", want, s)
+		}
+	}
+	// The sum-relational families must stay at zero under the zone.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "split-access") && !strings.Contains(line, " 0 ") {
+			if !strings.Contains(strings.Fields(line)[1], "0") {
+				t.Errorf("split-access should be zone-rejected: %q", line)
+			}
+		}
+	}
+}
+
+func TestEvaluationEndToEndSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	ev := Run(corpus.Size/128+2000, nil) // small budget still works
+	if len(ev.Results) != corpus.Size {
+		t.Fatalf("evaluated %d programs", len(ev.Results))
+	}
+	acc := ev.Acceptance()
+	if acc.BaselineAccepted != 0 {
+		t.Errorf("baseline accepted %d", acc.BaselineAccepted)
+	}
+	if acc.BCFAccepted < 380 { // small budget may clip a few loop-ish cases
+		t.Errorf("BCF accepted only %d", acc.BCFAccepted)
+	}
+	for _, render := range []string{
+		ev.AcceptanceTable(), ev.Table3String(), ev.Figure8String(), ev.DurationString(),
+	} {
+		if len(render) == 0 {
+			t.Error("empty render")
+		}
+	}
+	if _, below := ev.Figure8(); below < 90 {
+		t.Errorf("proof-size distribution off: %.1f%% under 4K", below)
+	}
+}

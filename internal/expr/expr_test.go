@@ -1,0 +1,268 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func env(vals ...uint64) func(uint32) uint64 {
+	return func(id uint32) uint64 {
+		if int(id) < len(vals) {
+			return vals[id]
+		}
+		return 0
+	}
+}
+
+func TestConstAndVar(t *testing.T) {
+	c := Const(0x1ff, 8)
+	if c.K != 0xff {
+		t.Errorf("constant not truncated to width: %#x", c.K)
+	}
+	v := Var(3, 64)
+	if got := v.Eval(env(0, 0, 0, 42)); got != 42 {
+		t.Errorf("var eval = %d", got)
+	}
+}
+
+func TestPaperFigure2Expression(t *testing.T) {
+	// (sym & 0xf) + (0xf - (sym & 0xf)) always evaluates to 15.
+	sym := Var(0, 64)
+	masked := And(sym, Const(0xf, 64))
+	e := Add(masked, Sub(Const(0xf, 64), masked))
+	for _, s := range []uint64{0, 1, 15, 16, 0xdeadbeef, ^uint64(0)} {
+		if got := e.Eval(env(s)); got != 15 {
+			t.Errorf("eval(sym=%#x) = %d, want 15", s, got)
+		}
+	}
+	cond := Ule(e, Const(15, 64))
+	for _, s := range []uint64{0, 7, ^uint64(0)} {
+		if got := cond.Eval(env(s)); got != 1 {
+			t.Errorf("condition should hold for sym=%#x", s)
+		}
+	}
+}
+
+func TestEvalMatchesGoSemantics(t *testing.T) {
+	f := func(x, y uint64) bool {
+		vx, vy := Var(0, 64), Var(1, 64)
+		ev := env(x, y)
+		checks := []struct {
+			e    *Expr
+			want uint64
+		}{
+			{Add(vx, vy), x + y},
+			{Sub(vx, vy), x - y},
+			{Mul(vx, vy), x * y},
+			{And(vx, vy), x & y},
+			{Or(vx, vy), x | y},
+			{Xor(vx, vy), x ^ y},
+			{Shl(vx, vy), x << (y % 64)},
+			{Lshr(vx, vy), x >> (y % 64)},
+			{Ashr(vx, vy), uint64(int64(x) >> (y % 64))},
+			{Not(vx), ^x},
+			{Neg(vx), -x},
+			{Eq(vx, vy), b2u(x == y)},
+			{Ult(vx, vy), b2u(x < y)},
+			{Ule(vx, vy), b2u(x <= y)},
+			{Slt(vx, vy), b2u(int64(x) < int64(y))},
+			{Sle(vx, vy), b2u(int64(x) <= int64(y))},
+		}
+		if y == 0 {
+			checks = append(checks,
+				struct {
+					e    *Expr
+					want uint64
+				}{UDiv(vx, vy), 0},
+				struct {
+					e    *Expr
+					want uint64
+				}{URem(vx, vy), x})
+		} else {
+			checks = append(checks,
+				struct {
+					e    *Expr
+					want uint64
+				}{UDiv(vx, vy), x / y},
+				struct {
+					e    *Expr
+					want uint64
+				}{URem(vx, vy), x % y})
+		}
+		for _, c := range checks {
+			if got := c.e.Eval(ev); got != c.want {
+				t.Logf("%s: got %#x want %#x (x=%#x y=%#x)", c.e, got, c.want, x, y)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEval32BitOps(t *testing.T) {
+	f := func(x, y uint32) bool {
+		vx, vy := Var(0, 32), Var(1, 32)
+		ev := env(uint64(x), uint64(y))
+		if got := Add(vx, vy).Eval(ev); got != uint64(x+y) {
+			return false
+		}
+		if got := Shl(vx, vy).Eval(ev); got != uint64(x<<(y%32)) {
+			return false
+		}
+		if got := Ashr(vx, vy).Eval(ev); got != uint64(uint32(int32(x)>>(y%32))) {
+			return false
+		}
+		if got := Slt(vx, vy).Eval(ev); got != b2u(int32(x) < int32(y)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthChanging(t *testing.T) {
+	v32 := Var(0, 32)
+	z := ZExt(v32, 64)
+	s := SExt(v32, 64)
+	ev := env(0xffff_fff6) // -10 as int32
+	if got := z.Eval(ev); got != 0xffff_fff6 {
+		t.Errorf("zext = %#x", got)
+	}
+	if got := s.Eval(ev); got != 0xffff_ffff_ffff_fff6 {
+		t.Errorf("sext = %#x", got)
+	}
+	v64 := Var(1, 64)
+	lo := Extract(v64, 0, 32)
+	hi := Extract(v64, 32, 32)
+	ev2 := env(0, 0x1122_3344_5566_7788)
+	if got := lo.Eval(ev2); got != 0x5566_7788 {
+		t.Errorf("extract lo = %#x", got)
+	}
+	if got := hi.Eval(ev2); got != 0x1122_3344 {
+		t.Errorf("extract hi = %#x", got)
+	}
+	// No-op extensions collapse.
+	if ZExt(v64, 64) != v64 {
+		t.Error("ZExt to same width should be identity")
+	}
+	if Extract(v64, 0, 64) != v64 {
+		t.Error("full Extract should be identity")
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	a, b := Var(0, 1), Var(1, 1)
+	cases := []struct {
+		e                  *Expr
+		t00, t01, t10, t11 uint64
+	}{
+		{BoolAnd(a, b), 0, 0, 0, 1},
+		{BoolOr(a, b), 0, 1, 1, 1},
+		{Implies(a, b), 1, 1, 0, 1},
+	}
+	for _, c := range cases {
+		got := [4]uint64{
+			c.e.Eval(env(0, 0)), c.e.Eval(env(0, 1)),
+			c.e.Eval(env(1, 0)), c.e.Eval(env(1, 1)),
+		}
+		want := [4]uint64{c.t00, c.t01, c.t10, c.t11}
+		if got != want {
+			t.Errorf("%s: got %v want %v", c.e, got, want)
+		}
+	}
+	if got := BoolNot(a).Eval(env(1)); got != 0 {
+		t.Errorf("not(1) = %d", got)
+	}
+}
+
+func TestEqualAndHash(t *testing.T) {
+	mk := func() *Expr {
+		s := Var(0, 64)
+		return Add(And(s, Const(0xf, 64)), Sub(Const(0xf, 64), And(s, Const(0xf, 64))))
+	}
+	a, b := mk(), mk()
+	if !Equal(a, b) {
+		t.Error("structurally equal terms must be Equal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal terms must hash equally")
+	}
+	c := Add(Var(0, 64), Const(1, 64))
+	if Equal(a, c) {
+		t.Error("different terms must not be Equal")
+	}
+}
+
+func TestConjAndHelpers(t *testing.T) {
+	if !Conj().IsTrue() {
+		t.Error("empty Conj should be true")
+	}
+	p := Ule(Var(0, 64), Const(5, 64))
+	if Conj(p) != p {
+		t.Error("singleton Conj should be identity")
+	}
+	q := Conj(p, p, nil, p)
+	if q.Op != OpBoolAnd {
+		t.Errorf("Conj: %v", q)
+	}
+	if !True.IsTrue() || !False.IsFalse() {
+		t.Error("True/False constants broken")
+	}
+}
+
+func TestSizeAndVars(t *testing.T) {
+	s := Var(0, 64)
+	m := And(s, Const(0xf, 64))
+	e := Add(m, Sub(Const(0xf, 64), m))
+	// Nodes: add, and, var, const(f), sub, const(f)' , and-shared.
+	// m is shared: add(1) + m(3) + sub(1) + const(1) = 6
+	if got := e.Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+	vars := e.Vars()
+	if len(vars) != 1 || vars[0] != 64 {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestCheckWellFormed(t *testing.T) {
+	good := Ule(Add(Var(0, 64), Const(1, 64)), Const(15, 64))
+	if err := good.CheckWellFormed(); err != nil {
+		t.Errorf("good term rejected: %v", err)
+	}
+	// Hand-construct malformed nodes (bypassing constructors).
+	bad := []*Expr{
+		{Op: OpAdd, Width: 64, Args: []*Expr{Var(0, 64)}},               // arity
+		{Op: OpAdd, Width: 64, Args: []*Expr{Var(0, 64), Var(1, 32)}},   // width
+		{Op: OpConst, Width: 8, K: 0x1ff},                               // oversized const
+		{Op: OpEq, Width: 64, Args: []*Expr{Var(0, 64), Var(1, 64)}},    // pred width
+		{Op: OpVar, Width: 7, K: 0},                                     // bad width
+		{Op: OpBoolAnd, Width: 1, Args: []*Expr{Var(0, 64), Var(1, 1)}}, // bool operand
+		{Op: OpExtract, Width: 32, Aux: 40, Args: []*Expr{Var(0, 64)}},  // range
+		{Op: Op(200), Width: 64},                                        // bad op
+	}
+	for i, e := range bad {
+		if err := e.CheckWellFormed(); err == nil {
+			t.Errorf("bad term %d accepted", i)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Var(0, 64)
+	e := Ule(Add(And(s, Const(0xf, 64)), Const(1, 64)), Const(16, 64))
+	got := e.String()
+	want := "(bvule (bvadd (bvand sym0 0xf) 0x1) 0x10)"
+	if got != want {
+		t.Errorf("String = %q want %q", got, want)
+	}
+	ex := Extract(Var(1, 64), 0, 32)
+	if ex.String() != "((_ extract 31 0) sym1)" {
+		t.Errorf("extract String = %q", ex.String())
+	}
+}

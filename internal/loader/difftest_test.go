@@ -1,0 +1,203 @@
+package loader
+
+// Differential soundness fuzzing: generate random programs, and for every
+// program the verifier (baseline or BCF) accepts, execute it concretely
+// with many random seeds. A fault in an accepted program is a verifier
+// soundness bug; BCF accepting a program whose refinement conditions were
+// forged or mis-checked would surface here too.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/verifier"
+)
+
+// progGen generates random-but-plausible tracepoint programs: a map
+// lookup prologue, a body of random ALU/branch/memory instructions over
+// a small register set, and a clean exit. Memory accesses are randomized
+// enough that many programs are rejected and some are accepted; both
+// verdicts are interesting.
+type progGen struct {
+	rng *rand.Rand
+}
+
+func (g *progGen) imm(max int32) int32 { return int32(g.rng.Intn(int(max))) }
+
+func (g *progGen) generate() *ebpf.Program {
+	b := ebpf.NewBuilder()
+	valueSize := uint32(8 * (1 + g.rng.Intn(8))) // 8..64
+	// Prologue: bounded input in r6, map value pointer in r0.
+	b.Emit(
+		ebpf.LoadMapPtr(ebpf.R1, 0),
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluADD, ebpf.R2, -4),
+		ebpf.StoreImm(ebpf.R10, -4, 0, 4),
+		ebpf.Call(ebpf.FnMapLookupElem),
+	)
+	b.EmitJmp(ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 0), "out")
+	b.Emit(ebpf.LoadMem(ebpf.R6, ebpf.R0, 0, 8))
+
+	// Body: random scalar dataflow over r6..r9.
+	regs := []ebpf.Reg{ebpf.R6, ebpf.R7, ebpf.R8, ebpf.R9}
+	live := map[ebpf.Reg]bool{ebpf.R6: true}
+	pick := func() ebpf.Reg {
+		var alive []ebpf.Reg
+		for _, r := range regs {
+			if live[r] {
+				alive = append(alive, r)
+			}
+		}
+		return alive[g.rng.Intn(len(alive))]
+	}
+	n := 3 + g.rng.Intn(12)
+	for i := 0; i < n; i++ {
+		dst := regs[g.rng.Intn(len(regs))]
+		switch g.rng.Intn(7) {
+		case 0:
+			b.Emit(ebpf.Mov64Imm(dst, g.imm(64)))
+			live[dst] = true
+		case 1:
+			b.Emit(ebpf.Mov64Reg(dst, pick()))
+			live[dst] = true
+		case 2:
+			src := pick()
+			op := []uint8{ebpf.AluADD, ebpf.AluSUB, ebpf.AluAND, ebpf.AluOR, ebpf.AluXOR}[g.rng.Intn(5)]
+			if !live[dst] {
+				b.Emit(ebpf.Mov64Imm(dst, 0))
+				live[dst] = true
+			}
+			b.Emit(ebpf.Alu64Reg(op, dst, src))
+		case 3:
+			if !live[dst] {
+				b.Emit(ebpf.Mov64Imm(dst, 1))
+				live[dst] = true
+			}
+			op := []uint8{ebpf.AluAND, ebpf.AluADD, ebpf.AluLSH, ebpf.AluRSH, ebpf.AluMUL}[g.rng.Intn(5)]
+			v := g.imm(16)
+			if op == ebpf.AluLSH || op == ebpf.AluRSH {
+				v = g.imm(8)
+			}
+			b.Emit(ebpf.Alu64Imm(op, dst, v))
+		case 4:
+			// 32-bit op.
+			if !live[dst] {
+				b.Emit(ebpf.Mov32Imm(dst, g.imm(32)))
+				live[dst] = true
+			} else {
+				b.Emit(ebpf.Alu32Imm(ebpf.AluAND, dst, g.imm(255)+1))
+			}
+		case 5:
+			// Bounding branch over a live register.
+			r := pick()
+			op := []uint8{ebpf.JmpJGT, ebpf.JmpJGE, ebpf.JmpJLT, ebpf.JmpJNE}[g.rng.Intn(4)]
+			b.EmitJmp(ebpf.JmpImm(op, r, g.imm(int32(valueSize)+8)+1, 0), "out")
+		case 6:
+			// Stack spill/fill roundtrip.
+			r := pick()
+			off := int16(-8 * (1 + g.rng.Intn(4)))
+			b.Emit(ebpf.StoreMem(ebpf.R10, off, r, 8), ebpf.LoadMem(dst, ebpf.R10, off, 8))
+			live[dst] = true
+		}
+	}
+	// Final access: map value at a (possibly unbounded) offset.
+	off := pick()
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R0),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, off),
+	)
+	size := []int{1, 2, 4}[g.rng.Intn(3)]
+	b.Emit(ebpf.LoadMem(ebpf.R0, ebpf.R1, int16(g.rng.Intn(4)), size))
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	b.Label("out")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+
+	return &ebpf.Program{
+		Name: "fuzz", Type: ebpf.ProgTracepoint,
+		Insns: b.MustProgram(),
+		Maps: []*ebpf.MapSpec{{
+			Name: "m", Type: ebpf.MapArray, KeySize: 4,
+			ValueSize: valueSize, MaxEntries: 4,
+		}},
+	}
+}
+
+// runDifferential fuzzes one verifier configuration.
+func runDifferential(t *testing.T, iterations int, bcfOn bool, seed int64) (accepted int) {
+	rng := rand.New(rand.NewSource(seed))
+	g := &progGen{rng: rng}
+	for i := 0; i < iterations; i++ {
+		p := g.generate()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("iter %d: generator produced invalid program: %v", i, err)
+		}
+		res := Load(p, Options{
+			EnableBCF: bcfOn,
+			Verifier:  verifier.Config{InsnLimit: 50_000},
+		})
+		if !res.Accepted {
+			continue
+		}
+		accepted++
+		for s := int64(0); s < 8; s++ {
+			in := ebpf.NewInterp(p, s*7+1)
+			if _, fault := in.Run(make([]byte, p.Type.CtxSize())); fault != nil {
+				t.Fatalf("iter %d (bcf=%v): accepted program faulted: %v\n%s",
+					i, bcfOn, fault, p.Disassemble())
+			}
+		}
+	}
+	return accepted
+}
+
+func TestDifferentialFuzzBaseline(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	accepted := runDifferential(t, n, false, 1)
+	if accepted == 0 {
+		t.Fatalf("generator never produced an acceptable program; fuzzing is vacuous")
+	}
+	t.Logf("baseline accepted %d/%d generated programs", accepted, n)
+}
+
+func TestDifferentialFuzzBCF(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	accepted := runDifferential(t, n, true, 2)
+	if accepted == 0 {
+		t.Fatalf("generator never produced an acceptable program; fuzzing is vacuous")
+	}
+	t.Logf("BCF accepted %d/%d generated programs", accepted, n)
+}
+
+// TestBCFNeverRegressesBaseline: anything the baseline accepts, BCF must
+// also accept (refinement only ever adds acceptances).
+func TestBCFNeverRegressesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := &progGen{rng: rng}
+	n := 200
+	if testing.Short() {
+		n = 50
+	}
+	both, rescued := 0, 0
+	for i := 0; i < n; i++ {
+		p := g.generate()
+		base := Load(p, Options{Verifier: verifier.Config{InsnLimit: 50_000}})
+		withBCF := Load(p, Options{EnableBCF: true, Verifier: verifier.Config{InsnLimit: 50_000}})
+		if base.Accepted {
+			both++
+			if !withBCF.Accepted {
+				t.Fatalf("iter %d: BCF rejected a baseline-accepted program: %v\n%s",
+					i, withBCF.Err, p.Disassemble())
+			}
+		} else if withBCF.Accepted {
+			rescued++
+		}
+	}
+	t.Logf("baseline-accepted: %d, additionally rescued by BCF: %d (of %d)", both, rescued, n)
+}

@@ -1,0 +1,160 @@
+// Package loader implements the user-space side of BCF: the bpftool /
+// libbpf analog that loads a program, receives refinement conditions from
+// the kernel, translates them for the solver, and submits proofs back
+// until the load concludes (§5 Loader and Solver).
+package loader
+
+import (
+	"fmt"
+	"time"
+
+	"bcf/internal/bcf"
+	"bcf/internal/bcfenc"
+	"bcf/internal/ebpf"
+	"bcf/internal/solver"
+	"bcf/internal/verifier"
+)
+
+// Options configure a load.
+type Options struct {
+	// EnableBCF turns on proof-guided refinement; false gives the
+	// baseline in-tree verifier behaviour.
+	EnableBCF bool
+	// Solver options forwarded to the prover.
+	Solver solver.Options
+	// Verifier configuration (insn limit, debug log, pruning).
+	Verifier verifier.Config
+	// ProofCache, when non-nil, is consulted before invoking the solver
+	// and updated with fresh proofs (§7 Load Time: the verifier is
+	// deterministic, so conditions repeat across loads byte-for-byte).
+	ProofCache *ProofCache
+	// DisableBackward makes symbolic tracking start at the path head
+	// instead of the computed suffix (ablation of §4's backward analysis).
+	DisableBackward bool
+}
+
+// Result reports the outcome and the measurements of a load.
+type Result struct {
+	Accepted bool
+	Err      error
+
+	// Verifier statistics.
+	VerifierStats verifier.Stats
+	// Refinement statistics (nil when BCF disabled).
+	RefineStats *bcf.Stats
+	// Wall-clock split.
+	KernelTime time.Duration
+	UserTime   time.Duration
+	TotalTime  time.Duration
+	// Counterexample from the last failed condition, if any.
+	Counterexample map[uint32]uint64
+	// Proof cache hits during this load.
+	CacheHits int
+	// Log is the verifier debug log (Config.Debug only).
+	Log []string
+}
+
+// Load verifies a program, driving the full BCF protocol when enabled.
+func Load(prog *ebpf.Program, opts Options) *Result {
+	startAll := time.Now()
+	res := &Result{}
+	if !opts.EnableBCF {
+		v := verifier.New(prog, opts.Verifier)
+		err := v.Verify()
+		res.Accepted = err == nil
+		res.Err = err
+		res.VerifierStats = v.Stats()
+		res.Log = v.Log()
+		res.KernelTime = time.Since(startAll)
+		res.TotalTime = res.KernelTime
+		return res
+	}
+
+	sess := bcf.NewSession(prog, opts.Verifier)
+	sess.Refiner().DisableBackward = opts.DisableBackward
+	lr := sess.Load()
+	for !lr.Done {
+		proofBytes, cex, hit, perr := prove(lr.Condition, opts)
+		if hit {
+			res.CacheHits++
+		}
+		if cex != nil {
+			res.Counterexample = cex
+		}
+		lr = sess.Resume(proofBytes, perr)
+	}
+	res.Accepted = lr.Err == nil
+	res.Err = lr.Err
+	res.VerifierStats = sess.Verifier().Stats()
+	res.Log = sess.Verifier().Log()
+	res.RefineStats = sess.Refiner().Stats()
+	res.KernelTime = sess.KernelTime()
+	res.UserTime = sess.UserTime()
+	res.TotalTime = time.Since(startAll)
+	return res
+}
+
+// prove translates one condition, consults the cache, and invokes the
+// solver.
+func prove(condBytes []byte, opts Options) (proofBytes []byte, cex map[uint32]uint64, cacheHit bool, err error) {
+	if opts.ProofCache != nil {
+		if p, ok := opts.ProofCache.Get(condBytes); ok {
+			return p, nil, true, nil
+		}
+	}
+	cond, err := bcfenc.DecodeCondition(condBytes)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("loader: bad condition from kernel: %w", err)
+	}
+	out, err := solver.Prove(cond.Cond, opts.Solver)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("loader: solver: %w", err)
+	}
+	if !out.Proven {
+		return nil, out.Counterexample, false,
+			fmt.Errorf("loader: condition violated (counterexample found)")
+	}
+	buf, err := bcfenc.EncodeProof(out.Proof)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("loader: encoding proof: %w", err)
+	}
+	if opts.ProofCache != nil {
+		opts.ProofCache.Put(condBytes, buf)
+	}
+	return buf, nil, false, nil
+}
+
+// ProofCache memoizes proofs by the exact bytes of their condition. The
+// verifier's analysis is deterministic, so repeated loads of the same
+// program request identical conditions (§7).
+type ProofCache struct {
+	entries map[string][]byte
+	hits    int
+	misses  int
+}
+
+// NewProofCache returns an empty cache.
+func NewProofCache() *ProofCache {
+	return &ProofCache{entries: map[string][]byte{}}
+}
+
+// Get looks up a proof for the exact condition bytes.
+func (c *ProofCache) Get(cond []byte) ([]byte, bool) {
+	p, ok := c.entries[string(cond)]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+// Put stores a proof.
+func (c *ProofCache) Put(cond, proofBytes []byte) {
+	c.entries[string(cond)] = proofBytes
+}
+
+// Stats reports cache effectiveness.
+func (c *ProofCache) Stats() (hits, misses, size int) {
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,473 @@
+package proof
+
+import (
+	"fmt"
+
+	"bcf/internal/bitblast"
+	"bcf/internal/expr"
+	"bcf/internal/sat"
+)
+
+// Limits harden the checker against adversarial proofs, mirroring the
+// kernel's defensive posture toward user-space input.
+type Limits struct {
+	MaxSteps     int
+	MaxArgNodes  int // per expression argument
+	MaxClauseLen int
+}
+
+// DefaultLimits are generous for every proof the reference prover emits.
+var DefaultLimits = Limits{
+	MaxSteps:     1 << 21,
+	MaxArgNodes:  1 << 16,
+	MaxClauseLen: 1 << 16,
+}
+
+// Check validates that p establishes cond. It performs the three stages
+// of §5: (1) format and type checking, (2) rule application computing
+// every conclusion, (3) comparison of the derivation against the stored
+// condition (the assumption rule only ever introduces ¬cond, and the
+// final step must conclude false).
+func Check(cond *expr.Expr, p *Proof) error {
+	return CheckWithLimits(cond, p, DefaultLimits)
+}
+
+// CheckWithLimits is Check with explicit resource limits.
+func CheckWithLimits(cond *expr.Expr, p *Proof, lim Limits) error {
+	if cond == nil || cond.Width != 1 {
+		return fmt.Errorf("proof: condition must be a boolean term")
+	}
+	if err := cond.CheckWellFormed(); err != nil {
+		return fmt.Errorf("proof: malformed condition: %w", err)
+	}
+	// Stage 1: format and type checking.
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("proof: empty proof")
+	}
+	if len(p.Steps) > lim.MaxSteps {
+		return fmt.Errorf("proof: too many steps (%d)", len(p.Steps))
+	}
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		if !s.Rule.Valid() {
+			return fmt.Errorf("proof: step %d: invalid rule %d", i, s.Rule)
+		}
+		for _, pi := range s.Premises {
+			if int(pi) >= i {
+				return fmt.Errorf("proof: step %d: premise %d not yet derived", i, pi)
+			}
+		}
+		for _, a := range s.Args {
+			if a == nil {
+				return fmt.Errorf("proof: step %d: nil argument", i)
+			}
+			if a.Size() > lim.MaxArgNodes {
+				return fmt.Errorf("proof: step %d: argument too large", i)
+			}
+			if err := a.CheckWellFormed(); err != nil {
+				return fmt.Errorf("proof: step %d: malformed argument: %w", i, err)
+			}
+		}
+	}
+
+	// Stage 2: rule application.
+	ck := &checker{cond: cond, notCond: expr.BoolNot(cond), lim: lim}
+	concl := make([]Conclusion, len(p.Steps))
+	for i := range p.Steps {
+		c, err := ck.apply(&p.Steps[i], concl[:i])
+		if err != nil {
+			return fmt.Errorf("proof: step %d (%s): %w", i, p.Steps[i].Rule, err)
+		}
+		concl[i] = c
+	}
+
+	// Stage 3: the derivation must end in the contradiction, which
+	// discharges the (sole permitted) assumption ¬cond and establishes
+	// the stored condition.
+	if !concl[len(concl)-1].isFalse() {
+		return fmt.Errorf("proof: final step does not conclude false")
+	}
+	return nil
+}
+
+type checker struct {
+	cond    *expr.Expr
+	notCond *expr.Expr
+	cnf     *bitblast.CNF
+	lim     Limits
+}
+
+// blast lazily bit-blasts ¬cond (shared with the prover by determinism).
+func (ck *checker) blast() (*bitblast.CNF, error) {
+	if ck.cnf == nil {
+		cnf, err := bitblast.Encode(ck.notCond)
+		if err != nil {
+			return nil, err
+		}
+		ck.cnf = cnf
+	}
+	return ck.cnf, nil
+}
+
+func (ck *checker) apply(s *Step, prior []Conclusion) (Conclusion, error) {
+	// Premise accessors.
+	nPrem := len(s.Premises)
+	form := func(i int) (*expr.Expr, error) {
+		if i >= nPrem {
+			return nil, fmt.Errorf("missing premise %d", i)
+		}
+		c := prior[s.Premises[i]]
+		if c.IsClause {
+			return nil, fmt.Errorf("premise %d is a clause, need a formula", i)
+		}
+		return c.Formula, nil
+	}
+	clause := func(i int) ([]sat.Lit, error) {
+		if i >= nPrem {
+			return nil, fmt.Errorf("missing premise %d", i)
+		}
+		c := prior[s.Premises[i]]
+		if !c.IsClause {
+			return nil, fmt.Errorf("premise %d is a formula, need a clause", i)
+		}
+		return c.Clause, nil
+	}
+	arg := func(i int) (*expr.Expr, error) {
+		if i >= len(s.Args) {
+			return nil, fmt.Errorf("missing argument %d", i)
+		}
+		return s.Args[i], nil
+	}
+	boolPrem := func(i int) (*expr.Expr, error) {
+		f, err := form(i)
+		if err != nil {
+			return nil, err
+		}
+		if f.Width != 1 {
+			return nil, fmt.Errorf("premise %d is not boolean", i)
+		}
+		return f, nil
+	}
+	eqPrem := func(i int) (a, b *expr.Expr, err error) {
+		f, err := form(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if f.Op != expr.OpEq {
+			return nil, nil, fmt.Errorf("premise %d is not an equality", i)
+		}
+		return f.Args[0], f.Args[1], nil
+	}
+	ulePrem := func(i int) (a, b *expr.Expr, err error) {
+		f, err := form(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if f.Op != expr.OpUle {
+			return nil, nil, fmt.Errorf("premise %d is not a bvule", i)
+		}
+		return f.Args[0], f.Args[1], nil
+	}
+
+	switch s.Rule {
+	case RuleAssume:
+		return formulaC(ck.notCond), nil
+
+	case RuleNotImplies1, RuleNotImplies2:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if p.Op != expr.OpBoolNot || p.Args[0].Op != expr.OpImplies {
+			return Conclusion{}, fmt.Errorf("premise is not ¬(P⇒Q)")
+		}
+		impl := p.Args[0]
+		if s.Rule == RuleNotImplies1 {
+			return formulaC(impl.Args[0]), nil
+		}
+		return formulaC(expr.BoolNot(impl.Args[1])), nil
+
+	case RuleAndElim1, RuleAndElim2:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if p.Op != expr.OpBoolAnd {
+			return Conclusion{}, fmt.Errorf("premise is not a conjunction")
+		}
+		if s.Rule == RuleAndElim1 {
+			return formulaC(p.Args[0]), nil
+		}
+		return formulaC(p.Args[1]), nil
+
+	case RuleNotNotElim:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if p.Op != expr.OpBoolNot || p.Args[0].Op != expr.OpBoolNot {
+			return Conclusion{}, fmt.Errorf("premise is not ¬¬P")
+		}
+		return formulaC(p.Args[0].Args[0]), nil
+
+	case RuleNotOrElim1, RuleNotOrElim2:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if p.Op != expr.OpBoolNot || p.Args[0].Op != expr.OpBoolOr {
+			return Conclusion{}, fmt.Errorf("premise is not ¬(P∨Q)")
+		}
+		or := p.Args[0]
+		if s.Rule == RuleNotOrElim1 {
+			return formulaC(expr.BoolNot(or.Args[0])), nil
+		}
+		return formulaC(expr.BoolNot(or.Args[1])), nil
+
+	case RuleContradiction:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		q, err := boolPrem(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if (q.Op == expr.OpBoolNot && expr.Equal(q.Args[0], p)) ||
+			(p.Op == expr.OpBoolNot && expr.Equal(p.Args[0], q)) {
+			return formulaC(expr.False), nil
+		}
+		return Conclusion{}, fmt.Errorf("premises are not complementary")
+
+	case RuleNotTrueElim:
+		np, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		a, b, err := eqPrem(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if np.Op != expr.OpBoolNot || !expr.Equal(np.Args[0], a) || !b.IsTrue() {
+			return Conclusion{}, fmt.Errorf("premises do not match ¬P, (= P true)")
+		}
+		return formulaC(expr.False), nil
+
+	case RuleFalseElim:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		a, b, err := eqPrem(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if !expr.Equal(p, a) || !b.IsFalse() {
+			return Conclusion{}, fmt.Errorf("premises do not match P, (= P false)")
+		}
+		return formulaC(expr.False), nil
+
+	case RuleEqMp, RuleEqMpRev:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		a, b, err := eqPrem(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if s.Rule == RuleEqMpRev {
+			a, b = b, a
+		}
+		if a.Width != 1 || !expr.Equal(p, a) {
+			return Conclusion{}, fmt.Errorf("premise does not match the equality's left side")
+		}
+		return formulaC(b), nil
+
+	case RuleAndIntro:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		q, err := boolPrem(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		return formulaC(expr.BoolAnd(p, q)), nil
+
+	case RuleLemmaUltUle:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if p.Op != expr.OpUlt {
+			return Conclusion{}, fmt.Errorf("premise is not a bvult")
+		}
+		return formulaC(expr.Ule(p.Args[0], p.Args[1])), nil
+
+	case RuleNotUltElim, RuleNotUleElim:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		wantInner := expr.OpUlt
+		if s.Rule == RuleNotUleElim {
+			wantInner = expr.OpUle
+		}
+		if p.Op != expr.OpBoolNot || p.Args[0].Op != wantInner {
+			return Conclusion{}, fmt.Errorf("premise is not the negated comparison")
+		}
+		inner := p.Args[0]
+		if s.Rule == RuleNotUltElim {
+			// ¬(a < b) ⟺ b <= a
+			return formulaC(expr.Ule(inner.Args[1], inner.Args[0])), nil
+		}
+		// ¬(a <= b) ⟺ b < a
+		return formulaC(expr.Ult(inner.Args[1], inner.Args[0])), nil
+
+	case RuleRefl:
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		return formulaC(expr.Eq(t, t)), nil
+
+	case RuleSymm:
+		a, b, err := eqPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		return formulaC(expr.Eq(b, a)), nil
+
+	case RuleTrans:
+		a, b, err := eqPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		b2, c, err := eqPrem(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if !expr.Equal(b, b2) {
+			return Conclusion{}, fmt.Errorf("middle terms differ")
+		}
+		return formulaC(expr.Eq(a, c)), nil
+
+	case RuleCong:
+		a, b, err := eqPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		idxE, err := arg(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		idxV, ok := idxE.IsConst()
+		if !ok {
+			return Conclusion{}, fmt.Errorf("cong index must be a constant")
+		}
+		idx := int(idxV)
+		if idx < 0 || idx >= len(t.Args) {
+			return Conclusion{}, fmt.Errorf("cong index out of range")
+		}
+		if !expr.Equal(t.Args[idx], a) {
+			return Conclusion{}, fmt.Errorf("cong child does not match the equality")
+		}
+		t2, err := expr.ReplaceArg(t, idx, b)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		return formulaC(expr.Eq(t, t2)), nil
+
+	case RuleEvalConst:
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if !t.IsGround() {
+			return Conclusion{}, fmt.Errorf("eval argument contains variables")
+		}
+		v := t.Eval(func(uint32) uint64 { return 0 })
+		return formulaC(expr.Eq(t, expr.Const(v, t.Width))), nil
+
+	case RuleBitblastClause:
+		p, err := boolPrem(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if !expr.Equal(p, ck.notCond) {
+			return Conclusion{}, fmt.Errorf("bit-blasting must start from the assumed ¬C")
+		}
+		cnf, err := ck.blast()
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if s.ClauseIdx < 0 || int(s.ClauseIdx) >= len(cnf.Clauses) {
+			return Conclusion{}, fmt.Errorf("clause index %d out of range", s.ClauseIdx)
+		}
+		return clauseC(cnf.Clauses[s.ClauseIdx]), nil
+
+	case RuleResolve:
+		a, err := clause(0)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		b, err := clause(1)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		if s.Pivot <= 0 {
+			return Conclusion{}, fmt.Errorf("invalid pivot %d", s.Pivot)
+		}
+		res, err := resolve(a, b, int(s.Pivot), ck.lim.MaxClauseLen)
+		if err != nil {
+			return Conclusion{}, err
+		}
+		return clauseC(res), nil
+	}
+
+	// Rewrite catalog and interval lemmas.
+	if c, err, handled := ck.applyRewrite(s, arg); handled {
+		return c, err
+	}
+	if c, err, handled := ck.applyLemma(s, arg, ulePrem, eqPrem); handled {
+		return c, err
+	}
+	return Conclusion{}, fmt.Errorf("unhandled rule")
+}
+
+// resolve computes the binary resolvent on pivot.
+func resolve(a, b []sat.Lit, pivot int, maxLen int) ([]sat.Lit, error) {
+	pos, neg := false, false
+	seen := map[sat.Lit]bool{}
+	var out []sat.Lit
+	add := func(c []sat.Lit) {
+		for _, l := range c {
+			if l.Var() == pivot {
+				if l > 0 {
+					pos = true
+				} else {
+					neg = true
+				}
+				continue
+			}
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	add(a)
+	add(b)
+	if !pos || !neg {
+		return nil, fmt.Errorf("pivot %d does not occur with both polarities", pivot)
+	}
+	if len(out) > maxLen {
+		return nil, fmt.Errorf("resolvent too large")
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package proof
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcf/internal/expr"
+)
+
+// fig2Cond is the paper's Figure 2 refinement condition.
+func fig2Cond(hi uint64) *expr.Expr {
+	sym := expr.Var(0, 64)
+	m := expr.And(sym, expr.Const(0xf, 64))
+	e := expr.Add(m, expr.Sub(expr.Const(0xf, 64), m))
+	return expr.Ule(e, expr.Const(hi, 64))
+}
+
+// handProof builds the Figure 3-style proof for fig2Cond(15) by hand:
+// assume ¬C; sub_elim collapses the sum to 0xf; congruence rewrites the
+// comparison; eval decides it; the contradiction discharges ¬C.
+func handProof() *Proof {
+	sym := expr.Var(0, 64)
+	m := expr.And(sym, expr.Const(0xf, 64))
+	e := expr.Add(m, expr.Sub(expr.Const(0xf, 64), m)) // (bvadd m (bvsub 0xf m))
+	pred := expr.Ule(e, expr.Const(15, 64))            // C
+
+	return &Proof{Steps: []Step{
+		// s0: assume ⊢ ¬C
+		{Rule: RuleAssume},
+		// s1: sub_elim ⊢ (= e 0xf)
+		{Rule: RuleRwAddSubCancelR, Args: []*expr.Expr{e}},
+		// s2: cong ⊢ (= (bvule e 15) (bvule 0xf 15))
+		{Rule: RuleCong, Premises: []uint32{1}, Args: []*expr.Expr{pred, expr.Const(0, 8)}},
+		// s3: eval ⊢ (= (bvule 0xf 15) true)
+		{Rule: RuleEvalConst, Args: []*expr.Expr{expr.Ule(expr.Const(0xf, 64), expr.Const(15, 64))}},
+		// s4: trans ⊢ (= (bvule e 15) true) = (= C true)
+		{Rule: RuleTrans, Premises: []uint32{2, 3}},
+		// s5: not_true_elim(¬C, (= C true)) ⊢ false
+		{Rule: RuleNotTrueElim, Premises: []uint32{0, 4}},
+	}}
+}
+
+func TestHandWrittenFigure3Proof(t *testing.T) {
+	if err := Check(fig2Cond(15), handProof()); err != nil {
+		t.Fatalf("hand-written proof rejected: %v", err)
+	}
+}
+
+func TestProofDoesNotTransferToOtherConditions(t *testing.T) {
+	// The same proof must NOT establish the false condition <= 14: the
+	// assume step binds to the stored condition, so every later pattern
+	// breaks.
+	if err := Check(fig2Cond(14), handProof()); err == nil {
+		t.Fatal("proof for <=15 accepted for the false condition <=14")
+	}
+}
+
+func TestEmptyAndOversizedProofs(t *testing.T) {
+	if err := Check(fig2Cond(15), &Proof{}); err == nil {
+		t.Fatal("empty proof accepted")
+	}
+	lim := DefaultLimits
+	lim.MaxSteps = 3
+	if err := CheckWithLimits(fig2Cond(15), handProof(), lim); err == nil {
+		t.Fatal("oversized proof accepted under tight limits")
+	}
+}
+
+func TestForwardReferenceRejected(t *testing.T) {
+	p := &Proof{Steps: []Step{
+		{Rule: RuleContradiction, Premises: []uint32{0, 1}},
+		{Rule: RuleAssume},
+	}}
+	if err := Check(fig2Cond(15), p); err == nil {
+		t.Fatal("forward premise reference accepted")
+	}
+}
+
+func TestInvalidRuleRejected(t *testing.T) {
+	p := handProof()
+	p.Steps[1].Rule = RuleID(9999)
+	if err := Check(fig2Cond(15), p); err == nil {
+		t.Fatal("invalid rule id accepted")
+	}
+	p2 := handProof()
+	p2.Steps[1].Rule = RuleInvalid
+	if err := Check(fig2Cond(15), p2); err == nil {
+		t.Fatal("rule 0 accepted")
+	}
+}
+
+func TestPatternMismatchRejected(t *testing.T) {
+	// sub_elim applied to a term that is not (bvadd a (bvsub b a)).
+	wrong := expr.Add(expr.Var(0, 64), expr.Const(1, 64))
+	p := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleRwAddSubCancelR, Args: []*expr.Expr{wrong}},
+	}}
+	if err := Check(fig2Cond(15), p); err == nil {
+		t.Fatal("mismatched rewrite accepted")
+	}
+}
+
+func TestNonFalseFinalStepRejected(t *testing.T) {
+	p := handProof()
+	p.Steps = p.Steps[:5] // drop the contradiction
+	if err := Check(fig2Cond(15), p); err == nil {
+		t.Fatal("proof without contradiction accepted")
+	}
+}
+
+func TestEvalRejectsNonGround(t *testing.T) {
+	p := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleEvalConst, Args: []*expr.Expr{expr.Ule(expr.Var(0, 64), expr.Const(1, 64))}},
+	}}
+	if err := Check(fig2Cond(15), p); err == nil {
+		t.Fatal("eval of non-ground term accepted")
+	}
+}
+
+func TestCongChildMismatchRejected(t *testing.T) {
+	pred := fig2Cond(15)
+	p := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleRefl, Args: []*expr.Expr{expr.Var(3, 64)}},
+		// cong claims child 0 of pred equals Var(3), which it does not.
+		{Rule: RuleCong, Premises: []uint32{1}, Args: []*expr.Expr{pred, expr.Const(0, 8)}},
+	}}
+	if err := Check(pred, p); err == nil {
+		t.Fatal("cong with mismatched child accepted")
+	}
+}
+
+func TestLemmaSideConditions(t *testing.T) {
+	x := expr.Var(0, 8)
+	cases := []Step{
+		// and_ule with a non-constant mask.
+		{Rule: RuleLemmaAndUleR, Args: []*expr.Expr{expr.And(x, expr.Var(1, 8))}},
+		// ule_const with c1 > c2.
+		{Rule: RuleLemmaUleConst, Args: []*expr.Expr{expr.Const(5, 8), expr.Const(4, 8)}},
+		// ule_shl whose shifted bound overflows: premise x <= 0xff.
+		{Rule: RuleLemmaUleShl, Premises: []uint32{1}, Args: []*expr.Expr{expr.Const(4, 8)}},
+	}
+	for i, s := range cases {
+		p := &Proof{Steps: []Step{
+			{Rule: RuleAssume},
+			{Rule: RuleLemmaUleMax, Args: []*expr.Expr{x}}, // x <= 0xff
+			s,
+		}}
+		if err := Check(fig2Cond(15), p); err == nil {
+			t.Errorf("case %d: unsound lemma application accepted", i)
+		}
+	}
+}
+
+func TestResolveRequiresPivotBothPolarities(t *testing.T) {
+	cond := fig2Cond(15)
+	notC := expr.BoolNot(cond)
+	_ = notC
+	p := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleBitblastClause, Premises: []uint32{0}, ClauseIdx: 0},
+		{Rule: RuleBitblastClause, Premises: []uint32{0}, ClauseIdx: 0},
+		// Resolving a clause with itself: pivot cannot appear with both
+		// polarities.
+		{Rule: RuleResolve, Premises: []uint32{1, 2}, Pivot: 1},
+	}}
+	if err := Check(cond, p); err == nil {
+		t.Fatal("self-resolution accepted")
+	}
+}
+
+func TestBitblastClauseIndexBounds(t *testing.T) {
+	cond := fig2Cond(15)
+	p := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleBitblastClause, Premises: []uint32{0}, ClauseIdx: 1 << 30},
+	}}
+	if err := Check(cond, p); err == nil {
+		t.Fatal("out-of-range clause index accepted")
+	}
+}
+
+// TestMutationFuzz corrupts valid proofs and checks that the checker
+// never panics and never certifies a false condition.
+func TestMutationFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	valid := fig2Cond(15)
+	falseCond := fig2Cond(14)
+	base := handProof()
+	for iter := 0; iter < 3000; iter++ {
+		p := &Proof{Steps: make([]Step, len(base.Steps))}
+		copy(p.Steps, base.Steps)
+		// Random mutation: tweak a rule, premise, pivot, or clause index.
+		i := rng.Intn(len(p.Steps))
+		s := p.Steps[i]
+		switch rng.Intn(4) {
+		case 0:
+			s.Rule = RuleID(rng.Intn(int(NumRules) + 4))
+		case 1:
+			s.Premises = append([]uint32(nil), s.Premises...)
+			if len(s.Premises) > 0 {
+				s.Premises[rng.Intn(len(s.Premises))] = uint32(rng.Intn(len(p.Steps)))
+			} else {
+				s.Premises = []uint32{uint32(rng.Intn(len(p.Steps)))}
+			}
+		case 2:
+			s.Pivot = int32(rng.Intn(64) - 8)
+		case 3:
+			s.ClauseIdx = int32(rng.Intn(1 << 12))
+		}
+		p.Steps[i] = s
+		// Must never certify the false condition.
+		if err := Check(falseCond, p); err == nil {
+			t.Fatalf("iter %d: mutated proof certified a false condition: step %d -> %s",
+				iter, i, p.Steps[i].String())
+		}
+		// On the true condition, accepting is fine; crashing is not
+		// (Check returning is the assertion).
+		_ = Check(valid, p)
+	}
+}
+
+func TestProofSizeAccounting(t *testing.T) {
+	p := handProof()
+	if p.Size() == 0 {
+		t.Fatal("zero proof size")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	p := handProof()
+	for i := range p.Steps {
+		if p.Steps[i].String() == "" {
+			t.Fatalf("empty step string at %d", i)
+		}
+	}
+}

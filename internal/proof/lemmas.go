@@ -1,0 +1,243 @@
+package proof
+
+import (
+	"fmt"
+
+	"bcf/internal/expr"
+)
+
+// applyLemma handles the interval lemmas over the bvule fragment. These
+// are what the user-space prover uses for interval reasoning (masking,
+// shifting and summing bounded quantities); each side condition is
+// verified on constants by the checker.
+func (ck *checker) applyLemma(s *Step,
+	arg func(int) (*expr.Expr, error),
+	ulePrem func(int) (*expr.Expr, *expr.Expr, error),
+	eqPrem func(int) (*expr.Expr, *expr.Expr, error)) (Conclusion, error, bool) {
+
+	switch s.Rule {
+	case RuleLemmaAndUleR, RuleLemmaAndUleL:
+		// (bvule (bvand a c) c) — the mask bounds the result.
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Op != expr.OpAnd {
+			return Conclusion{}, errPattern("(bvand ...)"), true
+		}
+		ci := 1
+		if s.Rule == RuleLemmaAndUleL {
+			ci = 0
+		}
+		if _, ok := t.Args[ci].IsConst(); !ok {
+			return Conclusion{}, errPattern("constant mask"), true
+		}
+		return formulaC(expr.Ule(t, t.Args[ci])), nil, true
+
+	case RuleLemmaUleMax:
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Width == 1 {
+			return Conclusion{}, fmt.Errorf("bvule needs a bit-vector"), true
+		}
+		return formulaC(expr.Ule(t, expr.Const(expr.Mask(t.Width), t.Width))), nil, true
+
+	case RuleLemmaZExtBound:
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Op != expr.OpZExt {
+			return Conclusion{}, errPattern("(zero_extend a)"), true
+		}
+		bound := expr.Mask(t.Args[0].Width)
+		return formulaC(expr.Ule(t, expr.Const(bound, t.Width))), nil, true
+
+	case RuleLemmaLshrBound:
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Op != expr.OpLshr {
+			return Conclusion{}, errPattern("(bvlshr a c)"), true
+		}
+		c, ok := t.Args[1].IsConst()
+		if !ok {
+			return Conclusion{}, errPattern("constant shift"), true
+		}
+		sh := c % uint64(t.Width)
+		bound := expr.Mask(t.Width) >> sh
+		return formulaC(expr.Ule(t, expr.Const(bound, t.Width))), nil, true
+
+	case RuleLemmaUleTrans:
+		a, b, err := ulePrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		b2, c, err := ulePrem(1)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if !expr.Equal(b, b2) {
+			return Conclusion{}, fmt.Errorf("middle terms differ"), true
+		}
+		return formulaC(expr.Ule(a, c)), nil, true
+
+	case RuleLemmaUleAdd:
+		// (bvule a c1), (bvule b c2), c1+c2 does not wrap
+		// ⊢ (bvule (bvadd a b) c1+c2)
+		a, c1e, err := ulePrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		b, c2e, err := ulePrem(1)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		c1, ok1 := c1e.IsConst()
+		c2, ok2 := c2e.IsConst()
+		if !ok1 || !ok2 {
+			return Conclusion{}, errPattern("constant bounds"), true
+		}
+		sum := (c1 + c2) & expr.Mask(a.Width)
+		if sum < c1 {
+			return Conclusion{}, fmt.Errorf("bound sum wraps"), true
+		}
+		return formulaC(expr.Ule(expr.Add(a, b), expr.Const(sum, a.Width))), nil, true
+
+	case RuleLemmaUleShl:
+		// (bvule a c), const k, c<<k does not lose bits
+		// ⊢ (bvule (bvshl a k) c<<k)
+		a, ce, err := ulePrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		ke, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		c, ok1 := ce.IsConst()
+		k, ok2 := ke.IsConst()
+		if !ok1 || !ok2 {
+			return Conclusion{}, errPattern("constant bound and shift"), true
+		}
+		if ke.Width != a.Width {
+			return Conclusion{}, fmt.Errorf("shift width mismatch"), true
+		}
+		sh := k % uint64(a.Width)
+		shifted := (c << sh) & expr.Mask(a.Width)
+		if shifted>>sh != c {
+			return Conclusion{}, fmt.Errorf("shifted bound overflows"), true
+		}
+		return formulaC(expr.Ule(expr.Shl(a, ke), expr.Const(shifted, a.Width))), nil, true
+
+	case RuleLemmaUleConst:
+		c1e, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		c2e, err := arg(1)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		c1, ok1 := c1e.IsConst()
+		c2, ok2 := c2e.IsConst()
+		if !ok1 || !ok2 || c1e.Width != c2e.Width || c1 > c2 {
+			return Conclusion{}, fmt.Errorf("not constants with c1 <= c2"), true
+		}
+		return formulaC(expr.Ule(c1e, c2e)), nil, true
+
+	case RuleLemmaEqBound:
+		a, c, err := eqPrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if _, ok := c.IsConst(); !ok {
+			return Conclusion{}, errPattern("(= a const)"), true
+		}
+		if a.Width == 1 {
+			return Conclusion{}, fmt.Errorf("bvule needs a bit-vector"), true
+		}
+		return formulaC(expr.Ule(a, c)), nil, true
+
+	case RuleLemmaZExtMono:
+		// (bvule a c) with c const, arg t = (zext a)
+		// ⊢ (bvule t zext(c)): zero extension preserves unsigned order.
+		a, c, err := ulePrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		cv, ok := c.IsConst()
+		if !ok {
+			return Conclusion{}, errPattern("constant bound"), true
+		}
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Op != expr.OpZExt || !expr.Equal(t.Args[0], a) {
+			return Conclusion{}, errPattern("(zero_extend a) with a from the premise"), true
+		}
+		return formulaC(expr.Ule(t, expr.Const(cv, t.Width))), nil, true
+
+	case RuleLemmaDivRemLe:
+		// eBPF division/remainder never exceed the dividend (including
+		// the b = 0 cases: x/0 = 0, x%0 = x).
+		a, c, err := ulePrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if (t.Op != expr.OpUDiv && t.Op != expr.OpURem) || !expr.Equal(t.Args[0], a) {
+			return Conclusion{}, errPattern("(bvudiv/bvurem a b) with a from the premise"), true
+		}
+		return formulaC(expr.Ule(t, c)), nil, true
+
+	case RuleLemmaURemBound:
+		// Remainder by a non-zero constant is strictly below it.
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Op != expr.OpURem {
+			return Conclusion{}, errPattern("(bvurem a c)"), true
+		}
+		c, ok := t.Args[1].IsConst()
+		if !ok || c == 0 {
+			return Conclusion{}, errPattern("non-zero constant divisor"), true
+		}
+		return formulaC(expr.Ule(t, expr.Const(c-1, t.Width))), nil, true
+
+	case RuleLemmaZeroUle:
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Width == 1 {
+			return Conclusion{}, fmt.Errorf("bvule needs a bit-vector"), true
+		}
+		return formulaC(expr.Ule(expr.Const(0, t.Width), t)), nil, true
+
+	case RuleLemmaUleAndMono:
+		// (bvule a c) ⊢ (bvule (bvand a b) c): masking never increases.
+		a, c, err := ulePrem(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		t, err := arg(0)
+		if err != nil {
+			return Conclusion{}, err, true
+		}
+		if t.Op != expr.OpAnd ||
+			(!expr.Equal(t.Args[0], a) && !expr.Equal(t.Args[1], a)) {
+			return Conclusion{}, errPattern("(bvand a b) with a from the premise"), true
+		}
+		return formulaC(expr.Ule(t, c)), nil, true
+	}
+	return Conclusion{}, nil, false
+}

@@ -1,0 +1,191 @@
+package proof
+
+// Positive tests: every lemma and rewrite rule has at least one valid
+// application accepted by the checker, and a matching invalid one
+// rejected. The proofs embed each rule in a minimal refutation of
+// ¬(bvule 0 0) — the rule's conclusion is irrelevant to the final
+// contradiction, so acceptance hinges only on the rule being applicable.
+
+import (
+	"testing"
+
+	"bcf/internal/expr"
+)
+
+// trivially true condition whose refutation skeleton any step list can
+// ride along with.
+var trivCond = expr.Ule(expr.Const(0, 8), expr.Const(0, 8))
+
+// checkSteps wraps the given steps with a closing contradiction against
+// the trivially-true condition and runs the checker.
+func checkSteps(t *testing.T, steps []Step) error {
+	t.Helper()
+	// skeleton: s0 assume ⊢ ¬C; then user steps; then:
+	//   eval (= C true); not_true_elim(¬C, (= C true)) ⊢ false
+	all := append([]Step{{Rule: RuleAssume}}, steps...)
+	evalIdx := uint32(len(all))
+	all = append(all, Step{Rule: RuleEvalConst, Args: []*expr.Expr{trivCond}})
+	all = append(all, Step{Rule: RuleNotTrueElim, Premises: []uint32{0, evalIdx}})
+	return Check(trivCond, &Proof{Steps: all})
+}
+
+func mustApply(t *testing.T, name string, steps ...Step) {
+	t.Helper()
+	if err := checkSteps(t, steps); err != nil {
+		t.Fatalf("%s: valid application rejected: %v", name, err)
+	}
+}
+
+func mustFail(t *testing.T, name string, steps ...Step) {
+	t.Helper()
+	if err := checkSteps(t, steps); err == nil {
+		t.Fatalf("%s: invalid application accepted", name)
+	}
+}
+
+func TestRewriteCatalogPositive(t *testing.T) {
+	x := expr.Var(0, 64)
+	y := expr.Var(1, 64)
+	zero := expr.Const(0, 64)
+	one := expr.Const(1, 64)
+
+	cases := []struct {
+		rule RuleID
+		arg  *expr.Expr
+	}{
+		{RuleRwAddSubCancelR, expr.Add(x, expr.Sub(y, x))},
+		{RuleRwAddSubCancelL, expr.Add(expr.Sub(y, x), x)},
+		{RuleRwSubAddCancelR, expr.Sub(expr.Add(x, y), x)},
+		{RuleRwSubAddCancelL, expr.Sub(expr.Add(x, y), y)},
+		{RuleRwSubSelf, expr.Sub(x, x)},
+		{RuleRwAddZeroR, expr.Add(x, zero)},
+		{RuleRwAddZeroL, expr.Add(zero, x)},
+		{RuleRwSubZero, expr.Sub(x, zero)},
+		{RuleRwAndZeroR, expr.And(x, zero)},
+		{RuleRwAndZeroL, expr.And(zero, x)},
+		{RuleRwAndSelf, expr.And(x, x)},
+		{RuleRwAndConstFold, expr.And(expr.And(x, expr.Const(0xff, 64)), expr.Const(0xf, 64))},
+		{RuleRwOrZeroR, expr.Or(x, zero)},
+		{RuleRwOrZeroL, expr.Or(zero, x)},
+		{RuleRwOrSelf, expr.Or(x, x)},
+		{RuleRwXorSelf, expr.Xor(x, x)},
+		{RuleRwXorZeroR, expr.Xor(x, zero)},
+		{RuleRwXorZeroL, expr.Xor(zero, x)},
+		{RuleRwMulZeroR, expr.Mul(x, zero)},
+		{RuleRwMulZeroL, expr.Mul(zero, x)},
+		{RuleRwMulOneR, expr.Mul(x, one)},
+		{RuleRwMulOneL, expr.Mul(one, x)},
+		{RuleRwShiftZero, expr.Shl(x, zero)},
+		{RuleRwNotNot, expr.Not(expr.Not(x))},
+		{RuleRwAddComm, expr.Add(x, y)},
+		{RuleRwAndComm, expr.And(x, y)},
+		{RuleRwZExtZero, expr.ZExt(expr.Const(0, 32), 64)},
+		{RuleRwExtractZExt, expr.Extract(expr.ZExt(expr.Var(2, 32), 64), 0, 32)},
+	}
+	for _, c := range cases {
+		mustApply(t, c.rule.String(), Step{Rule: c.rule, Args: []*expr.Expr{c.arg}})
+		// The same rule on a plain variable never matches.
+		mustFail(t, c.rule.String()+"-mismatch", Step{Rule: c.rule, Args: []*expr.Expr{expr.Var(9, 64)}})
+	}
+}
+
+func TestLemmasPositive(t *testing.T) {
+	x := expr.Var(0, 64)
+	c15 := expr.Const(15, 64)
+	c20 := expr.Const(20, 64)
+	masked := expr.And(x, c15)
+
+	// ⊢ (bvule (bvand x 15) 15)
+	mustApply(t, "and_ule_r", Step{Rule: RuleLemmaAndUleR, Args: []*expr.Expr{masked}})
+	mustApply(t, "and_ule_l", Step{Rule: RuleLemmaAndUleL, Args: []*expr.Expr{expr.And(c15, x)}})
+	mustApply(t, "ule_max", Step{Rule: RuleLemmaUleMax, Args: []*expr.Expr{x}})
+	mustApply(t, "zero_ule", Step{Rule: RuleLemmaZeroUle, Args: []*expr.Expr{x}})
+	mustApply(t, "zext_bound", Step{Rule: RuleLemmaZExtBound,
+		Args: []*expr.Expr{expr.ZExt(expr.Var(1, 32), 64)}})
+	mustApply(t, "lshr_bound", Step{Rule: RuleLemmaLshrBound,
+		Args: []*expr.Expr{expr.Lshr(x, expr.Const(4, 64))}})
+	mustApply(t, "ule_const", Step{Rule: RuleLemmaUleConst, Args: []*expr.Expr{c15, c20}})
+
+	// Premise-based lemmas: build (bvule masked 15) first.
+	base := Step{Rule: RuleLemmaAndUleR, Args: []*expr.Expr{masked}} // step 1
+	mustApply(t, "ule_trans",
+		base,
+		Step{Rule: RuleLemmaUleConst, Args: []*expr.Expr{c15, c20}}, // step 2
+		Step{Rule: RuleLemmaUleTrans, Premises: []uint32{1, 2}},     // masked <= 20
+	)
+	mustApply(t, "ule_add",
+		base,
+		Step{Rule: RuleLemmaUleConst, Args: []*expr.Expr{c15, c15}},
+		Step{Rule: RuleLemmaUleAdd, Premises: []uint32{1, 2}}, // masked + 15 <= 30
+	)
+	mustApply(t, "ule_shl",
+		base,
+		Step{Rule: RuleLemmaUleShl, Premises: []uint32{1}, Args: []*expr.Expr{expr.Const(2, 64)}},
+	)
+	mustApply(t, "ule_and_mono",
+		base,
+		Step{Rule: RuleLemmaUleAndMono, Premises: []uint32{1},
+			Args: []*expr.Expr{expr.And(masked, expr.Var(1, 64))}},
+	)
+	mustApply(t, "eq_bound",
+		Step{Rule: RuleRefl, Args: []*expr.Expr{c15}}, // (= 15 15)
+		Step{Rule: RuleLemmaEqBound, Premises: []uint32{1}},
+	)
+	// zext_mono: premise bound on a 32-bit term, conclusion on its zext.
+	m32 := expr.And(expr.Var(1, 32), expr.Const(0xf, 32))
+	mustApply(t, "zext_mono",
+		Step{Rule: RuleLemmaAndUleR, Args: []*expr.Expr{m32}},
+		Step{Rule: RuleLemmaZExtMono, Premises: []uint32{1},
+			Args: []*expr.Expr{expr.ZExt(m32, 64)}},
+	)
+}
+
+func TestNotComparisonElims(t *testing.T) {
+	// Build ¬(bvult a b) via structural decomposition is hard without a
+	// matching condition; instead check the rules reject wrong premises
+	// and accept assembled ones through an implication-shaped condition.
+	x := expr.Var(0, 64)
+	cond := expr.Implies(
+		expr.BoolNot(expr.Ult(expr.Const(10, 64), x)), // ¬(10 < x), i.e. x <= 10
+		expr.Ule(x, expr.Const(10, 64)),
+	)
+	p := &Proof{Steps: []Step{
+		{Rule: RuleAssume}, // ¬(P ⇒ Q)
+		{Rule: RuleNotImplies1, Premises: []uint32{0}}, // ⊢ ¬(10 < x)
+		{Rule: RuleNotImplies2, Premises: []uint32{0}}, // ⊢ ¬(x <= 10)
+		{Rule: RuleNotUltElim, Premises: []uint32{1}},  // ⊢ (x <= 10)
+		{Rule: RuleContradiction, Premises: []uint32{3, 2}},
+	}}
+	if err := Check(cond, p); err != nil {
+		t.Fatalf("not_ult_elim refutation rejected: %v", err)
+	}
+	// not_ule_elim + ult_ule: from ¬(x <= 5) derive 5 < x, weaken to
+	// 5 <= x. A contradiction against the double-negated goal requires a
+	// not_not_elim first; without it the checker must refuse.
+	cond2 := expr.Implies(
+		expr.BoolNot(expr.Ule(x, expr.Const(5, 64))),
+		expr.Ule(expr.Const(5, 64), x),
+	)
+	good := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleNotImplies1, Premises: []uint32{0}}, // ¬(x <= 5)
+		{Rule: RuleNotImplies2, Premises: []uint32{0}}, // ¬(5 <= x)
+		{Rule: RuleNotUleElim, Premises: []uint32{1}},  // (5 < x)
+		{Rule: RuleLemmaUltUle, Premises: []uint32{3}}, // (5 <= x)
+		{Rule: RuleContradiction, Premises: []uint32{4, 2}},
+	}}
+	if err := Check(cond2, good); err != nil {
+		t.Fatalf("not_ule_elim refutation rejected: %v", err)
+	}
+	bad := &Proof{Steps: []Step{
+		{Rule: RuleAssume},
+		{Rule: RuleNotImplies1, Premises: []uint32{0}},
+		{Rule: RuleNotImplies2, Premises: []uint32{0}},
+		{Rule: RuleNotUleElim, Premises: []uint32{1}},
+		// Contradicting (5 < x) against ¬(5 <= x) is NOT complementary.
+		{Rule: RuleContradiction, Premises: []uint32{3, 2}},
+	}}
+	if err := Check(cond2, bad); err == nil {
+		t.Fatal("mismatched contradiction accepted")
+	}
+}

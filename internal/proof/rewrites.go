@@ -1,0 +1,211 @@
+package proof
+
+import (
+	"fmt"
+
+	"bcf/internal/expr"
+)
+
+// applyRewrite handles the algebraic rewrite catalog: each rule takes the
+// left-hand term as its argument and concludes (= lhs rhs) after the
+// checker verifies the pattern locally.
+func (ck *checker) applyRewrite(s *Step, arg func(int) (*expr.Expr, error)) (Conclusion, error, bool) {
+	var rhs func(t *expr.Expr) (*expr.Expr, error)
+	switch s.Rule {
+	case RuleRwAddSubCancelR:
+		// (bvadd a (bvsub b a)) = b
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op == expr.OpAdd && t.Args[1].Op == expr.OpSub &&
+				expr.Equal(t.Args[1].Args[1], t.Args[0]) {
+				return t.Args[1].Args[0], nil
+			}
+			return nil, errPattern("(bvadd a (bvsub b a))")
+		}
+	case RuleRwAddSubCancelL:
+		// (bvadd (bvsub b a) a) = b
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op == expr.OpAdd && t.Args[0].Op == expr.OpSub &&
+				expr.Equal(t.Args[0].Args[1], t.Args[1]) {
+				return t.Args[0].Args[0], nil
+			}
+			return nil, errPattern("(bvadd (bvsub b a) a)")
+		}
+	case RuleRwSubAddCancelR:
+		// (bvsub (bvadd a b) a) = b
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op == expr.OpSub && t.Args[0].Op == expr.OpAdd &&
+				expr.Equal(t.Args[0].Args[0], t.Args[1]) {
+				return t.Args[0].Args[1], nil
+			}
+			return nil, errPattern("(bvsub (bvadd a b) a)")
+		}
+	case RuleRwSubAddCancelL:
+		// (bvsub (bvadd a b) b) = a
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op == expr.OpSub && t.Args[0].Op == expr.OpAdd &&
+				expr.Equal(t.Args[0].Args[1], t.Args[1]) {
+				return t.Args[0].Args[0], nil
+			}
+			return nil, errPattern("(bvsub (bvadd a b) b)")
+		}
+	case RuleRwSubSelf:
+		rhs = binSame(expr.OpSub, func(t *expr.Expr) *expr.Expr { return expr.Const(0, t.Width) })
+	case RuleRwAddZeroR:
+		rhs = constSide(expr.OpAdd, 1, 0, left)
+	case RuleRwAddZeroL:
+		rhs = constSide(expr.OpAdd, 0, 0, right)
+	case RuleRwSubZero:
+		rhs = constSide(expr.OpSub, 1, 0, left)
+	case RuleRwAndZeroR:
+		rhs = constSide(expr.OpAnd, 1, 0, zero)
+	case RuleRwAndZeroL:
+		rhs = constSide(expr.OpAnd, 0, 0, zero)
+	case RuleRwAndSelf:
+		rhs = binSame(expr.OpAnd, func(t *expr.Expr) *expr.Expr { return t.Args[0] })
+	case RuleRwAndConstFold:
+		// (bvand (bvand a c1) c2) = (bvand a (c1 & c2))
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op != expr.OpAnd || t.Args[0].Op != expr.OpAnd {
+				return nil, errPattern("(bvand (bvand a c1) c2)")
+			}
+			c1, ok1 := t.Args[0].Args[1].IsConst()
+			c2, ok2 := t.Args[1].IsConst()
+			if !ok1 || !ok2 {
+				return nil, errPattern("constant masks")
+			}
+			return expr.And(t.Args[0].Args[0], expr.Const(c1&c2, t.Width)), nil
+		}
+	case RuleRwOrZeroR:
+		rhs = constSide(expr.OpOr, 1, 0, left)
+	case RuleRwOrZeroL:
+		rhs = constSide(expr.OpOr, 0, 0, right)
+	case RuleRwOrSelf:
+		rhs = binSame(expr.OpOr, func(t *expr.Expr) *expr.Expr { return t.Args[0] })
+	case RuleRwXorSelf:
+		rhs = binSame(expr.OpXor, func(t *expr.Expr) *expr.Expr { return expr.Const(0, t.Width) })
+	case RuleRwXorZeroR:
+		rhs = constSide(expr.OpXor, 1, 0, left)
+	case RuleRwXorZeroL:
+		rhs = constSide(expr.OpXor, 0, 0, right)
+	case RuleRwMulZeroR:
+		rhs = constSide(expr.OpMul, 1, 0, zero)
+	case RuleRwMulZeroL:
+		rhs = constSide(expr.OpMul, 0, 0, zero)
+	case RuleRwMulOneR:
+		rhs = constSide(expr.OpMul, 1, 1, left)
+	case RuleRwMulOneL:
+		rhs = constSide(expr.OpMul, 0, 1, right)
+	case RuleRwShiftZero:
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op != expr.OpShl && t.Op != expr.OpLshr && t.Op != expr.OpAshr {
+				return nil, errPattern("shift")
+			}
+			if c, ok := t.Args[1].IsConst(); !ok || c != 0 {
+				return nil, errPattern("zero shift amount")
+			}
+			return t.Args[0], nil
+		}
+	case RuleRwNotNot:
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op == expr.OpNot && t.Args[0].Op == expr.OpNot {
+				return t.Args[0].Args[0], nil
+			}
+			return nil, errPattern("(bvnot (bvnot a))")
+		}
+	case RuleRwAddComm:
+		rhs = comm(expr.OpAdd)
+	case RuleRwAndComm:
+		rhs = comm(expr.OpAnd)
+	case RuleRwZExtZero:
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op != expr.OpZExt {
+				return nil, errPattern("(zero_extend a)")
+			}
+			if c, ok := t.Args[0].IsConst(); ok && c == 0 {
+				return expr.Const(0, t.Width), nil
+			}
+			return nil, errPattern("zero operand")
+		}
+	case RuleRwExtractZExt:
+		// (extract[0,w] (zext_W a)) = a when w == width(a)
+		rhs = func(t *expr.Expr) (*expr.Expr, error) {
+			if t.Op != expr.OpExtract || t.Aux != 0 || t.Args[0].Op != expr.OpZExt {
+				return nil, errPattern("(extract 0..w (zero_extend a))")
+			}
+			inner := t.Args[0].Args[0]
+			if inner.Width != t.Width {
+				return nil, errPattern("matching widths")
+			}
+			return inner, nil
+		}
+	default:
+		return Conclusion{}, nil, false
+	}
+
+	t, err := arg(0)
+	if err != nil {
+		return Conclusion{}, err, true
+	}
+	out, err := rhs(t)
+	if err != nil {
+		return Conclusion{}, err, true
+	}
+	if out.Width != t.Width {
+		return Conclusion{}, fmt.Errorf("rewrite changed width"), true
+	}
+	return formulaC(expr.Eq(t, out)), nil, true
+}
+
+func errPattern(want string) error {
+	return fmt.Errorf("argument does not match pattern %s", want)
+}
+
+// binSame matches a binary op with structurally equal operands.
+func binSame(op expr.Op, out func(*expr.Expr) *expr.Expr) func(*expr.Expr) (*expr.Expr, error) {
+	return func(t *expr.Expr) (*expr.Expr, error) {
+		if t.Op != op || !expr.Equal(t.Args[0], t.Args[1]) {
+			return nil, errPattern(fmt.Sprintf("(%s a a)", op))
+		}
+		return out(t), nil
+	}
+}
+
+type rwResult uint8
+
+const (
+	left rwResult = iota
+	right
+	zero
+)
+
+// constSide matches a binary op whose operand `idx` is the constant k and
+// rewrites to the other operand (or to zero).
+func constSide(op expr.Op, idx int, k uint64, res rwResult) func(*expr.Expr) (*expr.Expr, error) {
+	return func(t *expr.Expr) (*expr.Expr, error) {
+		if t.Op != op {
+			return nil, errPattern(op.String())
+		}
+		c, ok := t.Args[idx].IsConst()
+		if !ok || c != k {
+			return nil, errPattern(fmt.Sprintf("constant %d operand", k))
+		}
+		switch res {
+		case left:
+			return t.Args[0], nil
+		case right:
+			return t.Args[1], nil
+		default:
+			return expr.Const(0, t.Width), nil
+		}
+	}
+}
+
+// comm matches a commutative binary op and swaps the operands.
+func comm(op expr.Op) func(*expr.Expr) (*expr.Expr, error) {
+	return func(t *expr.Expr) (*expr.Expr, error) {
+		if t.Op != op {
+			return nil, errPattern(op.String())
+		}
+		return expr.Bin(op, t.Args[1], t.Args[0]), nil
+	}
+}

@@ -1,0 +1,73 @@
+// Package solver is BCF's user-space reasoning engine (the cvc5 analog).
+// Given a refinement condition it either produces a machine-checkable
+// proof of the condition's validity or a counterexample assignment.
+//
+// Proving proceeds in two tiers. The rewrite tier simplifies the
+// condition with a proof-producing equational rewriter plus interval
+// lemmas over the bvule fragment; it discharges the common refinement
+// patterns with proofs of a few hundred bytes. When it cannot conclude,
+// the complete tier bit-blasts the negated condition to CNF and runs a
+// CDCL SAT solver whose resolution refutation is translated into checker
+// steps (completeness per §5: resolution plus bit-blasting suffice for
+// fixed-width bit-vector conditions).
+package solver
+
+import (
+	"bcf/internal/expr"
+	"bcf/internal/proof"
+)
+
+// fact is a derived upper bound usable by the interval engine: a step
+// concluding (bvule lhs bound).
+type fact struct {
+	lhs   *expr.Expr
+	bound uint64
+	step  uint32
+}
+
+// builder accumulates proof steps plus the premise facts harvested from
+// an implication's hypothesis (path constraints).
+type builder struct {
+	steps []proof.Step
+	facts map[uint64][]fact
+}
+
+// addFact records a premise-derived bound.
+func (b *builder) addFact(lhs *expr.Expr, bound uint64, step uint32) {
+	if b.facts == nil {
+		b.facts = map[uint64][]fact{}
+	}
+	b.facts[lhs.Hash()] = append(b.facts[lhs.Hash()], fact{lhs: lhs, bound: bound, step: step})
+}
+
+// lookupFact finds the tightest recorded bound for a term.
+func (b *builder) lookupFact(t *expr.Expr) (uint64, uint32, bool) {
+	best := fact{}
+	found := false
+	for _, f := range b.facts[t.Hash()] {
+		if expr.Equal(f.lhs, t) && (!found || f.bound < best.bound) {
+			best = f
+			found = true
+		}
+	}
+	return best.bound, best.step, found
+}
+
+// add appends a step and returns its index.
+func (b *builder) add(rule proof.RuleID, prems []uint32, args ...*expr.Expr) uint32 {
+	b.steps = append(b.steps, proof.Step{Rule: rule, Premises: prems, Args: args})
+	return uint32(len(b.steps) - 1)
+}
+
+// addClauseStep appends a bit-level step.
+func (b *builder) addClauseStep(s proof.Step) uint32 {
+	b.steps = append(b.steps, s)
+	return uint32(len(b.steps) - 1)
+}
+
+func (b *builder) proof() *proof.Proof {
+	return &proof.Proof{Steps: b.steps}
+}
+
+// prems is sugar for premise lists.
+func prems(idx ...uint32) []uint32 { return idx }

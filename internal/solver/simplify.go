@@ -1,0 +1,175 @@
+package solver
+
+import (
+	"bcf/internal/expr"
+	"bcf/internal/proof"
+)
+
+// eqResult is the outcome of proof-producing simplification: the
+// simplified term and the index of a step concluding (= original result),
+// or changed=false when the term was already in normal form.
+type eqResult struct {
+	term    *expr.Expr
+	step    uint32
+	changed bool
+}
+
+// simplify rewrites t bottom-up with the checker's algebraic catalog,
+// emitting a proof of (= t result).
+func (b *builder) simplify(t *expr.Expr) eqResult {
+	cur := t
+	var accStep uint32
+	changed := false
+
+	// chain extends the accumulated equality (= t cur) with (= cur next).
+	chain := func(next *expr.Expr, step uint32) {
+		if changed {
+			accStep = b.add(proof.RuleTrans, prems(accStep, step))
+		} else {
+			accStep = step
+			changed = true
+		}
+		cur = next
+	}
+
+	// Simplify children first, transporting each child rewrite through a
+	// congruence step on the current term.
+	for i := range t.Args {
+		child := b.simplify(cur.Args[i])
+		if !child.changed {
+			continue
+		}
+		next, err := expr.ReplaceArg(cur, i, child.term)
+		if err != nil {
+			continue // cannot happen for same-width rewrites; be safe
+		}
+		step := b.add(proof.RuleCong, prems(child.step), cur, expr.Const(uint64(i), 8))
+		chain(next, step)
+	}
+
+	// Apply top-level catalog rewrites to a fixpoint.
+	for {
+		rule, next := topRewrite(cur)
+		if rule == proof.RuleInvalid {
+			break
+		}
+		step := b.add(rule, nil, cur)
+		chain(next, step)
+	}
+
+	// Ground terms fold to constants.
+	if cur.IsGround() && cur.Op != expr.OpConst {
+		v := cur.Eval(func(uint32) uint64 { return 0 })
+		step := b.add(proof.RuleEvalConst, nil, cur)
+		chain(expr.Const(v, cur.Width), step)
+	}
+
+	return eqResult{term: cur, step: accStep, changed: changed}
+}
+
+// topRewrite finds one applicable catalog rewrite at the root of t,
+// returning the rule and the rewritten term (RuleInvalid when none
+// applies). The patterns mirror internal/proof/rewrites.go exactly.
+func topRewrite(t *expr.Expr) (proof.RuleID, *expr.Expr) {
+	isConst := func(e *expr.Expr, k uint64) bool {
+		c, ok := e.IsConst()
+		return ok && c == k
+	}
+	switch t.Op {
+	case expr.OpAdd:
+		if t.Args[1].Op == expr.OpSub && expr.Equal(t.Args[1].Args[1], t.Args[0]) {
+			return proof.RuleRwAddSubCancelR, t.Args[1].Args[0]
+		}
+		if t.Args[0].Op == expr.OpSub && expr.Equal(t.Args[0].Args[1], t.Args[1]) {
+			return proof.RuleRwAddSubCancelL, t.Args[0].Args[0]
+		}
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwAddZeroR, t.Args[0]
+		}
+		if isConst(t.Args[0], 0) {
+			return proof.RuleRwAddZeroL, t.Args[1]
+		}
+	case expr.OpSub:
+		if t.Args[0].Op == expr.OpAdd && expr.Equal(t.Args[0].Args[0], t.Args[1]) {
+			return proof.RuleRwSubAddCancelR, t.Args[0].Args[1]
+		}
+		if t.Args[0].Op == expr.OpAdd && expr.Equal(t.Args[0].Args[1], t.Args[1]) {
+			return proof.RuleRwSubAddCancelL, t.Args[0].Args[0]
+		}
+		if expr.Equal(t.Args[0], t.Args[1]) {
+			return proof.RuleRwSubSelf, expr.Const(0, t.Width)
+		}
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwSubZero, t.Args[0]
+		}
+	case expr.OpAnd:
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwAndZeroR, expr.Const(0, t.Width)
+		}
+		if isConst(t.Args[0], 0) {
+			return proof.RuleRwAndZeroL, expr.Const(0, t.Width)
+		}
+		if expr.Equal(t.Args[0], t.Args[1]) {
+			return proof.RuleRwAndSelf, t.Args[0]
+		}
+		if t.Args[0].Op == expr.OpAnd {
+			c1, ok1 := t.Args[0].Args[1].IsConst()
+			c2, ok2 := t.Args[1].IsConst()
+			if ok1 && ok2 {
+				return proof.RuleRwAndConstFold,
+					expr.And(t.Args[0].Args[0], expr.Const(c1&c2, t.Width))
+			}
+		}
+	case expr.OpOr:
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwOrZeroR, t.Args[0]
+		}
+		if isConst(t.Args[0], 0) {
+			return proof.RuleRwOrZeroL, t.Args[1]
+		}
+		if expr.Equal(t.Args[0], t.Args[1]) {
+			return proof.RuleRwOrSelf, t.Args[0]
+		}
+	case expr.OpXor:
+		if expr.Equal(t.Args[0], t.Args[1]) {
+			return proof.RuleRwXorSelf, expr.Const(0, t.Width)
+		}
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwXorZeroR, t.Args[0]
+		}
+		if isConst(t.Args[0], 0) {
+			return proof.RuleRwXorZeroL, t.Args[1]
+		}
+	case expr.OpMul:
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwMulZeroR, expr.Const(0, t.Width)
+		}
+		if isConst(t.Args[0], 0) {
+			return proof.RuleRwMulZeroL, expr.Const(0, t.Width)
+		}
+		if isConst(t.Args[1], 1) {
+			return proof.RuleRwMulOneR, t.Args[0]
+		}
+		if isConst(t.Args[0], 1) {
+			return proof.RuleRwMulOneL, t.Args[1]
+		}
+	case expr.OpShl, expr.OpLshr, expr.OpAshr:
+		if isConst(t.Args[1], 0) {
+			return proof.RuleRwShiftZero, t.Args[0]
+		}
+	case expr.OpNot:
+		if t.Args[0].Op == expr.OpNot {
+			return proof.RuleRwNotNot, t.Args[0].Args[0]
+		}
+	case expr.OpZExt:
+		if isConst(t.Args[0], 0) {
+			return proof.RuleRwZExtZero, expr.Const(0, t.Width)
+		}
+	case expr.OpExtract:
+		if t.Aux == 0 && t.Args[0].Op == expr.OpZExt &&
+			t.Args[0].Args[0].Width == t.Width {
+			return proof.RuleRwExtractZExt, t.Args[0].Args[0]
+		}
+	}
+	return proof.RuleInvalid, nil
+}

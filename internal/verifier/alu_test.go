@@ -1,0 +1,255 @@
+package verifier
+
+// Property tests for the abstract transfer functions, in the spirit of
+// Vishwanathan et al.'s "Verifying the Verifier": for random abstract
+// register states and random concrete members, the concrete result of
+// every ALU operation must be contained in the abstract result, and
+// branch reasoning must never exclude a concrete behaviour.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/tnum"
+)
+
+// randAbstract builds a random sound abstraction along with a concrete
+// member: it starts from the member and widens randomly.
+func randAbstract(rng *rand.Rand) (RegState, uint64) {
+	v := rng.Uint64()
+	switch rng.Intn(4) {
+	case 0: // exact constant
+		return constScalar(v), v
+	case 1: // unknown
+		return unknownScalar(), v
+	case 2: // range around the value
+		r := unknownScalar()
+		span := rng.Uint64() % (1 << uint(rng.Intn(40)))
+		lo := v - rng.Uint64()%(span+1)
+		r.UMin, r.UMax = lo, lo+span
+		if r.UMax < r.UMin { // wrapped: give up on the range
+			r.UMin, r.UMax = 0, ^uint64(0)
+		}
+		r.Var = tnum.Range(r.UMin, r.UMax)
+		r.sync()
+		return r, v
+	default: // tnum with random known bits
+		mask := rng.Uint64()
+		r := unknownScalar()
+		r.Var = tnum.Tnum{Value: v &^ mask, Mask: mask}
+		r.sync()
+		return r, v
+	}
+}
+
+var propOps = []uint8{
+	ebpf.AluADD, ebpf.AluSUB, ebpf.AluMUL, ebpf.AluAND, ebpf.AluOR,
+	ebpf.AluXOR, ebpf.AluLSH, ebpf.AluRSH, ebpf.AluARSH,
+	ebpf.AluDIV, ebpf.AluMOD,
+}
+
+func TestAluScalarSoundness64(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for iter := 0; iter < 30000; iter++ {
+		dstAbs, dstVal := randAbstract(rng)
+		srcAbs, srcVal := randAbstract(rng)
+		op := propOps[rng.Intn(len(propOps))]
+		want, ok := foldConst(dstVal, srcVal, op, false)
+		if !ok {
+			continue
+		}
+		got := dstAbs
+		aluScalar(&got, &srcAbs, op, false)
+		if !got.wellFormed() {
+			t.Fatalf("op %s produced malformed state: %+v", ebpf.AluOpName(op), got)
+		}
+		if !got.contains(want) {
+			t.Fatalf("unsound %s: dst=%v(%d) src=%v(%d) concrete=%d abstract=%v",
+				ebpf.AluOpName(op), dstAbs.Var, dstVal, srcAbs.Var, srcVal, want, got)
+		}
+	}
+}
+
+func TestAluScalarSoundness32(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for iter := 0; iter < 30000; iter++ {
+		dstAbs, dstVal := randAbstract(rng)
+		srcAbs, srcVal := randAbstract(rng)
+		op := propOps[rng.Intn(len(propOps))]
+		want, ok := foldConst(dstVal, srcVal, op, true)
+		if !ok {
+			continue
+		}
+		got := dstAbs
+		aluScalar(&got, &srcAbs, op, true)
+		if !got.wellFormed() {
+			t.Fatalf("op32 %s produced malformed state", ebpf.AluOpName(op))
+		}
+		if !got.contains(want) {
+			t.Fatalf("unsound 32-bit %s: dst=%d src=%d concrete=%#x abstract=%v",
+				ebpf.AluOpName(op), dstVal, srcVal, want, got)
+		}
+	}
+}
+
+func TestIsBranchTakenSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	jmpOps := []uint8{
+		ebpf.JmpJEQ, ebpf.JmpJNE, ebpf.JmpJGT, ebpf.JmpJGE, ebpf.JmpJLT,
+		ebpf.JmpJLE, ebpf.JmpJSGT, ebpf.JmpJSGE, ebpf.JmpJSLT, ebpf.JmpJSLE,
+		ebpf.JmpJSET,
+	}
+	for iter := 0; iter < 30000; iter++ {
+		dstAbs, dstVal := randAbstract(rng)
+		srcAbs, srcVal := randAbstract(rng)
+		op := jmpOps[rng.Intn(len(jmpOps))]
+		is32 := rng.Intn(2) == 0
+		a, b := dstVal, srcVal
+		if is32 {
+			a, b = uint64(uint32(a)), uint64(uint32(b))
+		}
+		concrete, err := concreteBranch(op, a, b, is32)
+		if err != nil {
+			continue
+		}
+		switch isBranchTaken(&dstAbs, &srcAbs, op, is32) {
+		case branchAlways:
+			if !concrete {
+				t.Fatalf("unsound always-taken: op=%s dst=%d src=%d is32=%v dstAbs=%+v srcAbs=%+v",
+					ebpf.JmpOpName(op|ebpf.ClassJMP), dstVal, srcVal, is32, dstAbs, srcAbs)
+			}
+		case branchNever:
+			if concrete {
+				t.Fatalf("unsound never-taken: op=%s dst=%d src=%d is32=%v",
+					ebpf.JmpOpName(op|ebpf.ClassJMP), dstVal, srcVal, is32)
+			}
+		}
+	}
+}
+
+// concreteBranch evaluates the jump condition on concrete values.
+func concreteBranch(op uint8, a, b uint64, is32 bool) (bool, error) {
+	var sa, sb int64
+	if is32 {
+		sa, sb = int64(int32(uint32(a))), int64(int32(uint32(b)))
+	} else {
+		sa, sb = int64(a), int64(b)
+	}
+	switch op {
+	case ebpf.JmpJEQ:
+		return a == b, nil
+	case ebpf.JmpJNE:
+		return a != b, nil
+	case ebpf.JmpJGT:
+		return a > b, nil
+	case ebpf.JmpJGE:
+		return a >= b, nil
+	case ebpf.JmpJLT:
+		return a < b, nil
+	case ebpf.JmpJLE:
+		return a <= b, nil
+	case ebpf.JmpJSGT:
+		return sa > sb, nil
+	case ebpf.JmpJSGE:
+		return sa >= sb, nil
+	case ebpf.JmpJSLT:
+		return sa < sb, nil
+	case ebpf.JmpJSLE:
+		return sa <= sb, nil
+	case ebpf.JmpJSET:
+		return a&b != 0, nil
+	}
+	return false, errUnknownOp
+}
+
+var errUnknownOp = &Error{Msg: "unknown op"}
+
+func TestRegSetMinMaxSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	jmpOps := []uint8{
+		ebpf.JmpJEQ, ebpf.JmpJNE, ebpf.JmpJGT, ebpf.JmpJGE, ebpf.JmpJLT,
+		ebpf.JmpJLE, ebpf.JmpJSGT, ebpf.JmpJSGE, ebpf.JmpJSLT, ebpf.JmpJSLE,
+		ebpf.JmpJSET,
+	}
+	for iter := 0; iter < 30000; iter++ {
+		dstAbs, dstVal := randAbstract(rng)
+		srcAbs, srcVal := randAbstract(rng)
+		op := jmpOps[rng.Intn(len(jmpOps))]
+		is32 := rng.Intn(2) == 0
+		a, b := dstVal, srcVal
+		if is32 {
+			a, b = uint64(uint32(a)), uint64(uint32(b))
+		}
+		taken, err := concreteBranch(op, a, b, is32)
+		if err != nil {
+			continue
+		}
+		// Refine along the edge the concrete values actually take; the
+		// concrete values must survive the refinement.
+		d, s := dstAbs, srcAbs
+		regSetMinMax(&d, &s, op, taken, is32)
+		if !d.wellFormed() || !s.wellFormed() {
+			t.Fatalf("malformed refinement: op=%s taken=%v", ebpf.JmpOpName(op|ebpf.ClassJMP), taken)
+		}
+		if !d.contains(dstVal) {
+			t.Fatalf("refinement excluded dst: op=%s taken=%v is32=%v dst=%d (%+v -> %+v)",
+				ebpf.JmpOpName(op|ebpf.ClassJMP), taken, is32, dstVal, dstAbs, d)
+		}
+		if !s.contains(srcVal) {
+			t.Fatalf("refinement excluded src: op=%s taken=%v is32=%v src=%d",
+				ebpf.JmpOpName(op|ebpf.ClassJMP), taken, is32, srcVal)
+		}
+	}
+}
+
+func TestLoadedScalarBounds(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 8} {
+		r := loadedScalar(size)
+		if !r.wellFormed() {
+			t.Fatalf("size %d: malformed", size)
+		}
+		if size < 8 {
+			max := uint64(1)<<(8*size) - 1
+			if r.UMax != max || r.SMin != 0 {
+				t.Fatalf("size %d: bounds [%d,%d]", size, r.UMin, r.UMax)
+			}
+			if !r.contains(max) || !r.contains(0) {
+				t.Fatalf("size %d: endpoints excluded", size)
+			}
+		}
+	}
+}
+
+func TestZext32Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for iter := 0; iter < 10000; iter++ {
+		abs, val := randAbstract(rng)
+		abs.zext32()
+		if !abs.wellFormed() {
+			t.Fatal("zext32 produced malformed state")
+		}
+		if !abs.contains(uint64(uint32(val))) {
+			t.Fatalf("zext32 excluded the truncated member: %#x", val)
+		}
+	}
+}
+
+func TestApplyRefinedRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for iter := 0; iter < 10000; iter++ {
+		abs, val := randAbstract(rng)
+		lo := val - rng.Uint64()%1000
+		hi := val + rng.Uint64()%1000
+		if lo > val || hi < val {
+			continue // wrapped
+		}
+		applyRefinedRange(&abs, lo, hi)
+		if !abs.wellFormed() {
+			t.Fatal("applyRefinedRange produced malformed state")
+		}
+		if !abs.contains(val) {
+			t.Fatalf("refined range excluded the witness: val=%d lo=%d hi=%d", val, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package verifier
+
+import (
+	"math"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/tnum"
+)
+
+// branchOutcome is the tri-state result of is_branch_taken.
+type branchOutcome int8
+
+const (
+	branchUnknown branchOutcome = iota - 1
+	branchNever
+	branchAlways
+)
+
+// isBranchTaken decides a conditional jump statically when the abstract
+// values allow it, mirroring the kernel's is_branch_taken.
+func isBranchTaken(dst, src *RegState, op uint8, is32 bool) branchOutcome {
+	type b struct {
+		umin, umax uint64
+		smin, smax int64
+		tn         tnum.Tnum
+	}
+	var d, s b
+	if is32 {
+		d = b{uint64(dst.U32Min), uint64(dst.U32Max), int64(dst.S32Min), int64(dst.S32Max), dst.Var.Subreg()}
+		s = b{uint64(src.U32Min), uint64(src.U32Max), int64(src.S32Min), int64(src.S32Max), src.Var.Subreg()}
+	} else {
+		d = b{dst.UMin, dst.UMax, dst.SMin, dst.SMax, dst.Var}
+		s = b{src.UMin, src.UMax, src.SMin, src.SMax, src.Var}
+	}
+	switch op {
+	case ebpf.JmpJEQ:
+		if d.umin == d.umax && s.umin == s.umax && d.umin == s.umin {
+			return branchAlways
+		}
+		if d.umax < s.umin || d.umin > s.umax || d.smax < s.smin || d.smin > s.smax {
+			return branchNever
+		}
+	case ebpf.JmpJNE:
+		if d.umin == d.umax && s.umin == s.umax && d.umin == s.umin {
+			return branchNever
+		}
+		if d.umax < s.umin || d.umin > s.umax || d.smax < s.smin || d.smin > s.smax {
+			return branchAlways
+		}
+	case ebpf.JmpJGT:
+		if d.umin > s.umax {
+			return branchAlways
+		}
+		if d.umax <= s.umin {
+			return branchNever
+		}
+	case ebpf.JmpJGE:
+		if d.umin >= s.umax {
+			return branchAlways
+		}
+		if d.umax < s.umin {
+			return branchNever
+		}
+	case ebpf.JmpJLT:
+		if d.umax < s.umin {
+			return branchAlways
+		}
+		if d.umin >= s.umax {
+			return branchNever
+		}
+	case ebpf.JmpJLE:
+		if d.umax <= s.umin {
+			return branchAlways
+		}
+		if d.umin > s.umax {
+			return branchNever
+		}
+	case ebpf.JmpJSGT:
+		if d.smin > s.smax {
+			return branchAlways
+		}
+		if d.smax <= s.smin {
+			return branchNever
+		}
+	case ebpf.JmpJSGE:
+		if d.smin >= s.smax {
+			return branchAlways
+		}
+		if d.smax < s.smin {
+			return branchNever
+		}
+	case ebpf.JmpJSLT:
+		if d.smax < s.smin {
+			return branchAlways
+		}
+		if d.smin >= s.smax {
+			return branchNever
+		}
+	case ebpf.JmpJSLE:
+		if d.smax <= s.smin {
+			return branchAlways
+		}
+		if d.smin > s.smax {
+			return branchNever
+		}
+	case ebpf.JmpJSET:
+		if s.tn.IsConst() {
+			v := s.tn.Value
+			if d.tn.Value&v != 0 {
+				return branchAlways
+			}
+			if (d.tn.Value|d.tn.Mask)&v == 0 {
+				return branchNever
+			}
+		}
+	}
+	return branchUnknown
+}
+
+// negateJmpOp returns the operation describing the fallthrough edge.
+// JSET has no dual operation; callers handle it specially.
+func negateJmpOp(op uint8) (uint8, bool) {
+	switch op {
+	case ebpf.JmpJEQ:
+		return ebpf.JmpJNE, true
+	case ebpf.JmpJNE:
+		return ebpf.JmpJEQ, true
+	case ebpf.JmpJGT:
+		return ebpf.JmpJLE, true
+	case ebpf.JmpJGE:
+		return ebpf.JmpJLT, true
+	case ebpf.JmpJLT:
+		return ebpf.JmpJGE, true
+	case ebpf.JmpJLE:
+		return ebpf.JmpJGT, true
+	case ebpf.JmpJSGT:
+		return ebpf.JmpJSLE, true
+	case ebpf.JmpJSGE:
+		return ebpf.JmpJSLT, true
+	case ebpf.JmpJSLT:
+		return ebpf.JmpJSGE, true
+	case ebpf.JmpJSLE:
+		return ebpf.JmpJSGT, true
+	}
+	return 0, false
+}
+
+// regSetMinMax refines dst and src (both scalars) under the assumption
+// that the branch with operation op evaluated to `taken`, mirroring
+// reg_set_min_max. The refinement operates on the width selected by is32
+// and re-syncs all domains.
+func regSetMinMax(dst, src *RegState, op uint8, taken bool, is32 bool) {
+	if dst.Type != Scalar || src.Type != Scalar {
+		return
+	}
+	effOp := op
+	if !taken {
+		if op == ebpf.JmpJSET {
+			// !(dst & src): with a constant mask every masked bit is zero.
+			if src.IsConst() {
+				clearKnownBits(dst, src.ConstVal(), is32)
+			}
+			return
+		}
+		neg, ok := negateJmpOp(op)
+		if !ok {
+			return
+		}
+		effOp = neg
+	} else if op == ebpf.JmpJSET {
+		// dst & src != 0: with a single-bit constant mask that bit is one.
+		if src.IsConst() {
+			v := src.ConstVal()
+			if v != 0 && v&(v-1) == 0 {
+				setKnownBits(dst, v, is32)
+			}
+		}
+		return
+	}
+	if is32 {
+		d, s := dst.view32(), src.view32()
+		apply32(&d, &s, effOp)
+		writeBack32(dst, d)
+		writeBack32(src, s)
+		return
+	}
+	apply64(dst, src, effOp)
+	dst.sync()
+	src.sync()
+}
+
+// clearKnownBits records that all bits in mask are zero in dst.
+func clearKnownBits(dst *RegState, mask uint64, is32 bool) {
+	if is32 {
+		mask &= math.MaxUint32
+		sub := tnum.Intersect(dst.Var.Subreg(), tnum.Tnum{Value: 0, Mask: ^mask & math.MaxUint32})
+		dst.Var = dst.Var.WithSubreg(sub)
+	} else {
+		dst.Var = tnum.Intersect(dst.Var, tnum.Tnum{Value: 0, Mask: ^mask})
+	}
+	dst.sync()
+}
+
+// setKnownBits records that all bits in mask are one in dst.
+func setKnownBits(dst *RegState, mask uint64, is32 bool) {
+	if is32 {
+		mask &= math.MaxUint32
+		sub := tnum.Intersect(dst.Var.Subreg(), tnum.Tnum{Value: mask, Mask: ^mask & math.MaxUint32})
+		dst.Var = dst.Var.WithSubreg(sub)
+	} else {
+		dst.Var = tnum.Intersect(dst.Var, tnum.Tnum{Value: mask, Mask: ^mask})
+	}
+	dst.sync()
+}
+
+// apply64 refines 64-bit bounds of both operands under "dst op src".
+func apply64(dst, src *RegState, op uint8) {
+	switch op {
+	case ebpf.JmpJEQ:
+		// Both sides collapse onto the intersection.
+		umin := maxU(dst.UMin, src.UMin)
+		umax := minU(dst.UMax, src.UMax)
+		smin := maxS(dst.SMin, src.SMin)
+		smax := minS(dst.SMax, src.SMax)
+		tn := tnum.Intersect(dst.Var, src.Var)
+		dst.UMin, dst.UMax, dst.SMin, dst.SMax, dst.Var = umin, umax, smin, smax, tn
+		src.UMin, src.UMax, src.SMin, src.SMax, src.Var = umin, umax, smin, smax, tn
+	case ebpf.JmpJNE:
+		// Only useful when one side is constant at a range endpoint.
+		if src.IsConst() {
+			v := src.ConstVal()
+			if dst.UMin == v && dst.UMin < math.MaxUint64 {
+				dst.UMin++
+			}
+			if dst.UMax == v && dst.UMax > 0 {
+				dst.UMax--
+			}
+			if dst.SMin == int64(v) && dst.SMin < math.MaxInt64 {
+				dst.SMin++
+			}
+			if dst.SMax == int64(v) && dst.SMax > math.MinInt64 {
+				dst.SMax--
+			}
+		}
+	case ebpf.JmpJGT:
+		if src.UMin < math.MaxUint64 {
+			dst.UMin = maxU(dst.UMin, src.UMin+1)
+		}
+		if dst.UMax > 0 {
+			src.UMax = minU(src.UMax, dst.UMax-1)
+		}
+	case ebpf.JmpJGE:
+		dst.UMin = maxU(dst.UMin, src.UMin)
+		src.UMax = minU(src.UMax, dst.UMax)
+	case ebpf.JmpJLT:
+		if src.UMax > 0 {
+			dst.UMax = minU(dst.UMax, src.UMax-1)
+		}
+		if dst.UMin < math.MaxUint64 {
+			src.UMin = maxU(src.UMin, dst.UMin+1)
+		}
+	case ebpf.JmpJLE:
+		dst.UMax = minU(dst.UMax, src.UMax)
+		src.UMin = maxU(src.UMin, dst.UMin)
+	case ebpf.JmpJSGT:
+		if src.SMin < math.MaxInt64 {
+			dst.SMin = maxS(dst.SMin, src.SMin+1)
+		}
+		if dst.SMax > math.MinInt64 {
+			src.SMax = minS(src.SMax, dst.SMax-1)
+		}
+	case ebpf.JmpJSGE:
+		dst.SMin = maxS(dst.SMin, src.SMin)
+		src.SMax = minS(src.SMax, dst.SMax)
+	case ebpf.JmpJSLT:
+		if src.SMax > math.MinInt64 {
+			dst.SMax = minS(dst.SMax, src.SMax-1)
+		}
+		if dst.SMin < math.MaxInt64 {
+			src.SMin = maxS(src.SMin, dst.SMin+1)
+		}
+	case ebpf.JmpJSLE:
+		dst.SMax = minS(dst.SMax, src.SMax)
+		src.SMin = maxS(src.SMin, dst.SMin)
+	}
+}
+
+// apply32 refines 32-bit views of both operands under "dst op src".
+func apply32(d, s *reg32, op uint8) {
+	switch op {
+	case ebpf.JmpJEQ:
+		umin := maxU32(d.UMin, s.UMin)
+		umax := minU32(d.UMax, s.UMax)
+		smin := maxS32(d.SMin, s.SMin)
+		smax := minS32(d.SMax, s.SMax)
+		tn := tnum.Intersect(d.Var, s.Var)
+		d.UMin, d.UMax, d.SMin, d.SMax, d.Var = umin, umax, smin, smax, tn
+		s.UMin, s.UMax, s.SMin, s.SMax, s.Var = umin, umax, smin, smax, tn
+	case ebpf.JmpJNE:
+		if s.Var.IsConst() {
+			v := uint32(s.Var.Value)
+			if d.UMin == v && d.UMin < math.MaxUint32 {
+				d.UMin++
+			}
+			if d.UMax == v && d.UMax > 0 {
+				d.UMax--
+			}
+			if d.SMin == int32(v) && d.SMin < math.MaxInt32 {
+				d.SMin++
+			}
+			if d.SMax == int32(v) && d.SMax > math.MinInt32 {
+				d.SMax--
+			}
+		}
+	case ebpf.JmpJGT:
+		if s.UMin < math.MaxUint32 {
+			d.UMin = maxU32(d.UMin, s.UMin+1)
+		}
+		if d.UMax > 0 {
+			s.UMax = minU32(s.UMax, d.UMax-1)
+		}
+	case ebpf.JmpJGE:
+		d.UMin = maxU32(d.UMin, s.UMin)
+		s.UMax = minU32(s.UMax, d.UMax)
+	case ebpf.JmpJLT:
+		if s.UMax > 0 {
+			d.UMax = minU32(d.UMax, s.UMax-1)
+		}
+		if d.UMin < math.MaxUint32 {
+			s.UMin = maxU32(s.UMin, d.UMin+1)
+		}
+	case ebpf.JmpJLE:
+		d.UMax = minU32(d.UMax, s.UMax)
+		s.UMin = maxU32(s.UMin, d.UMin)
+	case ebpf.JmpJSGT:
+		if s.SMin < math.MaxInt32 {
+			d.SMin = maxS32(d.SMin, s.SMin+1)
+		}
+		if d.SMax > math.MinInt32 {
+			s.SMax = minS32(s.SMax, d.SMax-1)
+		}
+	case ebpf.JmpJSGE:
+		d.SMin = maxS32(d.SMin, s.SMin)
+		s.SMax = minS32(s.SMax, d.SMax)
+	case ebpf.JmpJSLT:
+		if s.SMax > math.MinInt32 {
+			d.SMax = minS32(d.SMax, s.SMax-1)
+		}
+		if d.SMin < math.MaxInt32 {
+			s.SMin = maxS32(s.SMin, d.SMin+1)
+		}
+	case ebpf.JmpJSLE:
+		d.SMax = minS32(d.SMax, s.SMax)
+		s.SMin = maxS32(s.SMin, d.SMin)
+	}
+}
+
+// writeBack32 merges refined 32-bit knowledge into the full register
+// without touching the upper 32 bits (JMP32 only informs the low word).
+func writeBack32(r *RegState, v reg32) {
+	r.Var = r.Var.WithSubreg(v.Var)
+	r.U32Min, r.U32Max = v.UMin, v.UMax
+	r.S32Min, r.S32Max = v.SMin, v.SMax
+	r.sync()
+}

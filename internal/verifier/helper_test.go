@@ -1,0 +1,164 @@
+package verifier
+
+import (
+	"testing"
+
+	"bcf/internal/ebpf"
+)
+
+// Coverage for the helper-call argument checker.
+
+func TestHelperArgTypeErrors(t *testing.T) {
+	cases := map[string]string{
+		// R1 must be a map pointer for map_lookup_elem.
+		"lookup without map ptr": `
+			r1 = 5
+			r2 = r10
+			r2 += -4
+			*(u32 *)(r10 -4) = 0
+			call 1
+			r0 = 0
+			exit
+		`,
+		// Key pointer must point at readable stack/map memory.
+		"lookup with scalar key": `
+			r1 = map[0]
+			r2 = 7
+			call 1
+			r0 = 0
+			exit
+		`,
+		// Size argument must be a scalar, not a pointer.
+		"pointer size arg": `
+			r1 = r10
+			r1 += -16
+			r2 = r10
+			r3 = 0
+			call 4
+			r0 = 0
+			exit
+		`,
+		// Memory argument must be a pointer.
+		"scalar memory arg": `
+			r1 = 5
+			r2 = 8
+			r3 = 0
+			call 4
+			r0 = 0
+			exit
+		`,
+		// Uninitialized argument register.
+		"uninit arg": `
+			r1 = map[0]
+			call 1
+			r0 = 0
+			exit
+		`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			mustReject(t, mapProg(src, testMap16), "")
+		})
+	}
+}
+
+func TestMapUpdateFullSignature(t *testing.T) {
+	mustAccept(t, mapProg(`
+		r1 = 0
+		*(u32 *)(r10 -4) = r1
+		*(u64 *)(r10 -16) = r1
+		*(u64 *)(r10 -8) = r1
+		r1 = map[0]
+		r2 = r10
+		r2 += -4
+		r3 = r10
+		r3 += -16
+		r4 = 0
+		call 2
+		r0 = 0
+		exit
+	`, testMap16))
+}
+
+func TestMapUpdateUninitValueRejected(t *testing.T) {
+	mustReject(t, mapProg(`
+		r1 = 0
+		*(u32 *)(r10 -4) = r1
+		r1 = map[0]
+		r2 = r10
+		r2 += -4
+		r3 = r10
+		r3 += -16
+		r4 = 0
+		call 2
+		r0 = 0
+		exit
+	`, testMap16), "")
+}
+
+func TestProbeReadStrZeroSizeAllowed(t *testing.T) {
+	// probe_read_str takes ARG_CONST_SIZE_OR_ZERO.
+	mustAccept(t, mapProg(`
+		r1 = r10
+		r1 += -16
+		r2 = 0
+		r3 = 0
+		call 45
+		r0 = 0
+		exit
+	`))
+}
+
+func TestHelperReturnIsScalar(t *testing.T) {
+	// Using the return value of ktime as a pointer must fail.
+	mustReject(t, mapProg(`
+		call 5
+		r0 = *(u8 *)(r0 +0)
+		exit
+	`), "scalar")
+}
+
+func TestCallClobbersCallerSaved(t *testing.T) {
+	mustReject(t, mapProg(`
+		r1 = 1
+		call 5
+		r0 = r1
+		exit
+	`), "!read_ok")
+}
+
+func TestCalleeSavedSurviveCall(t *testing.T) {
+	mustAccept(t, mapProg(`
+		r6 = 7
+		call 5
+		r0 = r6
+		exit
+	`))
+}
+
+func TestRingbufOutputChecked(t *testing.T) {
+	rb := &ebpf.MapSpec{Name: "rb", Type: ebpf.MapRingBuf, MaxEntries: 4096}
+	mustAccept(t, mapProg(`
+		r1 = 0
+		*(u64 *)(r10 -8) = r1
+		r1 = map[0]
+		r2 = r10
+		r2 += -8
+		r3 = 8
+		r4 = 0
+		call 130
+		r0 = 0
+		exit
+	`, rb))
+	// The data size exceeds the initialized stack region.
+	mustReject(t, mapProg(`
+		r1 = map[0]
+		r2 = r10
+		r2 += -8
+		r3 = 16
+		r4 = 0
+		call 130
+		r0 = 0
+		exit
+	`, rb), "")
+}

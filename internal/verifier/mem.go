@@ -1,0 +1,307 @@
+package verifier
+
+import (
+	"fmt"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/tnum"
+)
+
+// checkLoad verifies an LDX instruction and models its effect.
+func (v *Verifier) checkLoad(st *VState, pc int, ins ebpf.Instruction, node *pathNode) error {
+	src := &st.Regs[ins.Src]
+	if src.Type == NotInit {
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: fmt.Sprintf("R%d !read_ok", ins.Src)}
+	}
+	size := ins.LoadSize()
+	if err := v.checkMemAccess(st, pc, ins.Src, ins.Off, size, false, node); err != nil {
+		return err
+	}
+	dst := &st.Regs[ins.Dst]
+	switch src.Type {
+	case PtrToStack:
+		*dst = v.readStack(st, src, ins.Off, size)
+	default:
+		*dst = loadedScalar(size)
+	}
+	return nil
+}
+
+// loadedScalar is the abstract value of a size-byte memory load.
+func loadedScalar(size int) RegState {
+	r := unknownScalar()
+	if size < 8 {
+		hi := uint64(1)<<(size*8) - 1
+		r.UMax = hi
+		r.SMin, r.SMax = 0, int64(hi)
+		r.Var = tnum.Range(0, hi)
+		r.sync()
+	}
+	return r
+}
+
+// checkStore verifies ST/STX instructions and models their effect.
+func (v *Verifier) checkStore(st *VState, pc int, ins ebpf.Instruction, node *pathNode) error {
+	dst := &st.Regs[ins.Dst]
+	if dst.Type == NotInit {
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: fmt.Sprintf("R%d !read_ok", ins.Dst)}
+	}
+	size := ins.LoadSize()
+	atomic := ins.Class() == ebpf.ClassSTX && ins.Mode() == ebpf.ModeATOMIC
+	var srcReg *RegState
+	if ins.Class() == ebpf.ClassSTX {
+		srcReg = &st.Regs[ins.Src]
+		if srcReg.Type == NotInit {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: fmt.Sprintf("R%d !read_ok", ins.Src)}
+		}
+		if atomic && srcReg.Type.IsPtr() {
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: fmt.Sprintf("R%d atomic add of a pointer prohibited", ins.Src)}
+		}
+		if srcReg.Type.IsPtr() && !(dst.Type == PtrToStack && size == 8) {
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: fmt.Sprintf("R%d leaks addr into memory", ins.Src)}
+		}
+	}
+	if err := v.checkMemAccess(st, pc, ins.Dst, ins.Off, size, true, node); err != nil {
+		return err
+	}
+	if dst.Type == PtrToStack {
+		if atomic {
+			// Read-modify-write: the slot's tracked contents are gone.
+			v.writeStack(st, dst, ins.Off, size, nil, ins)
+		} else {
+			v.writeStack(st, dst, ins.Off, size, srcReg, ins)
+		}
+	}
+	return nil
+}
+
+// checkMemAccess validates one access of `size` bytes at reg+off,
+// triggering BCF refinement at the instrumented rejection sites.
+func (v *Verifier) checkMemAccess(st *VState, pc int, regno ebpf.Reg, off int16, size int, write bool, node *pathNode) error {
+	for {
+		reg := &st.Regs[regno]
+		err := v.checkMemAccessOnce(st, pc, reg, regno, off, size, write)
+		if err == nil {
+			return nil
+		}
+		verr, ok := err.(*Error)
+		if !ok {
+			return err
+		}
+		var want struct {
+			lo, hi uint64
+			ok     bool
+		}
+		switch verr.Kind {
+		case CheckMapAccess:
+			valSize := int64(v.prog.Maps[reg.MapIdx].ValueSize)
+			hi := valSize - int64(size) - int64(reg.Off) - int64(off)
+			if hi >= 0 {
+				want.lo, want.hi, want.ok = 0, uint64(hi), true
+			}
+		case CheckStackAccess:
+			// Variable stack offset: the variable part must keep the whole
+			// access within [-StackSize, 0). fixed + var + size <= 0 and
+			// fixed + var >= -StackSize, with var proven unsigned-bounded.
+			fixed := int64(reg.Off) + int64(off)
+			hi := -int64(size) - fixed
+			lo := -int64(ebpf.StackSize) - fixed
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= lo {
+				want.lo, want.hi, want.ok = uint64(lo), uint64(hi), true
+			}
+		}
+		if !want.ok {
+			// No variable range can satisfy the check (e.g. the fixed
+			// offset alone is out of bounds); the only way out is a proof
+			// that the path itself is infeasible (paper Listing 8).
+			want.lo, want.hi = 1, 0
+		}
+		if rerr := v.refine(st, pc, regno, verr.Kind, want.lo, want.hi, node, err); rerr != nil {
+			return rerr
+		}
+		// Refinement adopted: re-check the same access.
+	}
+}
+
+func (v *Verifier) checkMemAccessOnce(st *VState, pc int, reg *RegState, regno ebpf.Reg, off int16, size int, write bool) error {
+	switch reg.Type {
+	case PtrToStack:
+		fixed := int64(reg.Off) + int64(off)
+		// Guard against overflow in the bound arithmetic below: a variable
+		// part outside a generous window is out of bounds regardless.
+		if reg.SMin < -4*ebpf.StackSize || reg.SMax > 4*ebpf.StackSize {
+			return &Error{InsnIdx: pc, Kind: CheckStackAccess,
+				Msg: fmt.Sprintf("invalid unbounded variable-offset %s stack R%d", rw(write), regno)}
+		}
+		minOff := fixed + reg.SMin
+		maxOff := fixed + reg.SMax
+		if minOff < -ebpf.StackSize || maxOff+int64(size) > 0 {
+			return &Error{InsnIdx: pc, Kind: CheckStackAccess,
+				Msg: fmt.Sprintf("invalid %s stack R%d off=%d size=%d (range [%d,%d])",
+					rw(write), regno, off, size, minOff, maxOff)}
+		}
+		return nil
+
+	case PtrToMapValue:
+		valSize := int64(v.prog.Maps[reg.MapIdx].ValueSize)
+		fixed := int64(reg.Off) + int64(off)
+		// Lower bound: the signed minimum of the full offset must be >= 0.
+		if fixed+reg.SMin < 0 {
+			return &Error{InsnIdx: pc, Kind: CheckMapAccess,
+				Msg: fmt.Sprintf("R%d min value is negative, either use unsigned index or do a if (index >=0) check", regno)}
+		}
+		// Upper bound: umax of the full offset plus access size must fit.
+		if reg.UMax > uint64(valSize) || fixed+int64(reg.UMax)+int64(size) > valSize {
+			return &Error{InsnIdx: pc, Kind: CheckMapAccess,
+				Msg: fmt.Sprintf("invalid access to map value, value_size=%d off=%d size=%d (R%d max offset %d)",
+					valSize, fixed, size, regno, fixed+int64(reg.UMax))}
+		}
+		return nil
+
+	case PtrToCtx:
+		// Context accesses require a constant offset; this rejection site
+		// is deliberately NOT instrumented for refinement (paper §6.2:
+		// a small number of sites remain uninstrumented).
+		if !reg.Var.IsConst() {
+			return &Error{InsnIdx: pc, Kind: CheckCtxAccess,
+				Msg: fmt.Sprintf("variable ctx access var_off=%s off=%d size=%d", reg.Var, off, size)}
+		}
+		coff := int64(reg.Off) + int64(off) + int64(reg.Var.Value)
+		ctxSize := int64(v.prog.Type.CtxSize())
+		if coff < 0 || coff+int64(size) > ctxSize {
+			return &Error{InsnIdx: pc, Kind: CheckCtxAccess,
+				Msg: fmt.Sprintf("invalid bpf_context access off=%d size=%d", coff, size)}
+		}
+		return nil
+
+	case PtrToMapValueOrNull:
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: fmt.Sprintf("R%d invalid mem access 'map_value_or_null'", regno)}
+
+	case ConstPtrToMap:
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: fmt.Sprintf("R%d invalid mem access 'map_ptr'", regno)}
+
+	case Scalar:
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: fmt.Sprintf("R%d invalid mem access 'scalar'", regno)}
+	}
+	return &Error{InsnIdx: pc, Kind: CheckOther,
+		Msg: fmt.Sprintf("R%d invalid mem access", regno)}
+}
+
+func rw(write bool) string {
+	if write {
+		return "write to"
+	}
+	return "read from"
+}
+
+// slotRange returns the stack slot indexes covered by an access with a
+// constant final offset (negative, relative to the frame top).
+func slotRange(off int64, size int) (int, int) {
+	lo := ebpf.StackSize + int(off)
+	return lo / 8, (lo + size - 1) / 8
+}
+
+// writeStack models the effect of a store through a stack pointer.
+func (v *Verifier) writeStack(st *VState, reg *RegState, off int16, size int, src *RegState, ins ebpf.Instruction) {
+	if !reg.Var.IsConst() {
+		// Variable offset write: smudge every slot it may touch.
+		minOff := int64(reg.Off) + int64(off) + reg.SMin
+		maxOff := int64(reg.Off) + int64(off) + reg.SMax
+		s0, s1 := slotRange(minOff, 1)
+		_, s1b := slotRange(maxOff, size)
+		if s1b > s1 {
+			s1 = s1b
+		}
+		for i := s0; i <= s1 && i < NumStackSlots; i++ {
+			if i >= 0 {
+				st.Stack[i] = StackSlot{Kind: SlotMisc}
+			}
+		}
+		return
+	}
+	fixed := int64(reg.Off) + int64(off) + int64(reg.Var.Value)
+	s0, s1 := slotRange(fixed, size)
+	if size == 8 && fixed%8 == 0 && src != nil {
+		// Register-sized aligned spill: preserve the full abstract state.
+		st.Stack[s0] = StackSlot{Kind: SlotSpill, Spill: *src}
+		return
+	}
+	kind := SlotMisc
+	if ins.Class() == ebpf.ClassST && ins.Imm == 0 {
+		kind = SlotZero
+	} else if src != nil && src.IsConst() && src.ConstVal() == 0 {
+		kind = SlotZero
+	}
+	for i := s0; i <= s1; i++ {
+		if st.Stack[i].Kind == SlotZero && kind == SlotZero {
+			continue
+		}
+		st.Stack[i] = StackSlot{Kind: kind}
+	}
+}
+
+// readStack models the result of a load through a stack pointer (the
+// bounds check has already passed).
+func (v *Verifier) readStack(st *VState, reg *RegState, off int16, size int) RegState {
+	if !reg.Var.IsConst() {
+		return loadedScalar(size)
+	}
+	fixed := int64(reg.Off) + int64(off) + int64(reg.Var.Value)
+	s0, s1 := slotRange(fixed, size)
+	if size == 8 && fixed%8 == 0 {
+		slot := st.Stack[s0]
+		switch slot.Kind {
+		case SlotSpill:
+			return slot.Spill // fill restores the spilled register
+		case SlotZero:
+			return constScalar(0)
+		}
+		return loadedScalar(size)
+	}
+	// Sub-register read: if all covered slots are zero, the result is 0.
+	allZero := true
+	for i := s0; i <= s1; i++ {
+		if st.Stack[i].Kind != SlotZero {
+			allZero = false
+		}
+	}
+	if allZero {
+		return constScalar(0)
+	}
+	return loadedScalar(size)
+}
+
+// checkStackRead validates that [off, off+size) of the frame is
+// initialized, for helper arguments that read stack memory.
+func (v *Verifier) checkStackRead(st *VState, pc int, fixed int64, size int) error {
+	s0, s1 := slotRange(fixed, size)
+	for i := s0; i <= s1; i++ {
+		if i < 0 || i >= NumStackSlots {
+			return &Error{InsnIdx: pc, Kind: CheckStackAccess, Msg: "stack access out of frame"}
+		}
+		if st.Stack[i].Kind == SlotInvalid {
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: fmt.Sprintf("invalid indirect read from stack off %d", fixed)}
+		}
+	}
+	return nil
+}
+
+// markStackWritten marks [off, off+size) as written with untracked data,
+// for helper arguments that write stack memory.
+func (v *Verifier) markStackWritten(st *VState, fixed int64, size int) {
+	s0, s1 := slotRange(fixed, size)
+	for i := s0; i <= s1; i++ {
+		if i >= 0 && i < NumStackSlots {
+			st.Stack[i] = StackSlot{Kind: SlotMisc}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package verifier
+
+import (
+	"bcf/internal/ebpf"
+	"bcf/internal/tnum"
+)
+
+// maxExploredPerInsn caps the explored-state list per instruction; beyond
+// it we stop recording (still analyzing, just without pruning benefit),
+// bounding memory like the kernel's state-list heuristics.
+const maxExploredPerInsn = 64
+
+// isPrunePoint reports whether pc is a jump target or post-branch
+// instruction, the positions where explored states are recorded.
+func (v *Verifier) isPrunePoint(pc int) bool {
+	if v.prunePoints == nil {
+		v.prunePoints = make([]bool, len(v.prog.Insns))
+		for i, ins := range v.prog.Insns {
+			if !ins.IsJump() {
+				continue
+			}
+			op := ins.JmpOp()
+			if op == ebpf.JmpCALL || op == ebpf.JmpEXIT {
+				continue
+			}
+			tgt := i + 1 + int(ins.Off)
+			if tgt >= 0 && tgt < len(v.prog.Insns) {
+				v.prunePoints[tgt] = true
+			}
+			if op != ebpf.JmpJA && i+1 < len(v.prog.Insns) {
+				v.prunePoints[i+1] = true
+			}
+		}
+	}
+	return v.prunePoints[pc]
+}
+
+// pruned reports whether an already-explored state at pc subsumes st; if
+// not, st is recorded for future pruning.
+func (v *Verifier) pruned(pc int, st *VState) bool {
+	for _, old := range v.explored[pc] {
+		if statesSubsume(old, st) {
+			return true
+		}
+	}
+	if len(v.explored[pc]) < maxExploredPerInsn {
+		v.explored[pc] = append(v.explored[pc], st.clone())
+	}
+	return false
+}
+
+// idMap tracks the correspondence of register identities between an old
+// (explored) and a new state, so that linkage assumptions in the old
+// state are only relied on when the new state has them too.
+type idMap map[uint32]uint32
+
+func (m idMap) match(oldID, newID uint32) bool {
+	if oldID == 0 {
+		return true // old state assumed no linkage: always safe
+	}
+	if newID == 0 {
+		return false // old relied on linkage the new state lacks
+	}
+	if cur, ok := m[oldID]; ok {
+		return cur == newID
+	}
+	m[oldID] = newID
+	return true
+}
+
+// statesSubsume reports whether every concrete state admitted by `new`
+// was admitted by `old` (states_equal with range liveness, conservative).
+func statesSubsume(old, new *VState) bool {
+	ids := idMap{}
+	for i := range old.Regs {
+		if !regSubsumes(&old.Regs[i], &new.Regs[i], ids) {
+			return false
+		}
+	}
+	for i := range old.Stack {
+		if !slotSubsumes(&old.Stack[i], &new.Stack[i], ids) {
+			return false
+		}
+	}
+	return true
+}
+
+// regSubsumes reports whether old's abstraction covers new's (regsafe).
+func regSubsumes(old, new *RegState, ids idMap) bool {
+	if old.Type == NotInit {
+		// Old exploration never read this register (it would have been
+		// rejected), so its contents are irrelevant.
+		return true
+	}
+	if !ids.match(old.ID, new.ID) {
+		return false
+	}
+	switch old.Type {
+	case Scalar:
+		if new.Type != Scalar {
+			return false
+		}
+		return rangeSubsumes(old, new)
+	case PtrToStack, PtrToCtx, PtrToMapValue, PtrToMapValueOrNull, ConstPtrToMap:
+		if new.Type != old.Type || new.Off != old.Off || new.MapIdx != old.MapIdx {
+			return false
+		}
+		return rangeSubsumes(old, new)
+	}
+	return false
+}
+
+// rangeSubsumes checks containment across all five domains.
+func rangeSubsumes(old, new *RegState) bool {
+	return old.UMin <= new.UMin && old.UMax >= new.UMax &&
+		old.SMin <= new.SMin && old.SMax >= new.SMax &&
+		old.U32Min <= new.U32Min && old.U32Max >= new.U32Max &&
+		old.S32Min <= new.S32Min && old.S32Max >= new.S32Max &&
+		tnum.In(old.Var, new.Var)
+}
+
+// slotSubsumes checks stack slot compatibility (stacksafe).
+func slotSubsumes(old, new *StackSlot, ids idMap) bool {
+	switch old.Kind {
+	case SlotInvalid, SlotMisc:
+		// Invalid: never read under old (reads rejected), so contents are
+		// irrelevant. Misc: old treated contents as arbitrary bytes.
+		return true
+	case SlotZero:
+		if new.Kind == SlotZero {
+			return true
+		}
+		return new.Kind == SlotSpill && new.Spill.Type == Scalar &&
+			new.Spill.IsConst() && new.Spill.ConstVal() == 0
+	case SlotSpill:
+		return new.Kind == SlotSpill && regSubsumes(&old.Spill, &new.Spill, ids)
+	}
+	return false
+}

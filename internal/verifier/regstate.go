@@ -1,0 +1,385 @@
+// Package verifier implements the in-kernel eBPF static analyzer: a
+// path-sensitive abstract interpreter over the tnum domain and four
+// interval domains (u64/s64/u32/s32), with pointer tracking, stack slot
+// modeling, branch-guided range refinement, and state pruning — mirroring
+// kernel/bpf/verifier.c. It is deliberately kept simple and linear-time
+// per the paper's first design principle; when a safety check fails, it
+// does not immediately reject but (if configured) triggers BCF's
+// proof-guided abstraction refinement through the Refiner hook.
+package verifier
+
+import (
+	"fmt"
+	"math"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/tnum"
+)
+
+// RegType classifies the verifier's knowledge of what a register holds.
+type RegType uint8
+
+// Register types.
+const (
+	NotInit RegType = iota
+	Scalar
+	PtrToCtx
+	PtrToStack
+	ConstPtrToMap
+	PtrToMapValue
+	PtrToMapValueOrNull
+)
+
+func (t RegType) String() string {
+	switch t {
+	case NotInit:
+		return "?"
+	case Scalar:
+		return "scalar"
+	case PtrToCtx:
+		return "ctx"
+	case PtrToStack:
+		return "fp"
+	case ConstPtrToMap:
+		return "map_ptr"
+	case PtrToMapValue:
+		return "map_value"
+	case PtrToMapValueOrNull:
+		return "map_value_or_null"
+	}
+	return "inval"
+}
+
+// IsPtr reports whether the type is any pointer kind.
+func (t RegType) IsPtr() bool { return t >= PtrToCtx }
+
+// RegState is the abstract value of one register. For scalars the bounds
+// and Var describe the value; for pointers they describe the *variable*
+// part of the offset, with the fixed part in Off (as in the kernel).
+type RegState struct {
+	Type   RegType
+	Off    int32  // fixed offset from the base object (pointers only)
+	MapIdx int32  // referenced map (map pointer kinds only)
+	ID     uint32 // non-zero: identity for ptr-or-null and scalar aliasing
+
+	Var  tnum.Tnum
+	UMin uint64
+	UMax uint64
+	SMin int64
+	SMax int64
+
+	U32Min uint32
+	U32Max uint32
+	S32Min int32
+	S32Max int32
+}
+
+// unknownScalar returns a scalar with no knowledge.
+func unknownScalar() RegState {
+	r := RegState{Type: Scalar, Var: tnum.Unknown}
+	r.UMin, r.UMax = 0, math.MaxUint64
+	r.SMin, r.SMax = math.MinInt64, math.MaxInt64
+	r.U32Min, r.U32Max = 0, math.MaxUint32
+	r.S32Min, r.S32Max = math.MinInt32, math.MaxInt32
+	return r
+}
+
+// constScalar returns the scalar known to be exactly v.
+func constScalar(v uint64) RegState {
+	r := RegState{Type: Scalar, Var: tnum.Const(v)}
+	r.UMin, r.UMax = v, v
+	r.SMin, r.SMax = int64(v), int64(v)
+	v32 := uint32(v)
+	r.U32Min, r.U32Max = v32, v32
+	r.S32Min, r.S32Max = int32(v32), int32(v32)
+	return r
+}
+
+// zeroVarPtr resets the variable-offset tracking of a pointer register.
+func (r *RegState) zeroVar() {
+	r.Var = tnum.Const(0)
+	r.UMin, r.UMax = 0, 0
+	r.SMin, r.SMax = 0, 0
+	r.U32Min, r.U32Max = 0, 0
+	r.S32Min, r.S32Max = 0, 0
+}
+
+// markUnknown turns the register into a scalar with no knowledge.
+func (r *RegState) markUnknown() { *r = unknownScalar() }
+
+// IsConst reports whether a scalar register has exactly one value.
+func (r *RegState) IsConst() bool { return r.Var.IsConst() }
+
+// ConstVal returns the constant value (valid when IsConst).
+func (r *RegState) ConstVal() uint64 { return r.Var.Value }
+
+// updateBounds64 tightens 64-bit bounds from var_off
+// (__update_reg64_bounds).
+func (r *RegState) updateBounds64() {
+	r.SMin = maxS(r.SMin, int64(r.Var.Value|(r.Var.Mask&(uint64(1)<<63))))
+	r.SMax = minS(r.SMax, int64(r.Var.Value|(r.Var.Mask&uint64(math.MaxInt64))))
+	r.UMin = maxU(r.UMin, r.Var.Value)
+	r.UMax = minU(r.UMax, r.Var.Value|r.Var.Mask)
+}
+
+// updateBounds32 tightens 32-bit bounds from the subreg of var_off.
+func (r *RegState) updateBounds32() {
+	v := r.Var.Subreg()
+	r.S32Min = maxS32(r.S32Min, int32(uint32(v.Value)|(uint32(v.Mask)&(uint32(1)<<31))))
+	r.S32Max = minS32(r.S32Max, int32(uint32(v.Value)|(uint32(v.Mask)&uint32(math.MaxInt32))))
+	r.U32Min = maxU32(r.U32Min, uint32(v.Value))
+	r.U32Max = minU32(r.U32Max, uint32(v.Value|v.Mask))
+}
+
+// deduceBounds64 cross-learns between signed and unsigned 64-bit bounds
+// (__reg64_deduce_bounds).
+func (r *RegState) deduceBounds64() {
+	// Learn unsigned from signed when sign is fixed.
+	if r.SMin >= 0 {
+		r.UMin = maxU(r.UMin, uint64(r.SMin))
+		r.UMax = minU(r.UMax, uint64(r.SMax))
+	} else if r.SMax < 0 {
+		r.UMin = maxU(r.UMin, uint64(r.SMin))
+		r.UMax = minU(r.UMax, uint64(r.SMax))
+	}
+	// Learn signed from unsigned when the range stays in one half.
+	if r.UMax <= uint64(math.MaxInt64) {
+		r.SMin = maxS(r.SMin, int64(r.UMin))
+		r.SMax = minS(r.SMax, int64(r.UMax))
+	} else if r.UMin > uint64(math.MaxInt64) {
+		r.SMin = maxS(r.SMin, int64(r.UMin))
+		r.SMax = minS(r.SMax, int64(r.UMax))
+	}
+}
+
+// deduceBounds32 is the 32-bit analog.
+func (r *RegState) deduceBounds32() {
+	if r.S32Min >= 0 {
+		r.U32Min = maxU32(r.U32Min, uint32(r.S32Min))
+		r.U32Max = minU32(r.U32Max, uint32(r.S32Max))
+	} else if r.S32Max < 0 {
+		r.U32Min = maxU32(r.U32Min, uint32(r.S32Min))
+		r.U32Max = minU32(r.U32Max, uint32(r.S32Max))
+	}
+	if r.U32Max <= uint32(math.MaxInt32) {
+		r.S32Min = maxS32(r.S32Min, int32(r.U32Min))
+		r.S32Max = minS32(r.S32Max, int32(r.U32Max))
+	} else if r.U32Min > uint32(math.MaxInt32) {
+		r.S32Min = maxS32(r.S32Min, int32(r.U32Min))
+		r.S32Max = minS32(r.S32Max, int32(r.U32Max))
+	}
+}
+
+// combine64Into32 derives 32-bit bounds when the 64-bit range fits in the
+// low word (__reg_combine_64_into_32).
+func (r *RegState) combine64Into32() {
+	if r.UMax <= math.MaxUint32 {
+		r.U32Min = maxU32(r.U32Min, uint32(r.UMin))
+		r.U32Max = minU32(r.U32Max, uint32(r.UMax))
+	}
+	if r.SMin >= math.MinInt32 && r.SMax <= math.MaxInt32 && r.SMin <= r.SMax {
+		// Whole signed range fits in s32; low word equals the value if the
+		// unsigned range also fits, which deduce handles; be conservative
+		// and only learn when the value is the low word exactly.
+		if r.UMax <= math.MaxUint32 {
+			r.S32Min = maxS32(r.S32Min, int32(r.SMin))
+			r.S32Max = minS32(r.S32Max, int32(r.SMax))
+		}
+	}
+}
+
+// boundOffset tightens var_off from the interval bounds
+// (__reg_bound_offset).
+func (r *RegState) boundOffset() {
+	r.Var = tnum.Intersect(r.Var, tnum.Range(r.UMin, r.UMax))
+	v32 := tnum.Intersect(r.Var.Subreg(), tnum.Range(uint64(r.U32Min), uint64(r.U32Max)))
+	r.Var = r.Var.WithSubreg(v32)
+}
+
+// sync re-establishes consistency across all five domains after a
+// transfer function updated some of them (reg_bounds_sync).
+func (r *RegState) sync() {
+	r.updateBounds64()
+	r.deduceBounds64()
+	r.updateBounds32()
+	r.deduceBounds32()
+	r.combine64Into32()
+	r.boundOffset()
+	r.updateBounds64()
+	r.deduceBounds64()
+	r.updateBounds32()
+	r.deduceBounds32()
+}
+
+// zext32 truncates the register to its low 32 bits, zero-extending
+// (the effect of every ALU32 result and of 32-bit mov).
+func (r *RegState) zext32() {
+	r.Var = r.Var.Cast(4)
+	// The low word is copied as unsigned into the 64-bit register, so the
+	// 64-bit value lies in [U32Min, U32Max] under both interpretations.
+	r.UMin = uint64(r.U32Min)
+	r.UMax = uint64(r.U32Max)
+	r.SMin = int64(r.UMin)
+	r.SMax = int64(r.UMax)
+	r.sync()
+}
+
+// wellFormed reports internal consistency; used in tests and debug mode.
+func (r *RegState) wellFormed() bool {
+	if r.Type != Scalar && !r.Type.IsPtr() {
+		return true
+	}
+	if !r.Var.WellFormed() {
+		return false
+	}
+	if r.UMin > r.UMax || r.SMin > r.SMax {
+		return false
+	}
+	if r.U32Min > r.U32Max || r.S32Min > r.S32Max {
+		return false
+	}
+	return true
+}
+
+// contains reports whether concrete value v is admitted by the scalar
+// abstraction (all five domains). Used by soundness tests.
+func (r *RegState) contains(v uint64) bool {
+	if !r.Var.Contains(v) {
+		return false
+	}
+	if v < r.UMin || v > r.UMax {
+		return false
+	}
+	if int64(v) < r.SMin || int64(v) > r.SMax {
+		return false
+	}
+	v32 := uint32(v)
+	if v32 < r.U32Min || v32 > r.U32Max {
+		return false
+	}
+	if int32(v32) < r.S32Min || int32(v32) > r.S32Max {
+		return false
+	}
+	return true
+}
+
+// String renders the register like the kernel verifier log.
+func (r *RegState) String() string {
+	switch r.Type {
+	case NotInit:
+		return "?"
+	case Scalar:
+		if r.IsConst() {
+			return fmt.Sprintf("%d", int64(r.ConstVal()))
+		}
+		return fmt.Sprintf("scalar(umin=%d,umax=%d,smin=%d,smax=%d,var=%s)",
+			r.UMin, r.UMax, r.SMin, r.SMax, r.Var)
+	case PtrToStack:
+		return fmt.Sprintf("fp%+d", r.Off)
+	case PtrToCtx:
+		return fmt.Sprintf("ctx%+d", r.Off)
+	case ConstPtrToMap:
+		return fmt.Sprintf("map_ptr[%d]", r.MapIdx)
+	case PtrToMapValue, PtrToMapValueOrNull:
+		name := "map_value"
+		if r.Type == PtrToMapValueOrNull {
+			name = "map_value_or_null"
+		}
+		if r.Var.IsConst() && r.Var.Value == 0 {
+			return fmt.Sprintf("%s[%d]%+d", name, r.MapIdx, r.Off)
+		}
+		return fmt.Sprintf("%s[%d]%+d(var umax=%d)", name, r.MapIdx, r.Off, r.UMax)
+	}
+	return "inval"
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxS(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minS(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxS32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minS32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// StackSlotKind describes one 8-byte stack slot.
+type StackSlotKind uint8
+
+// Stack slot kinds.
+const (
+	SlotInvalid StackSlotKind = iota // never written
+	SlotMisc                         // written with data the verifier does not track
+	SlotSpill                        // holds a full 8-byte register spill
+	SlotZero                         // written with constant zero bytes
+)
+
+// StackSlot models one 8-byte slot of the frame.
+type StackSlot struct {
+	Kind  StackSlotKind
+	Spill RegState // valid when Kind == SlotSpill
+}
+
+// NumStackSlots is the number of 8-byte slots in a frame.
+const NumStackSlots = ebpf.StackSize / 8
+
+// VState is the verifier state for one analysis path position.
+type VState struct {
+	Regs  [ebpf.MaxReg]RegState
+	Stack [NumStackSlots]StackSlot
+}
+
+// clone deep-copies the state (arrays copy by value).
+func (s *VState) clone() *VState {
+	c := *s
+	return &c
+}
+
+// entryState is the verifier state at program entry.
+func entryState() *VState {
+	s := &VState{}
+	s.Regs[ebpf.R1] = RegState{Type: PtrToCtx}
+	s.Regs[ebpf.R1].zeroVar()
+	s.Regs[ebpf.R10] = RegState{Type: PtrToStack}
+	s.Regs[ebpf.R10].zeroVar()
+	return s
+}

@@ -1,0 +1,578 @@
+package verifier
+
+import (
+	"fmt"
+	"math"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/tnum"
+)
+
+// CheckKind classifies the safety check that failed; BCF uses it to decide
+// whether and how to refine.
+type CheckKind uint8
+
+// Check kinds.
+const (
+	CheckNone        CheckKind = iota
+	CheckMapAccess             // map value load/store bounds
+	CheckStackAccess           // stack load/store bounds
+	CheckHelperSize            // helper memory-size argument bounds
+	CheckHelperMem             // helper memory-pointer argument bounds
+	CheckCtxAccess             // context access (not instrumented for refinement)
+	CheckOther
+)
+
+func (k CheckKind) String() string {
+	switch k {
+	case CheckMapAccess:
+		return "map-access"
+	case CheckStackAccess:
+		return "stack-access"
+	case CheckHelperSize:
+		return "helper-size"
+	case CheckHelperMem:
+		return "helper-mem"
+	case CheckCtxAccess:
+		return "ctx-access"
+	case CheckOther:
+		return "other"
+	}
+	return "none"
+}
+
+// Error is a verification failure.
+type Error struct {
+	InsnIdx int
+	Kind    CheckKind
+	Msg     string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("insn %d: %s", e.InsnIdx, e.Msg)
+}
+
+// pathNode is one step of the immutable per-path history. Each analyzed
+// instruction appends a node; branch pushes share the prefix. BCF
+// reconstructs the analysis path by walking parents.
+type pathNode struct {
+	parent *pathNode
+	idx    int32
+	taken  bool // meaningful for conditional jumps
+}
+
+// PathStep is one element of the reconstructed analysis path handed to
+// the Refiner (oldest first).
+type PathStep struct {
+	Idx   int
+	Taken bool
+}
+
+// reconstructPath materializes the node chain, oldest first.
+func reconstructPath(n *pathNode) []PathStep {
+	count := 0
+	for p := n; p != nil; p = p.parent {
+		count++
+	}
+	out := make([]PathStep, count)
+	for p := n; p != nil; p = p.parent {
+		count--
+		out[count] = PathStep{Idx: int(p.idx), Taken: p.taken}
+	}
+	return out
+}
+
+// RefineRequest describes a failed check that BCF may repair. WantLo and
+// WantHi give the unsigned range the target value (the scalar register's
+// value, or the variable part of a pointer register's offset) must be
+// proven to lie in for the check to pass.
+type RefineRequest struct {
+	Prog    *ebpf.Program
+	State   *VState
+	Path    []PathStep
+	InsnIdx int
+	Reg     ebpf.Reg
+	Kind    CheckKind
+	WantLo  uint64
+	WantHi  uint64
+}
+
+// RefineResult carries the proven bounds to adopt. When Pruned is set the
+// refiner instead proved the current path's constraints unsatisfiable:
+// the verifier abandons the (infeasible) path rather than refining.
+type RefineResult struct {
+	Lo, Hi uint64
+	Pruned bool
+}
+
+// errInfeasiblePath is the sentinel used internally when BCF proves the
+// current analysis path unreachable; the walk treats it as path end.
+var errInfeasiblePath = &Error{Kind: CheckNone, Msg: "path proven infeasible"}
+
+// Refiner is the hook through which proof-guided abstraction refinement is
+// plugged into the verifier (implemented by internal/bcf). A nil Refiner
+// yields the baseline in-tree behaviour: immediate rejection.
+type Refiner interface {
+	Refine(req *RefineRequest) (*RefineResult, error)
+}
+
+// Stats aggregates per-verification counters; the benchmark harness reads
+// them to regenerate Table 3.
+type Stats struct {
+	InsnProcessed  int
+	PathsExplored  int
+	StatesPruned   int
+	PeakStackDepth int
+	Refinements    int // granted refinements
+	RefineAttempts int // requests issued to the Refiner
+}
+
+// RegRange declares the fixpoint range of one register at a loop head.
+type RegRange struct {
+	Reg        ebpf.Reg
+	UMin, UMax uint64
+}
+
+// LoopInvariant is a precomputed loop fixpoint supplied with the program
+// (the §7 "embed precomputed fixpoints" extension): at the loop-head
+// instruction, each listed register is widened to its declared range.
+// The verifier validates the fixpoint in a single pass — entry states
+// must lie within the declared ranges (else the load is rejected), and
+// inductiveness follows from state pruning: the once-widened state
+// subsumes every later arrival, so the loop body is analyzed once.
+type LoopInvariant struct {
+	Insn int
+	Regs []RegRange
+}
+
+// Config controls a verification run.
+type Config struct {
+	// InsnLimit bounds total analyzed instructions (kernel: one million).
+	InsnLimit int
+	// Refiner enables BCF when non-nil.
+	Refiner Refiner
+	// Debug records a verifier log retrievable via Log().
+	Debug bool
+	// NoPruning disables state pruning (for ablation benchmarks).
+	NoPruning bool
+	// LoopInvariants supplies precomputed loop fixpoints (§7 extension).
+	LoopInvariants []LoopInvariant
+}
+
+// DefaultInsnLimit mirrors the kernel's BPF_COMPLEXITY_LIMIT_INSNS.
+const DefaultInsnLimit = 1_000_000
+
+// Verifier analyzes one program. A Verifier is single-use: create a new
+// one (or a new load session) for every Verify call.
+type Verifier struct {
+	prog        *ebpf.Program
+	cfg         Config
+	stats       Stats
+	log         []string
+	explored    map[int][]*VState
+	prunePoints []bool
+	idGen       uint32
+
+	// refineAttempts guards against a Refiner that makes no progress.
+	refineAttempts map[int]int
+}
+
+// New prepares a verifier for prog.
+func New(prog *ebpf.Program, cfg Config) *Verifier {
+	if cfg.InsnLimit == 0 {
+		cfg.InsnLimit = DefaultInsnLimit
+	}
+	return &Verifier{
+		prog:           prog,
+		cfg:            cfg,
+		explored:       map[int][]*VState{},
+		refineAttempts: map[int]int{},
+	}
+}
+
+// Stats returns the counters of the last Verify run.
+func (v *Verifier) Stats() Stats { return v.stats }
+
+// Log returns the verifier log (Debug mode only).
+func (v *Verifier) Log() []string { return v.log }
+
+func (v *Verifier) logf(format string, args ...any) {
+	if v.cfg.Debug {
+		v.log = append(v.log, fmt.Sprintf(format, args...))
+	}
+}
+
+func (v *Verifier) newID() uint32 {
+	v.idGen++
+	return v.idGen
+}
+
+// pathDone converts the infeasible-path sentinel into a clean path end.
+func pathDone(err error) error {
+	if err == errInfeasiblePath {
+		return nil
+	}
+	return err
+}
+
+type branchItem struct {
+	st   *VState
+	pc   int
+	node *pathNode
+}
+
+// Verify runs the analysis and returns nil if the program is safe.
+func (v *Verifier) Verify() error {
+	if err := v.prog.Validate(); err != nil {
+		return &Error{InsnIdx: 0, Kind: CheckOther, Msg: err.Error()}
+	}
+	stack := []branchItem{{st: entryState(), pc: 0, node: nil}}
+	for len(stack) > 0 {
+		if len(stack) > v.stats.PeakStackDepth {
+			v.stats.PeakStackDepth = len(stack)
+		}
+		item := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v.stats.PathsExplored++
+		if err := v.walk(item, &stack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walk analyzes one path until exit, prune or error, pushing the untaken
+// sides of branches onto the stack.
+func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
+	st, pc, node := item.st, item.pc, item.node
+	for {
+		v.stats.InsnProcessed++
+		if v.stats.InsnProcessed > v.cfg.InsnLimit {
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: fmt.Sprintf("BPF program is too large. Processed %d insn", v.cfg.InsnLimit)}
+		}
+		if pc < 0 || pc >= len(v.prog.Insns) {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "fell off the end of the program"}
+		}
+		ins := v.prog.Insns[pc]
+		if ins.IsPlaceholder() {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "jump into the middle of ld_imm64"}
+		}
+		// Precomputed loop fixpoints: widen before recording explored
+		// states, so the widened state is the one future arrivals are
+		// pruned against (which is exactly the inductiveness check).
+		if len(v.cfg.LoopInvariants) > 0 {
+			if err := v.applyInvariants(st, pc); err != nil {
+				return err
+			}
+		}
+		// Pruning at jump targets.
+		if !v.cfg.NoPruning && v.isPrunePoint(pc) {
+			if v.pruned(pc, st) {
+				v.stats.StatesPruned++
+				v.logf("%d: pruned", pc)
+				return nil
+			}
+		}
+		v.logf("%d: %s", pc, ins.String())
+		node = &pathNode{parent: node, idx: int32(pc)}
+
+		switch ins.Class() {
+		case ebpf.ClassALU, ebpf.ClassALU64:
+			if err := v.checkALU(st, pc, ins, node); err != nil {
+				return pathDone(err)
+			}
+			pc++
+
+		case ebpf.ClassLD:
+			if !ins.IsLoadImm64() {
+				return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "unsupported ld mode"}
+			}
+			dst := &st.Regs[ins.Dst]
+			if ins.Src == ebpf.PseudoMapFD {
+				*dst = RegState{Type: ConstPtrToMap, MapIdx: int32(uint32(ins.Imm))}
+				dst.zeroVar()
+			} else {
+				*dst = constScalar(uint64(ins.Imm))
+			}
+			pc += 2
+
+		case ebpf.ClassLDX:
+			if err := v.checkLoad(st, pc, ins, node); err != nil {
+				return pathDone(err)
+			}
+			pc++
+
+		case ebpf.ClassST, ebpf.ClassSTX:
+			if err := v.checkStore(st, pc, ins, node); err != nil {
+				return pathDone(err)
+			}
+			pc++
+
+		case ebpf.ClassJMP, ebpf.ClassJMP32:
+			op := ins.JmpOp()
+			switch op {
+			case ebpf.JmpEXIT:
+				if st.Regs[ebpf.R0].Type == NotInit {
+					return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "R0 !read_ok"}
+				}
+				v.logf("%d: exit, path ok", pc)
+				return nil
+			case ebpf.JmpJA:
+				if ins.Class() == ebpf.ClassJMP32 {
+					return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "invalid jmp32 ja"}
+				}
+				pc += 1 + int(ins.Off)
+				continue
+			case ebpf.JmpCALL:
+				if err := v.checkCall(st, pc, ins, node); err != nil {
+					return pathDone(err)
+				}
+				pc++
+				continue
+			}
+			next, err := v.checkCondJmp(st, pc, ins, node, stack)
+			if err != nil {
+				return err
+			}
+			pc = next
+
+		default:
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: fmt.Sprintf("unknown insn class %d", ins.Class())}
+		}
+	}
+}
+
+// checkALU verifies one ALU instruction and applies its transfer function.
+func (v *Verifier) checkALU(st *VState, pc int, ins ebpf.Instruction, node *pathNode) error {
+	is32 := ins.Class() == ebpf.ClassALU
+	op := ins.AluOp()
+	dst := &st.Regs[ins.Dst]
+
+	if ins.Dst == ebpf.R10 {
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "frame pointer is read only"}
+	}
+
+	// Source operand.
+	var src RegState
+	var srcReg *RegState
+	if ins.UsesSrcReg() && op != ebpf.AluNEG && op != ebpf.AluEND {
+		srcReg = &st.Regs[ins.Src]
+		if srcReg.Type == NotInit {
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: fmt.Sprintf("R%d !read_ok", ins.Src)}
+		}
+		src = *srcReg
+	} else {
+		src = constScalar(uint64(ins.Imm))
+	}
+
+	switch op {
+	case ebpf.AluMOV:
+		if is32 {
+			if src.Type.IsPtr() {
+				return &Error{InsnIdx: pc, Kind: CheckOther,
+					Msg: fmt.Sprintf("R%d partial copy of pointer", ins.Src)}
+			}
+			*dst = src
+			dst.ID = 0
+			dst.zext32()
+		} else {
+			if ins.UsesSrcReg() && srcReg.Type == Scalar {
+				// Track scalar aliases so branch refinements propagate
+				// (find_equal_scalars).
+				if srcReg.ID == 0 {
+					srcReg.ID = v.newID()
+				}
+				src = *srcReg
+			}
+			*dst = src
+		}
+		return nil
+
+	case ebpf.AluNEG:
+		if dst.Type != Scalar {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "R%d pointer arithmetic prohibited"}
+		}
+		if dst.IsConst() {
+			val := dst.ConstVal()
+			if is32 {
+				*dst = constScalar(uint64(uint32(-int32(uint32(val)))))
+			} else {
+				*dst = constScalar(-val)
+			}
+		} else {
+			dst.markUnknown()
+			if is32 {
+				dst.Var = tnum.Unknown.Cast(4)
+				dst.UMax = math.MaxUint32
+				dst.SMin, dst.SMax = 0, math.MaxUint32
+				dst.sync()
+			}
+		}
+		return nil
+
+	case ebpf.AluEND:
+		if dst.Type != Scalar {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "byteswap on pointer prohibited"}
+		}
+		dst.markUnknown()
+		dst.ID = 0
+		return nil
+	}
+
+	if dst.Type == NotInit {
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: fmt.Sprintf("R%d !read_ok", ins.Dst)}
+	}
+
+	// Pointer arithmetic.
+	dstPtr, srcPtr := dst.Type.IsPtr(), src.Type.IsPtr()
+	if dstPtr || srcPtr {
+		if is32 {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "32-bit pointer arithmetic prohibited"}
+		}
+		return v.adjustPtr(st, pc, ins, dst, &src)
+	}
+
+	// Scalar ALU.
+	if (op == ebpf.AluDIV || op == ebpf.AluMOD) && !ins.UsesSrcReg() && ins.Imm == 0 {
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "division by zero"}
+	}
+	aluScalar(dst, &src, op, is32)
+	return nil
+}
+
+// adjustPtr implements pointer +/- scalar arithmetic
+// (adjust_ptr_min_max_vals).
+func (v *Verifier) adjustPtr(st *VState, pc int, ins ebpf.Instruction, dst *RegState, src *RegState) error {
+	op := ins.AluOp()
+	if op != ebpf.AluADD && op != ebpf.AluSUB {
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: fmt.Sprintf("R%d pointer arithmetic with %s operator prohibited", ins.Dst, ebpf.AluOpName(op))}
+	}
+	var ptr, scalar *RegState
+	switch {
+	case dst.Type.IsPtr() && src.Type.IsPtr():
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "R combined pointer arithmetic prohibited"}
+	case dst.Type.IsPtr():
+		ptr, scalar = dst, src
+	default:
+		// scalar += ptr is allowed for ADD only.
+		if op == ebpf.AluSUB {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "scalar -= pointer prohibited"}
+		}
+		ptr, scalar = src, dst
+	}
+	if ptr.Type == PtrToMapValueOrNull {
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: "pointer arithmetic on map_value_or_null prohibited, null-check it first"}
+	}
+	if ptr.Type == ConstPtrToMap {
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "pointer arithmetic on map_ptr prohibited"}
+	}
+
+	out := *ptr
+	out.ID = 0
+	if scalar.IsConst() {
+		// Constant moves the fixed offset.
+		delta := int64(scalar.ConstVal())
+		if op == ebpf.AluSUB {
+			delta = -delta
+		}
+		newOff := int64(out.Off) + delta
+		if newOff != int64(int32(newOff)) {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "pointer offset out of range"}
+		}
+		out.Off = int32(newOff)
+	} else if op == ebpf.AluADD {
+		tmp := out
+		scalarAdd(&tmp, scalar)
+		tmp.sync()
+		out.Var = tmp.Var
+		out.UMin, out.UMax = tmp.UMin, tmp.UMax
+		out.SMin, out.SMax = tmp.SMin, tmp.SMax
+		out.U32Min, out.U32Max = tmp.U32Min, tmp.U32Max
+		out.S32Min, out.S32Max = tmp.S32Min, tmp.S32Max
+	} else {
+		// Subtracting an unknown scalar from a pointer: the kernel keeps
+		// the pointer but with an unknown variable offset.
+		tmp := out
+		scalarSub(&tmp, scalar)
+		tmp.sync()
+		out.Var = tmp.Var
+		out.UMin, out.UMax = tmp.UMin, tmp.UMax
+		out.SMin, out.SMax = tmp.SMin, tmp.SMax
+		out.U32Min, out.U32Max = tmp.U32Min, tmp.U32Max
+		out.S32Min, out.S32Max = tmp.S32Min, tmp.S32Max
+	}
+	*dst = out
+	return nil
+}
+
+// applyRefinedRange adopts a proof-checked refinement of the target
+// register's value (or pointer variable offset).
+func applyRefinedRange(reg *RegState, lo, hi uint64) {
+	reg.UMin = maxU(reg.UMin, lo)
+	reg.UMax = minU(reg.UMax, hi)
+	if reg.UMin > reg.UMax {
+		// The refinement proved a range disjoint from the current one;
+		// the path is infeasible. Collapse to the proven range.
+		reg.UMin, reg.UMax = lo, hi
+		reg.Var = tnum.Range(lo, hi)
+	}
+	reg.SMin, reg.SMax = math.MinInt64, math.MaxInt64
+	if reg.UMax <= uint64(math.MaxInt64) {
+		reg.SMin, reg.SMax = int64(reg.UMin), int64(reg.UMax)
+	}
+	reg.markRangesUnknown32()
+	reg.sync()
+}
+
+// refine consults the Refiner for a failed check; it returns nil if the
+// refinement succeeded and analysis may retry the instruction.
+// A request with wantLo > wantHi asks the refiner to prove the current
+// path infeasible instead (no variable range can make the check pass).
+func (v *Verifier) refine(st *VState, pc int, regno ebpf.Reg, kind CheckKind,
+	wantLo, wantHi uint64, node *pathNode, orig error) error {
+	if v.cfg.Refiner == nil {
+		return orig
+	}
+	// Loops legitimately re-refine the same instruction on every
+	// iteration (§6.3: up to 16k refinements per program), so there is no
+	// per-site cap; termination is ensured by the progress check below
+	// and by the global instruction budget.
+	v.refineAttempts[pc]++
+	v.stats.RefineAttempts++
+	req := &RefineRequest{
+		Prog:    v.prog,
+		State:   st,
+		Path:    reconstructPath(node),
+		InsnIdx: pc,
+		Reg:     regno,
+		Kind:    kind,
+		WantLo:  wantLo,
+		WantHi:  wantHi,
+	}
+	res, err := v.cfg.Refiner.Refine(req)
+	if err != nil {
+		v.logf("%d: refinement failed: %v", pc, err)
+		return orig
+	}
+	if res.Pruned {
+		v.stats.Refinements++
+		v.logf("%d: path proven infeasible, pruned", pc)
+		return errInfeasiblePath
+	}
+	reg := &st.Regs[regno]
+	before := *reg
+	applyRefinedRange(reg, res.Lo, res.Hi)
+	if before == *reg {
+		// No progress; avoid looping forever.
+		return orig
+	}
+	v.stats.Refinements++
+	v.logf("%d: refined R%d to [%d, %d]", pc, regno, res.Lo, res.Hi)
+	return nil
+}

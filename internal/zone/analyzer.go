@@ -1,0 +1,581 @@
+package zone
+
+import (
+	"fmt"
+	"math"
+
+	"bcf/internal/ebpf"
+)
+
+// regKind classifies a register in the zone analyzer.
+type regKind struct {
+	tag    uint8
+	mapIdx int32
+}
+
+const (
+	kUninit uint8 = iota
+	kScalar
+	kStack
+	kCtx
+	kMapPtr
+	kMapVal
+	kMapValOrNull
+	kConflict // join of incompatible kinds: unusable
+)
+
+// state is one program point's abstraction: a DBM over the value (for
+// scalars) or total offset (for pointers) of r0..r9, plus kinds.
+// Variable i+1 of the DBM corresponds to register i.
+type state struct {
+	dbm  *DBM
+	kind [10]regKind
+}
+
+func v(r ebpf.Reg) int { return int(r) + 1 }
+
+func newState() *state {
+	s := &state{dbm: New(10)}
+	s.kind[1] = regKind{tag: kCtx} // R1 = ctx at entry
+	s.dbm.AssignConst(v(ebpf.R1), 0)
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{dbm: s.dbm.Clone()}
+	c.kind = s.kind
+	return c
+}
+
+// join merges another state in place; incompatible kinds conflict.
+func (s *state) join(o *state) {
+	for i := range s.kind {
+		if s.kind[i] != o.kind[i] {
+			s.kind[i] = regKind{tag: kConflict}
+			s.dbm.Forget(i + 1)
+			o.dbm.Forget(i + 1) // symmetrize before the matrix join
+		}
+	}
+	s.dbm.Join(o.dbm)
+}
+
+func (s *state) subsumes(o *state) bool {
+	for i := range s.kind {
+		if s.kind[i] != o.kind[i] && s.kind[i].tag != kConflict {
+			return false
+		}
+	}
+	return s.dbm.Subsumes(o.dbm)
+}
+
+// Analyzer runs a joining, widening dataflow analysis with the zone
+// domain — the PREVAIL-style design, in contrast to the in-tree
+// verifier's path enumeration.
+type Analyzer struct {
+	prog   *ebpf.Program
+	states map[int]*state
+	visits map[int]int
+}
+
+// Analyze checks prog with the zone analyzer; nil means accepted.
+func Analyze(prog *ebpf.Program) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	a := &Analyzer{prog: prog, states: map[int]*state{}, visits: map[int]int{}}
+	return a.run()
+}
+
+type edge struct {
+	pc int
+	st *state
+}
+
+func (a *Analyzer) run() error {
+	work := []edge{{pc: 0, st: newState()}}
+	steps := 0
+	for len(work) > 0 {
+		steps++
+		if steps > 200_000 {
+			return fmt.Errorf("zone: analysis did not converge")
+		}
+		e := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		cur := e.st
+		if old, ok := a.states[e.pc]; ok {
+			if old.subsumes(cur) {
+				continue
+			}
+			a.visits[e.pc]++
+			merged := old.clone()
+			if a.visits[e.pc] > 3 {
+				nxt := old.clone()
+				nxt.join(cur.clone())
+				merged.dbm.Widen(nxt.dbm)
+				for i := range merged.kind {
+					if merged.kind[i] != cur.kind[i] {
+						merged.kind[i] = regKind{tag: kConflict}
+						merged.dbm.Forget(i + 1)
+					}
+				}
+			} else {
+				merged.join(cur.clone())
+			}
+			merged.dbm.Close()
+			a.states[e.pc] = merged
+			cur = merged.clone()
+		} else {
+			cur.dbm.Close()
+			a.states[e.pc] = cur.clone()
+		}
+		if cur.dbm.IsBottom() {
+			continue
+		}
+		next, err := a.step(e.pc, cur)
+		if err != nil {
+			return err
+		}
+		work = append(work, next...)
+	}
+	return nil
+}
+
+// step interprets one instruction, returning successor edges.
+func (a *Analyzer) step(pc int, s *state) ([]edge, error) {
+	if pc < 0 || pc >= len(a.prog.Insns) {
+		return nil, fmt.Errorf("zone: pc %d out of range", pc)
+	}
+	ins := a.prog.Insns[pc]
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("zone: insn %d: %s", pc, fmt.Sprintf(format, args...))
+	}
+
+	switch ins.Class() {
+	case ebpf.ClassALU, ebpf.ClassALU64:
+		if err := a.alu(s, ins, fail); err != nil {
+			return nil, err
+		}
+		return []edge{{pc: pc + 1, st: s}}, nil
+
+	case ebpf.ClassLD:
+		if ins.Src == ebpf.PseudoMapFD {
+			s.kind[ins.Dst] = regKind{tag: kMapPtr, mapIdx: int32(uint32(ins.Imm))}
+			s.dbm.AssignConst(v(ins.Dst), 0)
+		} else {
+			s.kind[ins.Dst] = regKind{tag: kScalar}
+			s.dbm.AssignConst(v(ins.Dst), ins.Imm)
+		}
+		s.dbm.Close()
+		return []edge{{pc: pc + 2, st: s}}, nil
+
+	case ebpf.ClassLDX:
+		if err := a.checkAccess(s, ins.Src, ins.Off, ins.LoadSize(), fail); err != nil {
+			return nil, err
+		}
+		size := ins.LoadSize()
+		s.kind[ins.Dst] = regKind{tag: kScalar}
+		if size < 8 {
+			s.dbm.AssignInterval(v(ins.Dst), 0, int64(1)<<(8*size)-1, true, true)
+		} else {
+			s.dbm.Forget(v(ins.Dst))
+		}
+		s.dbm.Close()
+		return []edge{{pc: pc + 1, st: s}}, nil
+
+	case ebpf.ClassST, ebpf.ClassSTX:
+		if err := a.checkAccess(s, ins.Dst, ins.Off, ins.LoadSize(), fail); err != nil {
+			return nil, err
+		}
+		return []edge{{pc: pc + 1, st: s}}, nil
+
+	case ebpf.ClassJMP, ebpf.ClassJMP32:
+		return a.jump(pc, s, ins, fail)
+	}
+	return nil, fail("unsupported class")
+}
+
+func (a *Analyzer) alu(s *state, ins ebpf.Instruction, fail func(string, ...any) error) error {
+	is32 := ins.Class() == ebpf.ClassALU
+	op := ins.AluOp()
+	dst := ins.Dst
+	if dst == ebpf.R10 {
+		return fail("write to frame pointer")
+	}
+	dk := &s.kind[dst]
+
+	srcKind := regKind{tag: kScalar}
+	srcVar := -1
+	if ins.UsesSrcReg() && op != ebpf.AluNEG && op != ebpf.AluEND {
+		if ins.Src == ebpf.R10 {
+			srcKind = regKind{tag: kStack}
+		} else {
+			srcKind = s.kind[ins.Src]
+			srcVar = v(ins.Src)
+		}
+	}
+
+	forgetTo32 := func() {
+		dk.tag = kScalar
+		s.dbm.AssignInterval(v(dst), 0, math.MaxUint32, true, true)
+		s.dbm.Close()
+	}
+	forget := func() {
+		dk.tag = kScalar
+		s.dbm.Forget(v(dst))
+	}
+
+	switch op {
+	case ebpf.AluMOV:
+		if is32 {
+			// Zero-extension of the low word is outside the zone fragment.
+			forgetTo32()
+			return nil
+		}
+		if srcVar >= 0 || srcKind.tag == kStack {
+			*dk = srcKind
+			if srcKind.tag == kStack {
+				s.dbm.AssignConst(v(dst), 0)
+			} else {
+				s.dbm.Assign(v(dst), srcVar, 0)
+			}
+		} else {
+			dk.tag = kScalar
+			s.dbm.AssignConst(v(dst), ins.Imm)
+		}
+		s.dbm.Close()
+		return nil
+
+	case ebpf.AluADD, ebpf.AluSUB:
+		if is32 {
+			if dk.tag != kScalar {
+				return fail("32-bit pointer arithmetic")
+			}
+			forgetTo32()
+			return nil
+		}
+		sign := int64(1)
+		if op == ebpf.AluSUB {
+			sign = -1
+		}
+		if srcVar < 0 && srcKind.tag == kScalar && !ins.UsesSrcReg() {
+			// ± constant: zone-exact.
+			s.dbm.AddConst(v(dst), sign*ins.Imm)
+			return nil
+		}
+		if srcKind.tag != kScalar {
+			if dk.tag == kScalar && op == ebpf.AluADD {
+				// scalar += pointer
+				lo, hi, loOK, hiOK := s.dbm.Bounds(v(dst))
+				plo, phi, ploOK, phiOK := s.dbm.Bounds(srcVar)
+				*dk = srcKind
+				s.dbm.AssignInterval(v(dst), addSat(lo, plo), addSat(hi, phi), loOK && ploOK, hiOK && phiOK)
+				s.dbm.Close()
+				return nil
+			}
+			return fail("pointer on the right of arithmetic")
+		}
+		// ± register: interval-level fallback (the zone fragment cannot
+		// express x := x + y).
+		lo, hi, loOK, hiOK := s.dbm.Bounds(v(dst))
+		slo, shi, sloOK, shiOK := s.dbm.Bounds(srcVar)
+		if op == ebpf.AluADD {
+			s.dbm.AssignInterval(v(dst), addSat(lo, slo), addSat(hi, shi), loOK && sloOK, hiOK && shiOK)
+		} else {
+			s.dbm.AssignInterval(v(dst), addSat(lo, -shi), addSat(hi, -slo), loOK && shiOK, hiOK && sloOK)
+		}
+		s.dbm.Close()
+		return nil
+
+	case ebpf.AluAND:
+		if dk.tag != kScalar {
+			return fail("bitwise op on pointer")
+		}
+		if !ins.UsesSrcReg() && ins.Imm >= 0 {
+			dk.tag = kScalar
+			s.dbm.AssignInterval(v(dst), 0, ins.Imm, true, true)
+			s.dbm.Close()
+			if is32 {
+				return nil
+			}
+			return nil
+		}
+		if is32 {
+			forgetTo32()
+		} else {
+			forget()
+		}
+		return nil
+
+	default:
+		if dk.tag != kScalar && op != ebpf.AluNEG && op != ebpf.AluEND {
+			return fail("unsupported op on pointer")
+		}
+		if is32 {
+			forgetTo32()
+		} else {
+			forget()
+		}
+		return nil
+	}
+}
+
+func (a *Analyzer) jump(pc int, s *state, ins ebpf.Instruction, fail func(string, ...any) error) ([]edge, error) {
+	op := ins.JmpOp()
+	switch op {
+	case ebpf.JmpEXIT:
+		return nil, nil
+	case ebpf.JmpJA:
+		return []edge{{pc: pc + 1 + int(ins.Off), st: s}}, nil
+	case ebpf.JmpCALL:
+		return a.call(pc, s, ins, fail)
+	}
+	target := pc + 1 + int(ins.Off)
+	dst := ins.Dst
+	dk := s.kind[dst]
+
+	// Null-check split.
+	if dk.tag == kMapValOrNull && !ins.UsesSrcReg() && ins.Imm == 0 &&
+		(op == ebpf.JmpJEQ || op == ebpf.JmpJNE) {
+		null := s.clone()
+		nonNull := s.clone()
+		null.kind[dst] = regKind{tag: kScalar}
+		null.dbm.AssignConst(v(dst), 0)
+		null.dbm.Close()
+		nonNull.kind[dst] = regKind{tag: kMapVal, mapIdx: dk.mapIdx}
+		if op == ebpf.JmpJEQ {
+			return []edge{{pc: target, st: null}, {pc: pc + 1, st: nonNull}}, nil
+		}
+		return []edge{{pc: target, st: nonNull}, {pc: pc + 1, st: null}}, nil
+	}
+
+	taken, fall := s.clone(), s
+	if dk.tag == kScalar {
+		a.guard(taken, ins, true)
+		a.guard(fall, ins, false)
+	}
+	var out []edge
+	if !taken.dbm.Close().IsBottom() {
+		out = append(out, edge{pc: target, st: taken})
+	}
+	if !fall.dbm.Close().IsBottom() {
+		out = append(out, edge{pc: pc + 1, st: fall})
+	}
+	return out, nil
+}
+
+// guard refines the state with a branch condition where the zone
+// fragment can express it soundly. Unsigned comparisons are applied as
+// signed only when both sides are known non-negative.
+func (a *Analyzer) guard(s *state, ins ebpf.Instruction, taken bool) {
+	op := ins.JmpOp()
+	if ins.Class() == ebpf.ClassJMP32 {
+		return // sub-register guards are outside the fragment
+	}
+	di := v(ins.Dst)
+	var si int
+	var imm int64
+	if ins.UsesSrcReg() {
+		if s.kind[ins.Src].tag != kScalar {
+			return
+		}
+		si = v(ins.Src)
+	} else {
+		imm = ins.Imm
+	}
+
+	nonNeg := func(i int) bool {
+		lo, _, loOK, _ := s.dbm.Bounds(i)
+		return loOK && lo >= 0
+	}
+	signedOK := false
+	switch op {
+	case ebpf.JmpJSGT, ebpf.JmpJSGE, ebpf.JmpJSLT, ebpf.JmpJSLE, ebpf.JmpJEQ, ebpf.JmpJNE:
+		signedOK = true
+	case ebpf.JmpJGT, ebpf.JmpJGE, ebpf.JmpJLT, ebpf.JmpJLE:
+		// Unsigned: sound as signed when both sides are non-negative.
+		if ins.UsesSrcReg() {
+			signedOK = nonNeg(di) && nonNeg(si)
+		} else {
+			signedOK = nonNeg(di) && imm >= 0
+		}
+	}
+	if !signedOK {
+		return
+	}
+
+	// Normalize to "dst REL src" where REL ∈ {≤, <, ≥, >, =}.
+	type rel uint8
+	const (
+		le rel = iota
+		lt
+		ge
+		gt
+		eq
+		none
+	)
+	r := none
+	switch op {
+	case ebpf.JmpJEQ:
+		if taken {
+			r = eq
+		}
+	case ebpf.JmpJNE:
+		if !taken {
+			r = eq
+		}
+	case ebpf.JmpJGT, ebpf.JmpJSGT:
+		if taken {
+			r = gt
+		} else {
+			r = le
+		}
+	case ebpf.JmpJGE, ebpf.JmpJSGE:
+		if taken {
+			r = ge
+		} else {
+			r = lt
+		}
+	case ebpf.JmpJLT, ebpf.JmpJSLT:
+		if taken {
+			r = lt
+		} else {
+			r = ge
+		}
+	case ebpf.JmpJLE, ebpf.JmpJSLE:
+		if taken {
+			r = le
+		} else {
+			r = gt
+		}
+	}
+	if r == none {
+		return
+	}
+	// v_d − v_s ≤ c constraints (v_s = 0-var when immediate).
+	si2 := 0
+	c := imm
+	if ins.UsesSrcReg() {
+		si2 = si
+		c = 0
+	}
+	switch r {
+	case le:
+		s.dbm.Constrain(di, si2, c)
+	case lt:
+		s.dbm.Constrain(di, si2, c-1)
+	case ge:
+		s.dbm.Constrain(si2, di, -c)
+	case gt:
+		s.dbm.Constrain(si2, di, -c-1)
+	case eq:
+		s.dbm.Constrain(di, si2, c)
+		s.dbm.Constrain(si2, di, -c)
+	}
+}
+
+func (a *Analyzer) call(pc int, s *state, ins ebpf.Instruction, fail func(string, ...any) error) ([]edge, error) {
+	spec, err := ebpf.LookupHelper(ebpf.HelperID(ins.Imm))
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	mapIdx := int32(-1)
+	if s.kind[ebpf.R1].tag == kMapPtr {
+		mapIdx = s.kind[ebpf.R1].mapIdx
+	}
+	// Size-checked memory arguments (probe_read-style).
+	for i := 0; i < spec.NumArgs(); i++ {
+		regno := ebpf.R1 + ebpf.Reg(i)
+		switch spec.Args[i] {
+		case ebpf.ArgConstSize, ebpf.ArgConstSizeOrZero:
+			lo, hi, loOK, hiOK := s.dbm.Bounds(v(regno))
+			if !loOK || !hiOK || lo < 0 {
+				return nil, fail("helper size R%d unbounded in the zone fragment", regno)
+			}
+			if spec.Args[i] == ebpf.ArgConstSize && lo < 1 {
+				return nil, fail("helper size R%d may be zero", regno)
+			}
+			mem := regno - 1
+			if s.kind[mem].tag == kStack {
+				mlo, mhi, mloOK, mhiOK := s.dbm.Bounds(v(mem))
+				if !mloOK || !mhiOK {
+					return nil, fail("helper memory R%d unbounded", mem)
+				}
+				if mlo < -ebpf.StackSize || addSat(mhi, hi) > 0 {
+					return nil, fail("helper stack access out of bounds")
+				}
+			} else if s.kind[mem].tag == kMapVal {
+				valSize := int64(a.prog.Maps[s.kind[mem].mapIdx].ValueSize)
+				mlo, mhi, mloOK, mhiOK := s.dbm.Bounds(v(mem))
+				if !mloOK || !mhiOK || mlo < 0 || addSat(mhi, hi) > valSize {
+					return nil, fail("helper map access out of bounds")
+				}
+			} else {
+				return nil, fail("helper memory R%d has unsupported kind", mem)
+			}
+		}
+	}
+	// Clobber caller-saved registers.
+	for r := ebpf.R1; r <= ebpf.R5; r++ {
+		s.kind[r] = regKind{tag: kUninit}
+		s.dbm.Forget(v(r))
+	}
+	switch spec.Ret {
+	case ebpf.RetPtrToMapValueOrNull:
+		if mapIdx < 0 {
+			return nil, fail("map helper without map argument")
+		}
+		s.kind[ebpf.R0] = regKind{tag: kMapValOrNull, mapIdx: mapIdx}
+		s.dbm.AssignConst(v(ebpf.R0), 0)
+	default:
+		s.kind[ebpf.R0] = regKind{tag: kScalar}
+		s.dbm.Forget(v(ebpf.R0))
+	}
+	s.dbm.Close()
+	return []edge{{pc: pc + 1, st: s}}, nil
+}
+
+// checkAccess validates a memory access through reg at the given
+// displacement using zone bounds.
+func (a *Analyzer) checkAccess(s *state, reg ebpf.Reg, off int16, size int, fail func(string, ...any) error) error {
+	if reg == ebpf.R10 {
+		lo, hi := int64(off), int64(off)
+		if lo < -ebpf.StackSize || hi+int64(size) > 0 {
+			return fail("stack access out of bounds")
+		}
+		return nil
+	}
+	k := s.kind[reg]
+	lo, hi, loOK, hiOK := s.dbm.Bounds(v(reg))
+	switch k.tag {
+	case kStack:
+		if !loOK || !hiOK {
+			return fail("unbounded stack pointer")
+		}
+		if lo+int64(off) < -ebpf.StackSize || hi+int64(off)+int64(size) > 0 {
+			return fail("stack access out of bounds")
+		}
+		return nil
+	case kMapVal:
+		valSize := int64(a.prog.Maps[k.mapIdx].ValueSize)
+		if !loOK || !hiOK {
+			return fail("unbounded map value offset")
+		}
+		if lo+int64(off) < 0 || hi+int64(off)+int64(size) > valSize {
+			return fail("map value access out of bounds (zone offset [%d,%d])", lo, hi)
+		}
+		return nil
+	case kCtx:
+		ctxSize := int64(a.prog.Type.CtxSize())
+		if !loOK || !hiOK {
+			return fail("unbounded ctx offset")
+		}
+		if lo+int64(off) < 0 || hi+int64(off)+int64(size) > ctxSize {
+			return fail("ctx access out of bounds")
+		}
+		return nil
+	case kMapValOrNull:
+		return fail("possible null dereference")
+	}
+	return fail("memory access through %d-kind register", k.tag)
+}

@@ -1,0 +1,283 @@
+// Package zone implements the Zone abstract domain (difference-bound
+// matrices, Miné 2001) and a small zone-based analyzer for eBPF scalar
+// dataflow. It is the repository's stand-in for PREVAIL, the
+// zone-domain verifier the paper compares against (§6.2, §8): running it
+// over the dataset demonstrates which of the rejection patterns a
+// relational-but-difference-only domain can and cannot express — the
+// relational splits of Figure 2 are sums, which zones cannot represent,
+// supporting the paper's argument that stronger in-kernel domains do not
+// close the precision gap.
+package zone
+
+import "math"
+
+// Inf is the absent-constraint sentinel.
+const Inf = math.MaxInt64
+
+// DBM is a difference-bound matrix over n variables plus the implicit
+// zero variable (index 0): entry (i, j) bounds v_i − v_j from above.
+// A DBM with a negative cycle is inconsistent (bottom).
+type DBM struct {
+	n      int
+	m      []int64
+	bottom bool
+}
+
+// New returns the top element (no constraints) over n variables.
+func New(n int) *DBM {
+	d := &DBM{n: n, m: make([]int64, (n+1)*(n+1))}
+	for i := range d.m {
+		d.m[i] = Inf
+	}
+	for i := 0; i <= n; i++ {
+		d.set(i, i, 0)
+	}
+	return d
+}
+
+func (d *DBM) idx(i, j int) int  { return i*(d.n+1) + j }
+func (d *DBM) at(i, j int) int64 { return d.m[d.idx(i, j)] }
+func (d *DBM) set(i, j int, v int64) {
+	d.m[d.idx(i, j)] = v
+}
+
+// Clone deep-copies the matrix.
+func (d *DBM) Clone() *DBM {
+	c := &DBM{n: d.n, m: make([]int64, len(d.m)), bottom: d.bottom}
+	copy(c.m, d.m)
+	return c
+}
+
+// IsBottom reports inconsistency.
+func (d *DBM) IsBottom() bool { return d.bottom }
+
+// addSat adds bounds with saturation at Inf.
+func addSat(a, b int64) int64 {
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	s := a + b
+	// Saturate on overflow (bounds only grow toward Inf).
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		if b > 0 {
+			return Inf
+		}
+		return -Inf + 1
+	}
+	return s
+}
+
+// Constrain records v_i − v_j ≤ c and returns the DBM for chaining.
+func (d *DBM) Constrain(i, j int, c int64) *DBM {
+	if d.bottom {
+		return d
+	}
+	if c < d.at(i, j) {
+		d.set(i, j, c)
+	}
+	return d
+}
+
+// Close computes the shortest-path closure (Floyd–Warshall) and detects
+// inconsistency. It must be called after Constrain batches.
+func (d *DBM) Close() *DBM {
+	if d.bottom {
+		return d
+	}
+	n := d.n + 1
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := d.at(i, k)
+			if ik == Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := addSat(ik, d.at(k, j)); v < d.at(i, j) {
+					d.set(i, j, v)
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.at(i, i) < 0 {
+			d.bottom = true
+			return d
+		}
+	}
+	return d
+}
+
+// Forget removes every constraint mentioning variable i.
+func (d *DBM) Forget(i int) *DBM {
+	if d.bottom {
+		return d
+	}
+	for k := 0; k <= d.n; k++ {
+		if k != i {
+			d.set(i, k, Inf)
+			d.set(k, i, Inf)
+		}
+	}
+	return d
+}
+
+// Assign models v_dst := v_src + c (dst ≠ src), the zone-exact
+// assignment form. The matrix must be closed beforehand.
+func (d *DBM) Assign(dst, src int, c int64) *DBM {
+	if d.bottom {
+		return d
+	}
+	if dst == src {
+		return d.AddConst(dst, c)
+	}
+	d.Forget(dst)
+	d.set(dst, src, c)
+	d.set(src, dst, -c)
+	// Propagate through src's existing relations (cheap re-closure).
+	for k := 0; k <= d.n; k++ {
+		if k == dst || k == src {
+			continue
+		}
+		if v := addSat(c, d.at(src, k)); v < d.at(dst, k) {
+			d.set(dst, k, v)
+		}
+		if v := addSat(d.at(k, src), c); v < d.at(k, dst) {
+			d.set(k, dst, v)
+		}
+	}
+	return d
+}
+
+// AddConst models v_i := v_i + c exactly: every difference involving v_i
+// shifts by c.
+func (d *DBM) AddConst(i int, c int64) *DBM {
+	if d.bottom {
+		return d
+	}
+	for k := 0; k <= d.n; k++ {
+		if k == i {
+			continue
+		}
+		if v := d.at(i, k); v != Inf {
+			d.set(i, k, addSat(v, c))
+		}
+		if v := d.at(k, i); v != Inf {
+			d.set(k, i, addSat(v, -c))
+		}
+	}
+	return d
+}
+
+// AssignConst models v_i := c.
+func (d *DBM) AssignConst(i int, c int64) *DBM {
+	if d.bottom {
+		return d
+	}
+	d.Forget(i)
+	d.set(i, 0, c)
+	d.set(0, i, -c)
+	// Relate to other constants through the zero variable on next Close.
+	return d
+}
+
+// AssignInterval models v_i := fresh value in [lo, hi] (use Inf bounds
+// for unbounded sides).
+func (d *DBM) AssignInterval(i int, lo, hi int64, loOK, hiOK bool) *DBM {
+	if d.bottom {
+		return d
+	}
+	d.Forget(i)
+	if hiOK {
+		d.set(i, 0, hi)
+	}
+	if loOK {
+		d.set(0, i, -lo)
+	}
+	return d
+}
+
+// Bounds returns the interval of v_i (relative to the zero variable).
+// The matrix must be closed.
+func (d *DBM) Bounds(i int) (lo, hi int64, loOK, hiOK bool) {
+	hiV := d.at(i, 0)
+	loV := d.at(0, i)
+	if hiV != Inf {
+		hi, hiOK = hiV, true
+	}
+	if loV != Inf {
+		lo, loOK = -loV, true
+	}
+	return lo, hi, loOK, hiOK
+}
+
+// Join computes the least upper bound (pointwise maximum of bounds).
+func (d *DBM) Join(o *DBM) *DBM {
+	if d.bottom {
+		copy(d.m, o.m)
+		d.bottom = o.bottom
+		return d
+	}
+	if o.bottom {
+		return d
+	}
+	for i := range d.m {
+		if o.m[i] > d.m[i] {
+			d.m[i] = o.m[i]
+		}
+	}
+	return d
+}
+
+// Widen keeps stable bounds and drops growing ones to Inf (standard zone
+// widening, ensuring loop termination).
+func (d *DBM) Widen(next *DBM) *DBM {
+	if d.bottom {
+		copy(d.m, next.m)
+		d.bottom = next.bottom
+		return d
+	}
+	if next.bottom {
+		return d
+	}
+	for i := range d.m {
+		if next.m[i] > d.m[i] {
+			d.m[i] = Inf
+		}
+	}
+	return d
+}
+
+// Subsumes reports whether every valuation admitted by o is admitted by
+// d (both closed).
+func (d *DBM) Subsumes(o *DBM) bool {
+	if o.bottom {
+		return true
+	}
+	if d.bottom {
+		return false
+	}
+	for i := range d.m {
+		if d.m[i] < o.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfies reports whether a concrete valuation (x[0] must be 0)
+// satisfies every constraint; used by the property tests.
+func (d *DBM) Satisfies(x []int64) bool {
+	if d.bottom {
+		return false
+	}
+	for i := 0; i <= d.n; i++ {
+		for j := 0; j <= d.n; j++ {
+			if c := d.at(i, j); c != Inf {
+				if x[i]-x[j] > c {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,19 @@
+; The paper's Figure 2 running example (see examples/quickstart).
+r1 = map[0]
+r2 = r10
+r2 += -4
+*(u32 *)(r10 -4) = 0
+call 1
+if r0 == 0 goto miss
+r1 = r0
+r2 = *(u64 *)(r1 +0)
+r2 &= 0xf
+r1 += r2
+r3 = 0xf
+r3 -= r2
+r1 += r3
+r0 = *(u8 *)(r1 +0)
+exit
+miss:
+r0 = 0
+exit
