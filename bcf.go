@@ -21,6 +21,11 @@
 package bcf
 
 import (
+	"context"
+	"time"
+
+	"bcf/internal/bcf"
+	"bcf/internal/bcferr"
 	"bcf/internal/ebpf"
 	"bcf/internal/loader"
 	"bcf/internal/solver"
@@ -46,6 +51,21 @@ type (
 	ProofCache = loader.ProofCache
 	// VerifierStats are the analyzer's counters.
 	VerifierStats = verifier.Stats
+	// ErrClass buckets a rejection by root cause (see the Class*
+	// constants); use errors.Is with the bcferr sentinels for matching.
+	ErrClass = bcferr.Class
+	// SessionLimits bound the kernel-side resources of one load session.
+	SessionLimits = bcf.SessionLimits
+)
+
+// Error classes (§6.2-style rejection buckets plus protocol robustness).
+const (
+	ClassNone          = bcferr.ClassNone
+	ClassUnsafe        = bcferr.ClassUnsafe
+	ClassProofRejected = bcferr.ClassProofRejected
+	ClassSolverTimeout = bcferr.ClassSolverTimeout
+	ClassResourceLimit = bcferr.ClassResourceLimit
+	ClassProtocol      = bcferr.ClassProtocol
 )
 
 // Program types.
@@ -90,6 +110,8 @@ type Report struct {
 	Accepted bool
 	// Err is the rejection reason when !Accepted.
 	Err error
+	// Class buckets Err by root cause (ClassNone when accepted).
+	Class ErrClass
 	// Stats are the verifier's counters.
 	Stats VerifierStats
 	// Refinements is the number of proof-checked refinements adopted.
@@ -156,6 +178,33 @@ func WithoutBackwardAnalysis() Option {
 	return func(o *loader.Options) { o.DisableBackward = true }
 }
 
+// WithContext cancels the load when ctx is done (deadline or cancel).
+func WithContext(ctx context.Context) Option {
+	return func(o *loader.Options) { o.Context = ctx }
+}
+
+// WithLoadTimeout bounds the whole load; an expired load is aborted, the
+// kernel session torn down, and the report classified ClassSolverTimeout.
+func WithLoadTimeout(d time.Duration) Option {
+	return func(o *loader.Options) { o.LoadTimeout = d }
+}
+
+// WithProveTimeout bounds the prover on each individual condition.
+func WithProveTimeout(d time.Duration) Option {
+	return func(o *loader.Options) { o.ProveTimeout = d }
+}
+
+// WithMaxRounds caps refinement round-trips (negative = unlimited).
+func WithMaxRounds(n int) Option {
+	return func(o *loader.Options) { o.MaxRounds = n }
+}
+
+// WithSessionLimits overrides the kernel-side per-session resource
+// budget (requests, boundary bytes, watchdog).
+func WithSessionLimits(l SessionLimits) Option {
+	return func(o *loader.Options) { o.Session = l }
+}
+
 // WithLoopInvariant supplies a precomputed loop fixpoint (the paper's §7
 // extension): at instruction insn, register reg is declared to stay in
 // [lo, hi]. The verifier validates the fixpoint in a single pass — loads
@@ -181,6 +230,7 @@ func Verify(prog *Program, opts ...Option) *Report {
 	rep := &Report{
 		Accepted:       res.Accepted,
 		Err:            res.Err,
+		Class:          res.ErrClass,
 		Stats:          res.VerifierStats,
 		KernelNanos:    res.KernelTime.Nanoseconds(),
 		UserNanos:      res.UserTime.Nanoseconds(),

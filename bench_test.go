@@ -116,7 +116,7 @@ func BenchmarkAcceptanceBCF(b *testing.B) {
 // (paper: 31/49/1845 µs).
 func BenchmarkTable3ProofCheck(b *testing.B) {
 	cond := fig2Cond()
-	out, err := solver.Prove(cond, solver.Options{})
+	out, err := solver.Prove(nil, cond, solver.Options{})
 	if err != nil || !out.Proven {
 		b.Fatalf("prove: %v", err)
 	}
@@ -141,7 +141,7 @@ func BenchmarkTable3ProofCheck(b *testing.B) {
 // refutation (the large-proof regime).
 func BenchmarkTable3ProofCheckBitblast(b *testing.B) {
 	cond := fig2Cond()
-	out, err := solver.Prove(cond, solver.Options{DisableRewriteTier: true})
+	out, err := solver.Prove(nil, cond, solver.Options{DisableRewriteTier: true})
 	if err != nil || !out.Proven {
 		b.Fatalf("prove: %v", err)
 	}
@@ -168,7 +168,7 @@ func BenchmarkTable3ProofGeneration(b *testing.B) {
 	cond := fig2Cond()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := solver.Prove(cond, solver.Options{})
+		out, err := solver.Prove(nil, cond, solver.Options{})
 		if err != nil || !out.Proven {
 			b.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func benchProofBytes(b *testing.B, opts solver.Options) {
 	cond := expr.Ule(sum, expr.Const(30, 16))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := solver.Prove(cond, opts)
+		out, err := solver.Prove(nil, cond, opts)
 		if err != nil || !out.Proven {
 			b.Fatal(err)
 		}

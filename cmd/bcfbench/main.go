@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "which table: accept|1|2|3|duration|zone (default all)")
+	table := flag.String("table", "", "which table: accept|1|2|3|duration|zone|classes (default all)")
 	fig := flag.String("fig", "", "which figure: 8")
 	limit := flag.Int("insn-limit", corpusInsnLimit(), "analyzed-instruction budget")
 	src := flag.String("src", ".", "repository root (for Table 1 line counts)")
@@ -30,7 +30,8 @@ func main() {
 	flag.Parse()
 
 	wantAll := *table == "" && *fig == ""
-	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" || *fig == "8"
+	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" ||
+		*table == "classes" || *fig == "8"
 
 	var ev *eval.Evaluation
 	if needRun {
@@ -72,6 +73,9 @@ func main() {
 	}
 	if wantAll || *table == "duration" {
 		show("duration", ev.DurationString())
+	}
+	if wantAll || *table == "classes" {
+		show("classes", ev.ClassBreakdownString())
 	}
 	if wantAll || *table == "zone" {
 		show("zone", eval.ZoneTable())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bcf/internal/bcferr"
 	"bcf/internal/bcfenc"
 	"bcf/internal/expr"
 	"bcf/internal/proof"
@@ -168,6 +169,9 @@ func (r *Refiner) delegate(cond *expr.Expr, tk *tracker, req *verifier.RefineReq
 	}
 	if err != nil {
 		r.stats.Requests = append(r.stats.Requests, rs)
+		// The user error keeps its own class (solver timeout, protocol,
+		// counterexample = unsafe); unclassified failures stay unclassified
+		// and default to an unsafe rejection upstream.
 		return fmt.Errorf("bcf: user space produced no proof: %w", err)
 	}
 
@@ -181,7 +185,8 @@ func (r *Refiner) delegate(cond *expr.Expr, tk *tracker, req *verifier.RefineReq
 	r.stats.CheckTime += rs.CheckDuration
 	r.stats.Requests = append(r.stats.Requests, rs)
 	if err != nil {
-		return fmt.Errorf("bcf: proof rejected: %w", err)
+		return bcferr.Wrap(bcferr.ClassProofRejected,
+			fmt.Errorf("bcf: proof rejected: %w", err))
 	}
 	return nil
 }

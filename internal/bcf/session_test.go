@@ -46,7 +46,7 @@ func driveManually(t *testing.T, sess *Session) error {
 		if err != nil {
 			t.Fatalf("decode condition: %v", err)
 		}
-		out, err := solver.Prove(cond.Cond, solver.Options{})
+		out, err := solver.Prove(nil, cond.Cond, solver.Options{})
 		if err != nil {
 			t.Fatalf("prove: %v", err)
 		}
@@ -117,7 +117,7 @@ func TestSessionTruncatedProofRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := solver.Prove(cond.Cond, solver.Options{})
+	out, err := solver.Prove(nil, cond.Cond, solver.Options{})
 	if err != nil || !out.Proven {
 		t.Fatal(err)
 	}

@@ -62,7 +62,7 @@ func TestSharingKeepsEncodingCompact(t *testing.T) {
 }
 
 func TestProofRoundTrip(t *testing.T) {
-	out, err := solver.Prove(fig2Cond(15), solver.Options{})
+	out, err := solver.Prove(nil, fig2Cond(15), solver.Options{})
 	if err != nil || !out.Proven {
 		t.Fatalf("prove: %v %+v", err, out)
 	}
@@ -99,7 +99,7 @@ func TestProofRoundTripBitblastTier(t *testing.T) {
 	x, y := expr.Var(0, 16), expr.Var(1, 16)
 	sum := expr.Add(expr.And(x, expr.Const(0xf, 16)), expr.And(y, expr.Const(0xf, 16)))
 	cond := expr.Ule(sum, expr.Const(30, 16))
-	out, err := solver.Prove(cond, solver.Options{DisableRewriteTier: true})
+	out, err := solver.Prove(nil, cond, solver.Options{DisableRewriteTier: true})
 	if err != nil || !out.Proven {
 		t.Fatalf("prove: %v", err)
 	}
@@ -145,7 +145,7 @@ func TestDecodeFuzz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := solver.Prove(fig2Cond(15), solver.Options{})
+	out, err := solver.Prove(nil, fig2Cond(15), solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

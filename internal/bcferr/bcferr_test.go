@@ -1,0 +1,67 @@
+package bcferr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	err := New(ClassSolverTimeout, "sat: conflict budget exhausted (%d)", 64)
+	if !errors.Is(err, ErrSolverTimeout) {
+		t.Fatal("classified error does not match its sentinel")
+	}
+	if errors.Is(err, ErrProofRejected) {
+		t.Fatal("classified error matches a foreign sentinel")
+	}
+}
+
+func TestClassSurvivesWrapping(t *testing.T) {
+	inner := New(ClassSolverTimeout, "deadline exceeded")
+	mid := fmt.Errorf("loader: solver: %w", inner)
+	outer := fmt.Errorf("bcf: user space produced no proof: %w", mid)
+	if !errors.Is(outer, ErrSolverTimeout) {
+		t.Fatal("class lost through fmt.Errorf wrapping")
+	}
+	if got := ClassOf(outer); got != ClassSolverTimeout {
+		t.Fatalf("ClassOf = %v, want solver-timeout", got)
+	}
+}
+
+func TestClassOfPrefersInnermost(t *testing.T) {
+	// A protocol wrapper around a solver timeout: the root cause wins.
+	err := Wrap(ClassProtocol, fmt.Errorf("session: %w", New(ClassSolverTimeout, "budget")))
+	if got := ClassOf(err); got != ClassSolverTimeout {
+		t.Fatalf("ClassOf = %v, want innermost solver-timeout", got)
+	}
+	// Both sentinels still match through the chain.
+	if !errors.Is(err, ErrProtocol) || !errors.Is(err, ErrSolverTimeout) {
+		t.Fatal("wrapped chain should match both sentinels")
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(ClassProtocol, nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+	if got := ClassOf(nil); got != ClassNone {
+		t.Fatalf("ClassOf(nil) = %v", got)
+	}
+	if got := ClassOf(errors.New("plain")); got != ClassNone {
+		t.Fatalf("ClassOf(plain) = %v", got)
+	}
+}
+
+func TestStringsAndSentinelRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		if c.String() == "" || Sentinel(c) == nil {
+			t.Fatalf("class %d missing string or sentinel", c)
+		}
+		if got := ClassOf(Wrap(c, errors.New("x"))); got != c {
+			t.Fatalf("round trip for %v: got %v", c, got)
+		}
+	}
+	if Sentinel(ClassNone) != nil {
+		t.Fatal("ClassNone has no sentinel")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"bcf/internal/bcferr"
 	"bcf/internal/corpus"
 	"bcf/internal/loader"
 	"bcf/internal/verifier"
@@ -23,6 +24,7 @@ type ProgramResult struct {
 	Entry    corpus.Entry
 	Accepted bool
 	Err      error
+	ErrClass bcferr.Class
 
 	Refinements    int
 	Requests       int
@@ -64,6 +66,7 @@ func Run(insnLimit int, progress func(done, total int)) *Evaluation {
 			Entry:         e,
 			Accepted:      res.Accepted,
 			Err:           res.Err,
+			ErrClass:      res.ErrClass,
 			KernelTime:    res.KernelTime,
 			UserTime:      res.UserTime,
 			TotalTime:     res.TotalTime,
@@ -148,6 +151,33 @@ func (ev *Evaluation) AcceptanceTable() string {
 		"instruction limit (loops)", s.InsnLimit, pct(s.InsnLimit, s.Total))
 	fmt.Fprintf(&b, "    %-32s %5d   %4.1f%%   (paper: 4 = 0.8%%)\n",
 		"refinement not triggered", s.Untriggered, pct(s.Untriggered, s.Total))
+	return b.String()
+}
+
+// ClassBreakdown buckets every rejection by its structured error class
+// (the taxonomy the hardened protocol loop attaches to failures). Accepted
+// programs land in ClassNone, so the counts always sum to the total.
+func (ev *Evaluation) ClassBreakdown() map[bcferr.Class]int {
+	out := map[bcferr.Class]int{}
+	for _, r := range ev.Results {
+		out[r.ErrClass]++
+	}
+	return out
+}
+
+// ClassBreakdownString renders the §6.2-style rejection buckets keyed by
+// error class instead of expected outcome.
+func (ev *Evaluation) ClassBreakdownString() string {
+	bd := ev.ClassBreakdown()
+	total := len(ev.Results)
+	var b strings.Builder
+	b.WriteString("Rejection breakdown by structured error class\n")
+	fmt.Fprintf(&b, "  %-18s %6s   %s\n", "class", "count", "share")
+	fmt.Fprintf(&b, "  %-18s %6d   %4.1f%%\n", "accepted", bd[bcferr.ClassNone],
+		pct(bd[bcferr.ClassNone], total))
+	for _, c := range bcferr.Classes() {
+		fmt.Fprintf(&b, "  %-18s %6d   %4.1f%%\n", c.String(), bd[c], pct(bd[c], total))
+	}
 	return b.String()
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"bcf/internal/bcferr"
 	"bcf/internal/corpus"
 )
 
@@ -80,10 +81,25 @@ func TestEvaluationEndToEndSampled(t *testing.T) {
 	}
 	for _, render := range []string{
 		ev.AcceptanceTable(), ev.Table3String(), ev.Figure8String(), ev.DurationString(),
+		ev.ClassBreakdownString(),
 	} {
 		if len(render) == 0 {
 			t.Error("empty render")
 		}
+	}
+	bd := ev.ClassBreakdown()
+	sum := 0
+	for _, n := range bd {
+		sum += n
+	}
+	if sum != corpus.Size {
+		t.Errorf("class breakdown covers %d of %d programs", sum, corpus.Size)
+	}
+	if bd[bcferr.ClassNone] != acc.BCFAccepted {
+		t.Errorf("ClassNone count %d != accepted %d", bd[bcferr.ClassNone], acc.BCFAccepted)
+	}
+	if bd[bcferr.ClassProtocol] != 0 {
+		t.Errorf("honest run produced %d protocol-class rejections", bd[bcferr.ClassProtocol])
 	}
 	if _, below := ev.Figure8(); below < 90 {
 		t.Errorf("proof-size distribution off: %.1f%% under 4K", below)

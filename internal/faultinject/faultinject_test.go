@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bcf/internal/bcferr"
+)
+
+func TestDeterministicMutations(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	a := New(7).Arm(CondCorrupt)
+	b := New(7).Arm(CondCorrupt)
+	ma := a.Condition(0, payload)
+	mb := b.Condition(0, payload)
+	if !bytes.Equal(ma, mb) {
+		t.Fatal("same seed must produce identical corruption")
+	}
+	if bytes.Equal(ma, payload) {
+		t.Fatal("corruption did not change the payload")
+	}
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("input slice must not be mutated in place")
+	}
+}
+
+func TestScheduleRoundsRespected(t *testing.T) {
+	in := New(1).Arm(ProofTruncate, 2)
+	b := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for round := 0; round < 4; round++ {
+		out, drop := in.Proof(round, b)
+		if drop {
+			t.Fatal("truncate must not drop")
+		}
+		if round == 2 && len(out) >= len(b) {
+			t.Fatal("round 2 should truncate")
+		}
+		if round != 2 && !bytes.Equal(out, b) {
+			t.Fatalf("round %d should pass through", round)
+		}
+	}
+	if got := in.Fired(ProofTruncate); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestReplaySubstitutesStaleProof(t *testing.T) {
+	in := New(3).Arm(ProofReplay, 1)
+	first := []byte("proof-round-0")
+	second := []byte("proof-round-1")
+	if out, _ := in.Proof(0, first); !bytes.Equal(out, first) {
+		t.Fatal("round 0 must pass through")
+	}
+	out, _ := in.Proof(1, second)
+	if !bytes.Equal(out, first) {
+		t.Fatalf("round 1 should replay round 0's proof, got %q", out)
+	}
+	if !in.CorruptionFired() {
+		t.Fatal("replay counts as corruption")
+	}
+}
+
+func TestReplayIdenticalProofIsNoop(t *testing.T) {
+	// Replaying a byte-identical proof is not logged: it cannot be
+	// distinguished from an honest submission and must not trip the
+	// "corruption ⇒ rejected" chaos assertion.
+	in := New(3).Arm(ProofReplay)
+	p := []byte("same")
+	in.Proof(0, p)
+	in.Proof(1, p)
+	if in.Fired(ProofReplay) != 0 {
+		t.Fatal("identical replay should not log an event")
+	}
+}
+
+func TestProveInjectsClassedErrors(t *testing.T) {
+	in := New(9).Arm(SATBudget, 0).Arm(ProverError, 1)
+	if err := in.Prove(0); !errors.Is(err, bcferr.ErrSolverTimeout) {
+		t.Fatalf("round 0: want solver-timeout, got %v", err)
+	}
+	if err := in.Prove(1); !errors.Is(err, bcferr.ErrProtocol) {
+		t.Fatalf("round 1: want protocol, got %v", err)
+	}
+	if err := in.Prove(2); err != nil {
+		t.Fatalf("round 2: want nil, got %v", err)
+	}
+}
+
+func TestProverDelayStalls(t *testing.T) {
+	in := New(5).Arm(ProverDelay, 0).SetDelay(20 * time.Millisecond)
+	start := time.Now()
+	if err := in.Prove(0); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delay did not stall")
+	}
+}
+
+func TestDropResume(t *testing.T) {
+	in := New(11).Arm(DropResume, 0)
+	if _, drop := in.Proof(0, []byte("p")); !drop {
+		t.Fatal("drop-resume should request a drop")
+	}
+}
+
+func TestNewRandomIsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := NewRandom(seed, 8)
+		b := NewRandom(seed, 8)
+		anyArmed := false
+		for p := Point(0); p < NumPoints; p++ {
+			if a.Armed(p) != b.Armed(p) {
+				t.Fatalf("seed %d: schedules differ at %v", seed, p)
+			}
+			anyArmed = anyArmed || a.Armed(p)
+		}
+		if !anyArmed {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+}
+
+func TestTruncateAlwaysShrinks(t *testing.T) {
+	in := New(13).Arm(CondTruncate)
+	for i := 0; i < 50; i++ {
+		b := bytes.Repeat([]byte{byte(i)}, 1+i%7)
+		if out := in.Condition(i, b); len(out) >= len(b) {
+			t.Fatalf("truncation must remove at least one byte (%d -> %d)", len(b), len(out))
+		}
+	}
+}

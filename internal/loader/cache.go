@@ -1,0 +1,103 @@
+package loader
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultProofCacheCap bounds a ProofCache built with NewProofCache.
+// Proofs are page-sized (§6.3: 99.4% under 4 KiB), so the default keeps
+// the cache around a few megabytes.
+const DefaultProofCacheCap = 4096
+
+// ProofCache memoizes proofs by the exact bytes of their condition. The
+// verifier's analysis is deterministic, so repeated loads of the same
+// program request identical conditions (§7). The cache is bounded:
+// least-recently-used entries are evicted beyond the capacity, so a
+// stream of distinct programs (the million-user scenario) cannot grow it
+// without bound. Safe for concurrent use by multiple loads.
+type ProofCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int
+	misses    int
+	evictions int
+}
+
+type cacheEntry struct {
+	key   string
+	proof []byte
+}
+
+// NewProofCache returns an empty cache with the default capacity.
+func NewProofCache() *ProofCache { return NewProofCacheCap(DefaultProofCacheCap) }
+
+// NewProofCacheCap returns an empty cache holding at most capacity
+// entries (capacity <= 0 selects the default).
+func NewProofCacheCap(capacity int) *ProofCache {
+	if capacity <= 0 {
+		capacity = DefaultProofCacheCap
+	}
+	return &ProofCache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// Get looks up a proof for the exact condition bytes, marking the entry
+// as recently used.
+func (c *ProofCache) Get(cond []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[string(cond)]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).proof, true
+}
+
+// Put stores a proof, evicting the least-recently-used entry when the
+// cache is full.
+func (c *ProofCache) Put(cond, proofBytes []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := string(cond)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).proof = proofBytes
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, proof: proofBytes})
+}
+
+// Stats reports cache effectiveness.
+func (c *ProofCache) Stats() (hits, misses, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// Evictions reports how many entries have been evicted.
+func (c *ProofCache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Cap reports the capacity.
+func (c *ProofCache) Cap() int { return c.capacity }

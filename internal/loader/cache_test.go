@@ -1,0 +1,70 @@
+package loader
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProofCacheLRUEviction(t *testing.T) {
+	c := NewProofCacheCap(2)
+	c.Put([]byte("a"), []byte("pa"))
+	c.Put([]byte("b"), []byte("pb"))
+	if _, ok := c.Get([]byte("a")); !ok {
+		t.Fatal("a should be cached")
+	}
+	// a is now most recently used; inserting c must evict b.
+	c.Put([]byte("c"), []byte("pc"))
+	if _, ok := c.Get([]byte("b")); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if p, ok := c.Get([]byte("a")); !ok || string(p) != "pa" {
+		t.Fatal("a should have survived eviction")
+	}
+	if _, ok := c.Get([]byte("c")); !ok {
+		t.Fatal("c should be cached")
+	}
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	hits, misses, size := c.Stats()
+	if hits != 3 || misses != 1 || size != 2 {
+		t.Fatalf("stats hits=%d misses=%d size=%d, want 3/1/2", hits, misses, size)
+	}
+}
+
+func TestProofCachePutUpdatesInPlace(t *testing.T) {
+	c := NewProofCacheCap(2)
+	c.Put([]byte("k"), []byte("v1"))
+	c.Put([]byte("k"), []byte("v2"))
+	if p, ok := c.Get([]byte("k")); !ok || string(p) != "v2" {
+		t.Fatalf("update lost: %q %v", p, ok)
+	}
+	if _, _, size := c.Stats(); size != 1 {
+		t.Fatal("duplicate key grew the cache")
+	}
+}
+
+func TestProofCacheStaysBounded(t *testing.T) {
+	c := NewProofCacheCap(8)
+	for i := 0; i < 1000; i++ {
+		c.Put([]byte(fmt.Sprintf("cond-%d", i)), []byte("p"))
+	}
+	if _, _, size := c.Stats(); size != 8 {
+		t.Fatalf("size = %d, want 8", size)
+	}
+	if ev := c.Evictions(); ev != 992 {
+		t.Fatalf("evictions = %d, want 992", ev)
+	}
+	if c.Cap() != 8 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+}
+
+func TestProofCacheDefaultCap(t *testing.T) {
+	if NewProofCache().Cap() != DefaultProofCacheCap {
+		t.Fatal("default capacity not applied")
+	}
+	if NewProofCacheCap(0).Cap() != DefaultProofCacheCap {
+		t.Fatal("zero capacity should select the default")
+	}
+}

@@ -2,18 +2,49 @@
 // libbpf analog that loads a program, receives refinement conditions from
 // the kernel, translates them for the solver, and submits proofs back
 // until the load concludes (§5 Loader and Solver).
+//
+// The protocol loop is hardened against a slow or failing prover and a
+// hostile environment: the whole load and each individual condition run
+// under deadlines, refinement rounds are capped, a solver that exhausts
+// its conflict budget gets exactly one escalation retry (straight to
+// bit-blasting with a larger budget), and every failure carries a
+// bcferr.Class so callers can bucket outcomes (§6.2).
 package loader
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"bcf/internal/bcf"
+	"bcf/internal/bcferr"
 	"bcf/internal/bcfenc"
 	"bcf/internal/ebpf"
 	"bcf/internal/solver"
 	"bcf/internal/verifier"
 )
+
+// DefaultMaxRounds caps refinement rounds per load. The paper's heaviest
+// program issues ~16k requests; the default leaves 4× headroom.
+const DefaultMaxRounds = 1 << 16
+
+// escalationBudgetFactor multiplies the SAT conflict budget on the single
+// escalation retry after a budget exhaustion.
+const escalationBudgetFactor = 4
+
+// FaultHook intercepts the user-space protocol steps (test
+// instrumentation, e.g. internal/faultinject). A nil hook costs nothing.
+type FaultHook interface {
+	// Condition may replace the condition bytes received from the kernel
+	// before they are decoded.
+	Condition(round int, b []byte) []byte
+	// Prove runs before the solver; it may stall (testing deadlines) or
+	// return an error reported as the prover's outcome.
+	Prove(round int) error
+	// Proof may replace the proof bytes submitted to the kernel;
+	// drop=true abandons the load without resuming the session.
+	Proof(round int, b []byte) (out []byte, drop bool)
+}
 
 // Options configure a load.
 type Options struct {
@@ -24,6 +55,9 @@ type Options struct {
 	Solver solver.Options
 	// Verifier configuration (insn limit, debug log, pruning).
 	Verifier verifier.Config
+	// Session bounds the kernel-side resources of this load (zero fields
+	// take bcf.DefaultSessionLimits).
+	Session bcf.SessionLimits
 	// ProofCache, when non-nil, is consulted before invoking the solver
 	// and updated with fresh proofs (§7 Load Time: the verifier is
 	// deterministic, so conditions repeat across loads byte-for-byte).
@@ -31,17 +65,42 @@ type Options struct {
 	// DisableBackward makes symbolic tracking start at the path head
 	// instead of the computed suffix (ablation of §4's backward analysis).
 	DisableBackward bool
+
+	// Context cancels the whole load when done (nil = Background).
+	Context context.Context
+	// LoadTimeout bounds the whole load, counted from Load entry
+	// (0 = none beyond Context).
+	LoadTimeout time.Duration
+	// ProveTimeout bounds the prover on each individual condition
+	// (0 = none beyond the whole-load deadline).
+	ProveTimeout time.Duration
+	// MaxRounds caps refinement rounds (0 = DefaultMaxRounds; negative =
+	// unlimited).
+	MaxRounds int
+	// DisableEscalation turns off the budget-exhaustion retry.
+	DisableEscalation bool
+
+	// Fault injects protocol faults on the user-space side (tests only).
+	Fault FaultHook
 }
 
 // Result reports the outcome and the measurements of a load.
 type Result struct {
 	Accepted bool
 	Err      error
+	// ErrClass buckets Err per the bcferr taxonomy. Accepted loads are
+	// ClassNone; rejections with no embedded class default to ClassUnsafe
+	// (the verifier turned the program down on safety grounds).
+	ErrClass bcferr.Class
 
 	// Verifier statistics.
 	VerifierStats verifier.Stats
 	// Refinement statistics (nil when BCF disabled).
 	RefineStats *bcf.Stats
+	// Rounds counts protocol round-trips driven by this load.
+	Rounds int
+	// Escalations counts solver escalation retries that ran.
+	Escalations int
 	// Wall-clock split.
 	KernelTime time.Duration
 	UserTime   time.Duration
@@ -54,7 +113,23 @@ type Result struct {
 	Log []string
 }
 
+// classify fills ErrClass from Err.
+func (r *Result) classify() {
+	if r.Err == nil {
+		r.ErrClass = bcferr.ClassNone
+		return
+	}
+	if c := bcferr.ClassOf(r.Err); c != bcferr.ClassNone {
+		r.ErrClass = c
+		return
+	}
+	r.ErrClass = bcferr.ClassUnsafe
+}
+
 // Load verifies a program, driving the full BCF protocol when enabled.
+// It always returns: deadlines, the round cap and the kernel session's
+// own limits bound every path, and an abandoned or failed load aborts the
+// session so the verification goroutine never leaks.
 func Load(prog *ebpf.Program, opts Options) *Result {
 	startAll := time.Now()
 	res := &Result{}
@@ -63,6 +138,7 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 		err := v.Verify()
 		res.Accepted = err == nil
 		res.Err = err
+		res.classify()
 		res.VerifierStats = v.Stats()
 		res.Log = v.Log()
 		res.KernelTime = time.Since(startAll)
@@ -70,33 +146,97 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 		return res
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.LoadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.LoadTimeout)
+		defer cancel()
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
 	sess := bcf.NewSession(prog, opts.Verifier)
+	sess.Limits = opts.Session
 	sess.Refiner().DisableBackward = opts.DisableBackward
+
+	// finish tears the session down on an early loader-side exit and
+	// collects stats; the session's own verdict is superseded by cause.
+	finish := func(lr bcf.LoadResult, cause error) *Result {
+		if !lr.Done {
+			sess.Abort()
+		}
+		res.Err = lr.Err
+		if cause != nil {
+			res.Err = cause
+		}
+		res.Accepted = res.Err == nil
+		res.classify()
+		res.VerifierStats = sess.Verifier().Stats()
+		res.Log = sess.Verifier().Log()
+		res.RefineStats = sess.Refiner().Stats()
+		res.KernelTime = sess.KernelTime()
+		res.UserTime = sess.UserTime()
+		res.TotalTime = time.Since(startAll)
+		return res
+	}
+
 	lr := sess.Load()
 	for !lr.Done {
-		proofBytes, cex, hit, perr := prove(lr.Condition, opts)
-		if hit {
-			res.CacheHits++
+		round := res.Rounds
+		if maxRounds > 0 && round >= maxRounds {
+			return finish(lr, bcferr.New(bcferr.ClassResourceLimit,
+				"loader: refinement round cap reached (%d)", maxRounds))
 		}
-		if cex != nil {
-			res.Counterexample = cex
+		res.Rounds++
+		if err := ctx.Err(); err != nil {
+			return finish(lr, bcferr.Wrap(bcferr.ClassSolverTimeout,
+				fmt.Errorf("loader: load deadline: %w", err)))
+		}
+
+		condBytes := lr.Condition
+		if opts.Fault != nil {
+			condBytes = opts.Fault.Condition(round, condBytes)
+		}
+
+		var proofBytes []byte
+		var perr error
+		if opts.Fault != nil {
+			perr = opts.Fault.Prove(round)
+		}
+		if perr == nil {
+			var cex map[uint32]uint64
+			var hit bool
+			proofBytes, cex, hit, perr = prove(ctx, condBytes, opts, res)
+			if hit {
+				res.CacheHits++
+			}
+			if cex != nil {
+				res.Counterexample = cex
+			}
+		}
+		if opts.Fault != nil {
+			var drop bool
+			proofBytes, drop = opts.Fault.Proof(round, proofBytes)
+			if drop {
+				return finish(lr, bcferr.New(bcferr.ClassProtocol,
+					"loader: resume dropped (session abandoned)"))
+			}
 		}
 		lr = sess.Resume(proofBytes, perr)
 	}
-	res.Accepted = lr.Err == nil
-	res.Err = lr.Err
-	res.VerifierStats = sess.Verifier().Stats()
-	res.Log = sess.Verifier().Log()
-	res.RefineStats = sess.Refiner().Stats()
-	res.KernelTime = sess.KernelTime()
-	res.UserTime = sess.UserTime()
-	res.TotalTime = time.Since(startAll)
-	return res
+	return finish(lr, nil)
 }
 
 // prove translates one condition, consults the cache, and invokes the
-// solver.
-func prove(condBytes []byte, opts Options) (proofBytes []byte, cex map[uint32]uint64, cacheHit bool, err error) {
+// solver under the per-condition deadline. A conflict-budget exhaustion
+// is retried once, escalated straight to bit-blasting with a larger
+// budget, provided the deadlines still have room.
+func prove(ctx context.Context, condBytes []byte, opts Options, res *Result) (proofBytes []byte, cex map[uint32]uint64, cacheHit bool, err error) {
 	if opts.ProofCache != nil {
 		if p, ok := opts.ProofCache.Get(condBytes); ok {
 			return p, nil, true, nil
@@ -104,57 +244,40 @@ func prove(condBytes []byte, opts Options) (proofBytes []byte, cex map[uint32]ui
 	}
 	cond, err := bcfenc.DecodeCondition(condBytes)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("loader: bad condition from kernel: %w", err)
+		return nil, nil, false, bcferr.Wrap(bcferr.ClassProtocol,
+			fmt.Errorf("loader: bad condition from kernel: %w", err))
 	}
-	out, err := solver.Prove(cond.Cond, opts.Solver)
+	if opts.ProveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.ProveTimeout)
+		defer cancel()
+	}
+	out, err := solver.Prove(ctx, cond.Cond, opts.Solver)
+	if err != nil && !opts.DisableEscalation &&
+		bcferr.ClassOf(err) == bcferr.ClassSolverTimeout && ctx.Err() == nil {
+		// Budget exhausted with wall-clock to spare: one escalation.
+		esc := opts.Solver
+		esc.DisableRewriteTier = true
+		if esc.MaxConflicts > 0 {
+			esc.MaxConflicts *= escalationBudgetFactor
+		}
+		res.Escalations++
+		out, err = solver.Prove(ctx, cond.Cond, esc)
+	}
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("loader: solver: %w", err)
 	}
 	if !out.Proven {
-		return nil, out.Counterexample, false,
-			fmt.Errorf("loader: condition violated (counterexample found)")
+		return nil, out.Counterexample, false, bcferr.New(bcferr.ClassUnsafe,
+			"loader: condition violated (counterexample found)")
 	}
 	buf, err := bcfenc.EncodeProof(out.Proof)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("loader: encoding proof: %w", err)
+		return nil, nil, false, bcferr.Wrap(bcferr.ClassProtocol,
+			fmt.Errorf("loader: encoding proof: %w", err))
 	}
 	if opts.ProofCache != nil {
 		opts.ProofCache.Put(condBytes, buf)
 	}
 	return buf, nil, false, nil
-}
-
-// ProofCache memoizes proofs by the exact bytes of their condition. The
-// verifier's analysis is deterministic, so repeated loads of the same
-// program request identical conditions (§7).
-type ProofCache struct {
-	entries map[string][]byte
-	hits    int
-	misses  int
-}
-
-// NewProofCache returns an empty cache.
-func NewProofCache() *ProofCache {
-	return &ProofCache{entries: map[string][]byte{}}
-}
-
-// Get looks up a proof for the exact condition bytes.
-func (c *ProofCache) Get(cond []byte) ([]byte, bool) {
-	p, ok := c.entries[string(cond)]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	return p, ok
-}
-
-// Put stores a proof.
-func (c *ProofCache) Put(cond, proofBytes []byte) {
-	c.entries[string(cond)] = proofBytes
-}
-
-// Stats reports cache effectiveness.
-func (c *ProofCache) Stats() (hits, misses, size int) {
-	return c.hits, c.misses, len(c.entries)
 }

@@ -9,7 +9,11 @@
 // (§4 Workload Delegation, §5 Proof Check).
 package sat
 
-import "fmt"
+import (
+	"fmt"
+
+	"bcf/internal/bcferr"
+)
 
 // Lit is a literal in DIMACS convention: +v asserts variable v, -v its
 // negation. Variables are numbered from 1.
@@ -93,6 +97,10 @@ type Solver struct {
 	// MaxConflicts bounds the search; 0 means unlimited. Exceeding it
 	// makes Solve return an error (the paper's solver-timeout case).
 	MaxConflicts int64
+	// Interrupt, when non-nil, is polled periodically during the search;
+	// a non-nil return aborts Solve with a solver-timeout error. Wire it
+	// to context.Context.Err to give the search a deadline.
+	Interrupt func() error
 }
 
 // New returns a solver over nVars variables. If logProof is set, an UNSAT
@@ -458,13 +466,22 @@ func (s *Solver) Solve() (Result, error) {
 
 	conflictsSinceRestart := int64(0)
 	restartLimit := int64(100)
+	steps := int64(0)
 	for {
+		steps++
+		if s.Interrupt != nil && steps&255 == 0 {
+			if err := s.Interrupt(); err != nil {
+				return Result{}, bcferr.Wrap(bcferr.ClassSolverTimeout,
+					fmt.Errorf("sat: interrupted: %w", err))
+			}
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflCount++
 			conflictsSinceRestart++
 			if s.MaxConflicts > 0 && s.conflCount > s.MaxConflicts {
-				return Result{}, fmt.Errorf("sat: conflict budget exhausted (%d)", s.MaxConflicts)
+				return Result{}, bcferr.New(bcferr.ClassSolverTimeout,
+					"sat: conflict budget exhausted (%d)", s.MaxConflicts)
 			}
 			if s.decisionLevel() == 0 {
 				s.emptyFromLevel0Conflict(confl)

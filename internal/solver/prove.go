@@ -1,8 +1,10 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
+	"bcf/internal/bcferr"
 	"bcf/internal/bitblast"
 	"bcf/internal/expr"
 	"bcf/internal/proof"
@@ -51,20 +53,28 @@ type Outcome struct {
 	Counterexample map[uint32]uint64
 }
 
-// Prove decides the validity of a refinement condition.
-func Prove(cond *expr.Expr, opts Options) (*Outcome, error) {
+// Prove decides the validity of a refinement condition. ctx bounds the
+// search: when it is cancelled or its deadline passes, Prove returns a
+// solver-timeout error (nil ctx means no deadline).
+func Prove(ctx context.Context, cond *expr.Expr, opts Options) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cond == nil || cond.Width != 1 {
 		return nil, fmt.Errorf("solver: condition must be boolean")
 	}
 	if err := cond.CheckWellFormed(); err != nil {
 		return nil, fmt.Errorf("solver: malformed condition: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, bcferr.Wrap(bcferr.ClassSolverTimeout, fmt.Errorf("solver: %w", err))
+	}
 	if !opts.DisableRewriteTier {
 		if p, ok := rewriteProof(cond); ok {
 			return &Outcome{Proven: true, Proof: p, Tier: TierRewrite}, nil
 		}
 	}
-	return bitblastProve(cond, opts)
+	return bitblastProve(ctx, cond, opts)
 }
 
 // rewriteProof attempts the cheap tier: a refutation that assumes ¬C,
@@ -154,7 +164,7 @@ func (b *builder) proveByEval(f *expr.Expr) (uint32, bool) {
 }
 
 // bitblastProve is the complete tier.
-func bitblastProve(cond *expr.Expr, opts Options) (*Outcome, error) {
+func bitblastProve(ctx context.Context, cond *expr.Expr, opts Options) (*Outcome, error) {
 	notCond := expr.BoolNot(cond)
 	cnf, err := bitblast.Encode(notCond)
 	if err != nil {
@@ -164,6 +174,9 @@ func bitblastProve(cond *expr.Expr, opts Options) (*Outcome, error) {
 	s.MaxConflicts = opts.MaxConflicts
 	if s.MaxConflicts == 0 {
 		s.MaxConflicts = 4_000_000
+	}
+	if ctx.Done() != nil {
+		s.Interrupt = ctx.Err
 	}
 	for _, c := range cnf.Clauses {
 		if err := s.AddClause(c...); err != nil {

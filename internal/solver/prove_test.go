@@ -12,7 +12,7 @@ import (
 // kernel-side checker, returning the outcome.
 func proveAndCheck(t *testing.T, cond *expr.Expr, opts Options) *Outcome {
 	t.Helper()
-	out, err := Prove(cond, opts)
+	out, err := Prove(nil, cond, opts)
 	if err != nil {
 		t.Fatalf("Prove: %v", err)
 	}
@@ -209,10 +209,10 @@ func TestRandomValidityDifferential(t *testing.T) {
 }
 
 func TestMalformedCondition(t *testing.T) {
-	if _, err := Prove(expr.Var(0, 64), Options{}); err == nil {
+	if _, err := Prove(nil, expr.Var(0, 64), Options{}); err == nil {
 		t.Fatal("expected error for non-boolean condition")
 	}
-	if _, err := Prove(nil, Options{}); err == nil {
+	if _, err := Prove(nil, nil, Options{}); err == nil {
 		t.Fatal("expected error for nil condition")
 	}
 }

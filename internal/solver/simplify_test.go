@@ -83,7 +83,7 @@ func TestSimplifySemanticsPreserved(t *testing.T) {
 		// widths are small.
 		if width == 8 && iter%4 == 0 {
 			cond := expr.Eq(term, simp.term)
-			out, err := Prove(cond, Options{})
+			out, err := Prove(nil, cond, Options{})
 			if err != nil {
 				t.Fatalf("prove: %v", err)
 			}
@@ -125,7 +125,7 @@ func TestSimplifyChainChecks(t *testing.T) {
 		// when sampling hit it, otherwise prove against the width cap
 		// anyway (always valid and exercises the chain).
 		cond := expr.Ule(term, expr.Const(expr.Mask(width), width))
-		out, err := Prove(cond, Options{})
+		out, err := Prove(nil, cond, Options{})
 		if err != nil || !out.Proven {
 			t.Fatalf("width-cap bound must always prove: %v", err)
 		}

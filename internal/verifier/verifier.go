@@ -41,16 +41,25 @@ func (k CheckKind) String() string {
 	return "none"
 }
 
-// Error is a verification failure.
+// Error is a verification failure. Cause, when set, carries the
+// underlying refinement failure (proof rejected, solver timeout, session
+// limit …) so structured error classes survive the verifier boundary;
+// errors.Is / errors.As reach it through Unwrap.
 type Error struct {
 	InsnIdx int
 	Kind    CheckKind
 	Msg     string
+	Cause   error
 }
 
 func (e *Error) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("insn %d: %s: %v", e.InsnIdx, e.Msg, e.Cause)
+	}
 	return fmt.Sprintf("insn %d: %s", e.InsnIdx, e.Msg)
 }
+
+func (e *Error) Unwrap() error { return e.Cause }
 
 // pathNode is one step of the immutable per-path history. Each analyzed
 // instruction appends a node; branch pushes share the prefix. BCF
@@ -558,6 +567,13 @@ func (v *Verifier) refine(st *VState, pc int, regno ebpf.Reg, kind CheckKind,
 	res, err := v.cfg.Refiner.Refine(req)
 	if err != nil {
 		v.logf("%d: refinement failed: %v", pc, err)
+		// Surface the refinement failure as the cause of the original
+		// safety error: the rejection reason stays the failed check, but
+		// the class of the failure (proof rejected, timeout, protocol)
+		// remains reachable for errors.Is and eval bucketing.
+		if oe, ok := orig.(*Error); ok && oe.Cause == nil {
+			return &Error{InsnIdx: oe.InsnIdx, Kind: oe.Kind, Msg: oe.Msg, Cause: err}
+		}
 		return orig
 	}
 	if res.Pruned {
