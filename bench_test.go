@@ -110,6 +110,18 @@ func BenchmarkAcceptanceBCF(b *testing.B) {
 	}
 }
 
+// BenchmarkAcceptanceBCFParallel runs the full evaluation through the
+// worker pool (parallelism = GOMAXPROCS, one shared proof cache); its
+// ns/op against BenchmarkAcceptanceBCF is the pipeline's wall-clock
+// speedup, and cacheHitPct is the cross-program proof-sharing dividend.
+func BenchmarkAcceptanceBCFParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := eval.RunOpts(eval.Options{InsnLimit: corpusInsnLimit})
+		b.ReportMetric(float64(ev.Acceptance().BCFAccepted), "accepted/512")
+		b.ReportMetric(ev.Cache.HitRate(), "cacheHitPct")
+	}
+}
+
 // ---- Table 3: component metrics ----
 
 // BenchmarkTable3ProofCheck measures kernel-side proof checking alone

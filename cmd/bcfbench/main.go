@@ -3,35 +3,71 @@
 // prints every table and figure with the paper's reference values
 // alongside the measured ones.
 //
+// The corpus programs are independent loads, so the run fans out across a
+// worker pool sharing one proof cache (default parallelism: GOMAXPROCS).
+// Aggregates are deterministic regardless of parallelism.
+//
 // Usage:
 //
-//	bcfbench                 # everything
+//	bcfbench                 # everything, parallel across all cores
+//	bcfbench -parallel 1     # sequential run
 //	bcfbench -table accept   # just the acceptance headline
 //	bcfbench -table 1|2|3    # a specific table
 //	bcfbench -fig 8          # the proof-size distribution
-//	bcfbench -table duration # the §6.3 time split
+//	bcfbench -table duration # the §6.3 time split + wall-clock speedup
+//	bcfbench -table cache    # shared proof-cache hit/miss statistics
+//	bcfbench -n 96 -json out.json  # reduced-corpus smoke run, machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bcf/internal/corpus"
 	"bcf/internal/eval"
 )
 
+// benchReport is the machine-readable output of -json: the acceptance
+// headline plus the timing and cache numbers that form the per-commit
+// performance trajectory (BENCH_*.json).
+type benchReport struct {
+	Corpus      int   `json:"corpus"`
+	InsnLimit   int   `json:"insn_limit"`
+	Parallelism int   `json:"parallelism"`
+	WallMS      int64 `json:"wall_ms"`
+	// ProgramMS sums per-program analysis time: the sequential-equivalent
+	// wall clock. Speedup = program_ms / wall_ms.
+	ProgramMS        int64   `json:"program_ms"`
+	Speedup          float64 `json:"speedup"`
+	BaselineAccepted int     `json:"baseline_accepted"`
+	BCFAccepted      int     `json:"bcf_accepted"`
+	WeakCondition    int     `json:"weak_condition"`
+	InsnLimitReject  int     `json:"insn_limit_rejects"`
+	Untriggered      int     `json:"untriggered"`
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheEvictions   int     `json:"cache_evictions"`
+	CacheSize        int     `json:"cache_size"`
+}
+
 func main() {
-	table := flag.String("table", "", "which table: accept|1|2|3|duration|zone|classes (default all)")
+	table := flag.String("table", "", "which table: accept|1|2|3|duration|zone|classes|cache (default all)")
 	fig := flag.String("fig", "", "which figure: 8")
 	limit := flag.Int("insn-limit", corpusInsnLimit(), "analyzed-instruction budget")
 	src := flag.String("src", ".", "repository root (for Table 1 line counts)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a machine-readable timing/acceptance report to this path")
+	n := flag.Int("n", 0, "evaluate only the first N corpus programs (0 = all 512)")
 	flag.Parse()
 
 	wantAll := *table == "" && *fig == ""
 	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" ||
-		*table == "classes" || *fig == "8"
+		*table == "classes" || *table == "cache" || *fig == "8" || *jsonPath != ""
 
 	var ev *eval.Evaluation
 	if needRun {
@@ -43,11 +79,26 @@ func main() {
 		if *quiet {
 			progress = nil
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running the %d-program evaluation (insn limit %d)...\n",
-				corpus.Size, *limit)
+		size := corpus.Size
+		if *n > 0 && *n < size {
+			size = *n
 		}
-		ev = eval.Run(*limit, progress)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running the %d-program evaluation (insn limit %d, parallelism %d)...\n",
+				size, *limit, effectiveParallelism(*parallel, size))
+		}
+		ev = eval.RunOpts(eval.Options{
+			InsnLimit:   *limit,
+			Parallelism: *parallel,
+			Limit:       *n,
+			Progress:    progress,
+		})
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, ev); err != nil {
+				fmt.Fprintln(os.Stderr, "bcfbench:", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	printed := false
@@ -77,13 +128,65 @@ func main() {
 	if wantAll || *table == "classes" {
 		show("classes", ev.ClassBreakdownString())
 	}
+	if wantAll || *table == "cache" {
+		show("cache", ev.CacheTableString())
+	}
 	if wantAll || *table == "zone" {
 		show("zone", eval.ZoneTable())
 	}
 	if !printed {
+		if *jsonPath != "" {
+			return // a pure -json run selected nothing to print
+		}
 		fmt.Fprintln(os.Stderr, "nothing selected; see -h")
 		os.Exit(2)
 	}
+}
+
+// effectiveParallelism mirrors eval.RunOpts's worker-count selection for
+// the progress banner.
+func effectiveParallelism(requested, size int) int {
+	p := requested
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > size && size > 0 {
+		p = size
+	}
+	return p
+}
+
+func writeJSON(path string, ev *eval.Evaluation) error {
+	acc := ev.Acceptance()
+	var programNS int64
+	for _, r := range ev.Results {
+		programNS += r.TotalTime.Nanoseconds()
+	}
+	rep := benchReport{
+		Corpus:           len(ev.Results),
+		InsnLimit:        ev.InsnLimit,
+		Parallelism:      ev.Parallelism,
+		WallMS:           ev.WallClock.Milliseconds(),
+		ProgramMS:        programNS / 1e6,
+		BaselineAccepted: acc.BaselineAccepted,
+		BCFAccepted:      acc.BCFAccepted,
+		WeakCondition:    acc.WeakCondition,
+		InsnLimitReject:  acc.InsnLimit,
+		Untriggered:      acc.Untriggered,
+		CacheHits:        ev.Cache.Hits,
+		CacheMisses:      ev.Cache.Misses,
+		CacheHitRate:     ev.Cache.HitRate(),
+		CacheEvictions:   ev.Cache.Evictions,
+		CacheSize:        ev.Cache.Size,
+	}
+	if ev.WallClock > 0 {
+		rep.Speedup = float64(programNS) / float64(ev.WallClock.Nanoseconds())
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // corpusInsnLimit mirrors the scaled-down budget used by the test suite;

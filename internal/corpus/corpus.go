@@ -30,6 +30,7 @@ package corpus
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"bcf/internal/ebpf"
 )
@@ -127,8 +128,29 @@ var familyPlan = []struct {
 // Size is the total number of generated programs.
 const Size = 512
 
-// Generate produces the full deterministic dataset.
+var (
+	genOnce sync.Once
+	dataset []Entry
+)
+
+// Generate returns the full deterministic dataset. The dataset is built
+// exactly once per process and the same backing slice is returned to
+// every caller, so repeated bench/eval invocations do not pay for
+// regeneration.
+//
+// Sharing contract: entries and the Programs they reference are
+// read-only. Nothing in the load pipeline mutates a Program (the
+// verifier, refiner, and interpreter all treat instructions and map
+// specs as immutable inputs), so the returned entries are safe to share
+// across concurrent loads. Callers that need to modify a program must
+// copy it first.
 func Generate() []Entry {
+	genOnce.Do(func() { dataset = generate() })
+	return dataset
+}
+
+// generate builds the dataset (see Generate for the sharing contract).
+func generate() []Entry {
 	var out []Entry
 	idx := 0
 	for _, plan := range familyPlan {

@@ -3,6 +3,7 @@ package corpus
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"bcf/internal/ebpf"
@@ -50,8 +51,36 @@ func TestDatasetShape(t *testing.T) {
 	}
 }
 
-func TestDatasetDeterministic(t *testing.T) {
+// TestGenerateMemoized pins the single-build contract: every call gets
+// the same backing array (no multi-second regeneration per call site),
+// including calls racing from multiple goroutines.
+func TestGenerateMemoized(t *testing.T) {
 	a, b := Generate(), Generate()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Generate should return the memoized dataset")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := Generate()
+			if &e[0] != &a[0] {
+				t.Error("concurrent Generate returned a different dataset")
+			}
+			// Exercise shared reads the way the eval pipeline does.
+			for _, ent := range e {
+				_ = len(ent.Prog.Insns)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	// Compare the memoized dataset against a fresh unmemoized build;
+	// Generate() == Generate() would trivially hold by sharing.
+	a, b := Generate(), generate()
 	for i := range a {
 		ba := ebpf.EncodeProgram(a[i].Prog.Insns)
 		bb := ebpf.EncodeProgram(b[i].Prog.Insns)

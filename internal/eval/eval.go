@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"bcf/internal/bcferr"
@@ -45,51 +47,150 @@ type Evaluation struct {
 	Results   []ProgramResult
 	InsnLimit int
 	Baseline  []bool // per-entry baseline acceptance (expected all-false)
+
+	// Parallelism is the worker count the run actually used.
+	Parallelism int
+	// WallClock is the elapsed time of the whole run; with Parallelism
+	// workers it is less than the sum of per-program TotalTimes.
+	WallClock time.Duration
+	// Cache is the final snapshot of the shared proof cache.
+	Cache loader.CacheStats
 }
 
-// Run executes the acceptance experiment over the whole dataset. progress
-// may be nil.
-func Run(insnLimit int, progress func(done, total int)) *Evaluation {
-	entries := corpus.Generate()
-	ev := &Evaluation{InsnLimit: insnLimit}
-	for i, e := range entries {
-		base := loader.Load(e.Prog, loader.Options{
-			Verifier: verifier.Config{InsnLimit: insnLimit},
-		})
-		ev.Baseline = append(ev.Baseline, base.Accepted)
+// Options configure an evaluation run.
+type Options struct {
+	// InsnLimit is the analyzed-instruction budget per load.
+	InsnLimit int
+	// Parallelism is the worker-pool size; <=0 selects
+	// runtime.GOMAXPROCS(0). Corpus programs are independent loads, so
+	// they fan out across workers; Results and Baseline stay in corpus
+	// order regardless.
+	Parallelism int
+	// Cache is the proof cache shared by all workers (and by each
+	// worker's baseline+BCF load pair). nil allocates a fresh cache for
+	// the run. Sharing one cache across programs lets identical
+	// refinement conditions — the verifier's analysis is a pure function
+	// of the program, so condition bytes repeat across structurally
+	// similar corpus entries — skip the solver entirely.
+	Cache *loader.ProofCache
+	// Limit restricts the run to the first Limit corpus entries
+	// (0 = full dataset); used by smoke tests and CI.
+	Limit int
+	// Progress, when non-nil, is called after each program completes.
+	// Calls are serialized and done is monotonically increasing.
+	Progress func(done, total int)
+}
 
-		res := loader.Load(e.Prog, loader.Options{
-			EnableBCF: true,
-			Verifier:  verifier.Config{InsnLimit: insnLimit},
-		})
-		pr := ProgramResult{
-			Entry:         e,
-			Accepted:      res.Accepted,
-			Err:           res.Err,
-			ErrClass:      res.ErrClass,
-			KernelTime:    res.KernelTime,
-			UserTime:      res.UserTime,
-			TotalTime:     res.TotalTime,
-			InsnProcessed: res.VerifierStats.InsnProcessed,
+// Run executes the acceptance experiment over the whole dataset with the
+// default worker pool. progress may be nil.
+func Run(insnLimit int, progress func(done, total int)) *Evaluation {
+	return RunOpts(Options{InsnLimit: insnLimit, Progress: progress})
+}
+
+// RunOpts executes the acceptance experiment with explicit options,
+// fanning the corpus out across a bounded worker pool. Each worker runs
+// whole programs (the baseline load followed by the BCF load), all
+// workers share one proof cache, and every aggregate is deterministic:
+// Results and Baseline are indexed by corpus position, so the tables and
+// figures are identical to a sequential run.
+func RunOpts(opts Options) *Evaluation {
+	entries := corpus.Generate()
+	if opts.Limit > 0 && opts.Limit < len(entries) {
+		entries = entries[:opts.Limit]
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(entries) && len(entries) > 0 {
+		par = len(entries)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = loader.NewProofCache()
+	}
+
+	ev := &Evaluation{
+		InsnLimit:   opts.InsnLimit,
+		Parallelism: par,
+		Results:     make([]ProgramResult, len(entries)),
+		Baseline:    make([]bool, len(entries)),
+	}
+	start := time.Now()
+
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	finished := func() {
+		if opts.Progress == nil {
+			return
 		}
-		if res.RefineStats != nil {
-			pr.Refinements = res.RefineStats.Granted
-			pr.Requests = len(res.RefineStats.Requests)
-			for _, q := range res.RefineStats.Requests {
-				pr.TrackLens = append(pr.TrackLens, q.TrackLen)
-				pr.CondSizes = append(pr.CondSizes, q.CondBytes)
-				if q.ProofBytes > 0 {
-					pr.ProofSizes = append(pr.ProofSizes, q.ProofBytes)
-					pr.CheckDurations = append(pr.CheckDurations, q.CheckDuration)
-				}
+		progressMu.Lock()
+		done++
+		opts.Progress(done, len(entries))
+		progressMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				e := entries[i]
+				base := loader.Load(e.Prog, loader.Options{
+					Verifier:   verifier.Config{InsnLimit: opts.InsnLimit},
+					ProofCache: cache,
+				})
+				ev.Baseline[i] = base.Accepted
+				res := loader.Load(e.Prog, loader.Options{
+					EnableBCF:  true,
+					Verifier:   verifier.Config{InsnLimit: opts.InsnLimit},
+					ProofCache: cache,
+				})
+				ev.Results[i] = newProgramResult(e, res)
+				finished()
+			}
+		}()
+	}
+	for i := range entries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	ev.WallClock = time.Since(start)
+	ev.Cache = cache.Snapshot()
+	return ev
+}
+
+// newProgramResult flattens one load result into the evaluation row.
+func newProgramResult(e corpus.Entry, res *loader.Result) ProgramResult {
+	pr := ProgramResult{
+		Entry:         e,
+		Accepted:      res.Accepted,
+		Err:           res.Err,
+		ErrClass:      res.ErrClass,
+		KernelTime:    res.KernelTime,
+		UserTime:      res.UserTime,
+		TotalTime:     res.TotalTime,
+		InsnProcessed: res.VerifierStats.InsnProcessed,
+	}
+	if res.RefineStats != nil {
+		pr.Refinements = res.RefineStats.Granted
+		pr.Requests = len(res.RefineStats.Requests)
+		for _, q := range res.RefineStats.Requests {
+			pr.TrackLens = append(pr.TrackLens, q.TrackLen)
+			pr.CondSizes = append(pr.CondSizes, q.CondBytes)
+			if q.ProofBytes > 0 {
+				pr.ProofSizes = append(pr.ProofSizes, q.ProofBytes)
+				pr.CheckDurations = append(pr.CheckDurations, q.CheckDuration)
 			}
 		}
-		ev.Results = append(ev.Results, pr)
-		if progress != nil {
-			progress(i+1, len(entries))
-		}
 	}
-	return ev
+	return pr
 }
 
 // ---- §6.2 acceptance headline ----
@@ -446,8 +547,17 @@ func (ev *Evaluation) Figure8String() string {
 
 // ---- §6.3 analysis duration ----
 
-// DurationString renders the kernel/user time split.
+// DurationString renders the kernel/user time split and, for parallel
+// runs, the sequential-equivalent versus wall-clock comparison.
 func (ev *Evaluation) DurationString() string {
+	var b strings.Builder
+	b.WriteString("Analysis duration (§6.3)\n")
+	if len(ev.Results) == 0 {
+		// The empty evaluation has no meaningful min/avg/max or kernel
+		// share; say so instead of rendering "min 0s" artifacts.
+		b.WriteString("  no results: the evaluation analyzed zero programs\n")
+		return b.String()
+	}
 	var kernel, user, total time.Duration
 	var minT, maxT time.Duration
 	refReqs, insns := 0, 0
@@ -464,27 +574,48 @@ func (ev *Evaluation) DurationString() string {
 		refReqs += r.Requests
 		insns += r.InsnProcessed
 	}
-	var b strings.Builder
-	b.WriteString("Analysis duration (§6.3)\n")
 	fmt.Fprintf(&b, "  total analysis time: %v (avg %v/program, min %v, max %v)\n",
-		total.Round(time.Millisecond), (total / time.Duration(max(len(ev.Results), 1))).Round(time.Microsecond),
+		total.Round(time.Millisecond), (total / time.Duration(len(ev.Results))).Round(time.Microsecond),
 		minT.Round(time.Microsecond), maxT.Round(time.Millisecond))
-	ksplit := 100 * float64(kernel) / float64(max64(int64(kernel+user), 1))
-	fmt.Fprintf(&b, "  kernel space: %.1f%%   user space: %.1f%%   (paper: 79.3%% / 20.7%%)\n",
-		ksplit, 100-ksplit)
+	if ev.WallClock > 0 && ev.Parallelism > 0 {
+		speedup := float64(total) / float64(ev.WallClock)
+		fmt.Fprintf(&b, "  wall clock: %v at parallelism %d (sequential-equivalent %v, %.2fx speedup)\n",
+			ev.WallClock.Round(time.Millisecond), ev.Parallelism,
+			total.Round(time.Millisecond), speedup)
+	}
+	if kernel+user > 0 {
+		ksplit := 100 * float64(kernel) / float64(kernel+user)
+		fmt.Fprintf(&b, "  kernel space: %.1f%%   user space: %.1f%%   (paper: 79.3%% / 20.7%%)\n",
+			ksplit, 100-ksplit)
+	} else {
+		b.WriteString("  kernel/user split unavailable (no timed work recorded)\n")
+	}
 	fmt.Fprintf(&b, "  refinement requests: %d over %d analyzed insns (%.3f%% of insns; paper: <0.1%%)\n",
 		refReqs, insns, 100*float64(refReqs)/float64(max(insns, 1)))
 	return b.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+// ---- proof-cache effectiveness ----
+
+// CacheTableString renders the shared proof cache's hit/miss/eviction
+// statistics for the run (bcfbench -table cache). Cross-program hits are
+// the concurrency dividend of §7's determinism argument: condition bytes
+// are a pure function of the program, so structurally identical corpus
+// entries request identical conditions and the second requester skips
+// the solver.
+func (ev *Evaluation) CacheTableString() string {
+	s := ev.Cache
+	var b strings.Builder
+	b.WriteString("Shared proof cache (one cache across all workers)\n")
+	fmt.Fprintf(&b, "  %-12s %8d\n", "hits", s.Hits)
+	fmt.Fprintf(&b, "  %-12s %8d\n", "misses", s.Misses)
+	fmt.Fprintf(&b, "  %-12s %7.1f%%\n", "hit rate", s.HitRate())
+	fmt.Fprintf(&b, "  %-12s %8d\n", "evictions", s.Evictions)
+	fmt.Fprintf(&b, "  %-12s %8d / %d\n", "size", s.Size, s.Cap)
+	return b.String()
 }
 
-func max64(a, b int64) int64 {
+func max(a, b int) int {
 	if a > b {
 		return a
 	}

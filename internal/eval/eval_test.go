@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -61,6 +62,110 @@ func TestZoneTableRenders(t *testing.T) {
 				t.Errorf("split-access should be zone-rejected: %q", line)
 			}
 		}
+	}
+}
+
+// TestDurationStringEmpty pins the empty-evaluation rendering: no
+// "min 0s" artifacts and no fabricated kernel share from a clamped
+// denominator.
+func TestDurationStringEmpty(t *testing.T) {
+	ev := &Evaluation{}
+	s := ev.DurationString()
+	if !strings.Contains(s, "no results") {
+		t.Errorf("empty evaluation should say so explicitly:\n%s", s)
+	}
+	for _, banned := range []string{"min 0s", "kernel space: 0.0%"} {
+		if strings.Contains(s, banned) {
+			t.Errorf("empty evaluation rendered %q:\n%s", banned, s)
+		}
+	}
+}
+
+func TestCacheTableRenders(t *testing.T) {
+	ev := &Evaluation{}
+	ev.Cache.Hits, ev.Cache.Misses, ev.Cache.Size, ev.Cache.Cap = 3, 1, 1, 4096
+	s := ev.CacheTableString()
+	for _, want := range []string{"hits", "misses", "hit rate", "75.0%", "evictions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cache table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the determinism contract of the
+// worker pool: over the same corpus prefix, a parallel run's structural
+// aggregates (acceptance, baseline verdicts, refinement counts, proof
+// and condition sizes, Figure 8 buckets) are identical to a sequential
+// run's. Only wall-clock timing may differ.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation slice run")
+	}
+	const limit = 64
+	budget := corpus.Size/128 + 2000
+	seq := RunOpts(Options{InsnLimit: budget, Parallelism: 1, Limit: limit})
+	par := RunOpts(Options{InsnLimit: budget, Parallelism: 4, Limit: limit})
+
+	if len(seq.Results) != limit || len(par.Results) != limit {
+		t.Fatalf("result sizes: seq=%d par=%d", len(seq.Results), len(par.Results))
+	}
+	if !reflect.DeepEqual(seq.Baseline, par.Baseline) {
+		t.Error("baseline verdicts differ between sequential and parallel runs")
+	}
+	if seq.Acceptance() != par.Acceptance() {
+		t.Errorf("acceptance differs: seq=%+v par=%+v", seq.Acceptance(), par.Acceptance())
+	}
+	for i := range seq.Results {
+		s, p := seq.Results[i], par.Results[i]
+		if s.Accepted != p.Accepted || s.ErrClass != p.ErrClass ||
+			s.Requests != p.Requests || s.Refinements != p.Refinements ||
+			!reflect.DeepEqual(s.ProofSizes, p.ProofSizes) ||
+			!reflect.DeepEqual(s.CondSizes, p.CondSizes) ||
+			!reflect.DeepEqual(s.TrackLens, p.TrackLens) {
+			t.Errorf("entry %d (%s): structural results diverge", i, s.Entry.Prog.Name)
+		}
+	}
+	sb, sBelow := seq.Figure8()
+	pb, pBelow := par.Figure8()
+	if !reflect.DeepEqual(sb, pb) || sBelow != pBelow {
+		t.Error("Figure 8 distributions differ between sequential and parallel runs")
+	}
+	if par.Parallelism != 4 || seq.Parallelism != 1 {
+		t.Errorf("recorded parallelism seq=%d par=%d", seq.Parallelism, par.Parallelism)
+	}
+	if par.Cache.Hits+par.Cache.Misses == 0 {
+		t.Error("parallel run recorded no proof-cache traffic")
+	}
+}
+
+// TestProgressSerialized checks the progress callback contract under a
+// parallel run: calls never overlap (the callback is unsynchronized user
+// code) and done increases monotonically to the total.
+func TestProgressSerialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation slice run")
+	}
+	last := 0
+	const limit = 16
+	ev := RunOpts(Options{
+		InsnLimit:   2000,
+		Parallelism: 4,
+		Limit:       limit,
+		Progress: func(done, total int) {
+			if done != last+1 {
+				t.Errorf("progress done=%d after %d (not monotonic)", done, last)
+			}
+			if total != limit {
+				t.Errorf("progress total=%d, want %d", total, limit)
+			}
+			last = done
+		},
+	})
+	if last != limit {
+		t.Errorf("progress ended at %d, want %d", last, limit)
+	}
+	if len(ev.Results) != limit {
+		t.Errorf("results=%d", len(ev.Results))
 	}
 }
 

@@ -48,7 +48,9 @@ func NewProofCacheCap(capacity int) *ProofCache {
 }
 
 // Get looks up a proof for the exact condition bytes, marking the entry
-// as recently used.
+// as recently used. The returned slice is a defensive copy: callers may
+// mutate it (or hand it to an untrusted boundary that does) without
+// corrupting the cached certificate.
 func (c *ProofCache) Get(cond []byte) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -59,17 +61,19 @@ func (c *ProofCache) Get(cond []byte) ([]byte, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).proof, true
+	return append([]byte(nil), el.Value.(*cacheEntry).proof...), true
 }
 
 // Put stores a proof, evicting the least-recently-used entry when the
-// cache is full.
+// cache is full. Both cond and proofBytes are copied, so the caller
+// remains free to reuse or mutate its buffers after Put returns.
 func (c *ProofCache) Put(cond, proofBytes []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := string(cond)
+	key := string(cond) // string conversion copies the condition bytes
+	stored := append([]byte(nil), proofBytes...)
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).proof = proofBytes
+		el.Value.(*cacheEntry).proof = stored
 		c.order.MoveToFront(el)
 		return
 	}
@@ -82,7 +86,7 @@ func (c *ProofCache) Put(cond, proofBytes []byte) {
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, proof: proofBytes})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, proof: stored})
 }
 
 // Stats reports cache effectiveness.
@@ -90,6 +94,38 @@ func (c *ProofCache) Stats() (hits, misses, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.entries)
+}
+
+// CacheStats is a consistent snapshot of a ProofCache's counters.
+type CacheStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+	Size      int
+	Cap       int
+}
+
+// HitRate is the fraction of lookups served from the cache, in percent.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Snapshot returns all counters under one lock acquisition, so the
+// numbers are mutually consistent even while other loads keep hitting
+// the cache.
+func (c *ProofCache) Snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      len(c.entries),
+		Cap:       c.capacity,
+	}
 }
 
 // Evictions reports how many entries have been evicted.

@@ -60,6 +60,57 @@ func TestProofCacheStaysBounded(t *testing.T) {
 	}
 }
 
+// TestProofCacheNoAliasing is the regression test for the slice-aliasing
+// bug: Put used to retain the caller's proof buffer and Get used to
+// return the cached slice directly, so mutating either side silently
+// corrupted the certificate served to every later load.
+func TestProofCacheNoAliasing(t *testing.T) {
+	c := NewProofCacheCap(4)
+	proof := []byte("proof-v1")
+	c.Put([]byte("cond"), proof)
+
+	// Mutating the caller's buffer after Put must not reach the cache.
+	copy(proof, "XXXXXXXX")
+	got, ok := c.Get([]byte("cond"))
+	if !ok || string(got) != "proof-v1" {
+		t.Fatalf("cache aliased the Put buffer: got %q", got)
+	}
+
+	// Mutating the slice returned by Get must not reach the cache either.
+	copy(got, "YYYYYYYY")
+	again, ok := c.Get([]byte("cond"))
+	if !ok || string(again) != "proof-v1" {
+		t.Fatalf("cache aliased the Get result: got %q", again)
+	}
+
+	// The in-place update path must copy too.
+	v2 := []byte("proof-v2")
+	c.Put([]byte("cond"), v2)
+	copy(v2, "ZZZZZZZZ")
+	if got, ok := c.Get([]byte("cond")); !ok || string(got) != "proof-v2" {
+		t.Fatalf("update path aliased the Put buffer: got %q", got)
+	}
+}
+
+func TestProofCacheSnapshot(t *testing.T) {
+	c := NewProofCacheCap(2)
+	c.Put([]byte("a"), []byte("pa"))
+	c.Put([]byte("b"), []byte("pb"))
+	c.Put([]byte("c"), []byte("pc")) // evicts a
+	c.Get([]byte("b"))
+	c.Get([]byte("missing"))
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 1 || s.Size != 2 || s.Cap != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if r := s.HitRate(); r != 50 {
+		t.Fatalf("hit rate = %v, want 50", r)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Fatal("empty snapshot hit rate should be 0")
+	}
+}
+
 func TestProofCacheDefaultCap(t *testing.T) {
 	if NewProofCache().Cap() != DefaultProofCacheCap {
 		t.Fatal("default capacity not applied")

@@ -1,0 +1,153 @@
+package loader
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bcf/internal/corpus"
+	"bcf/internal/verifier"
+)
+
+// evalInsnLimit mirrors the scaled-down evaluation budget used across
+// the test suite (see EXPERIMENTS.md).
+const evalInsnLimit = 4000
+
+// concurrentSample picks a cross-family slice of the corpus: every
+// stride-th entry, which covers all eight pattern families (accepts and
+// every rejection bucket) without loading all 512 programs under -race.
+func concurrentSample(stride int) []corpus.Entry {
+	all := corpus.Generate()
+	var out []corpus.Entry
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// loadOutcome is the comparable footprint of one load: everything the
+// evaluation aggregates from a result except wall-clock timing.
+type loadOutcome struct {
+	accepted bool
+	class    string
+	requests int
+	granted  int
+	proofB   int
+	condB    int
+}
+
+func outcomeOf(res *Result) loadOutcome {
+	o := loadOutcome{
+		accepted: res.Accepted,
+		class:    res.ErrClass.String(),
+	}
+	if res.RefineStats != nil {
+		o.requests = len(res.RefineStats.Requests)
+		o.granted = res.RefineStats.Granted
+		for _, q := range res.RefineStats.Requests {
+			o.proofB += q.ProofBytes
+			o.condB += q.CondBytes
+		}
+	}
+	return o
+}
+
+// TestConcurrentLoadsSharedCache is the stress test for the parallel
+// evaluation pipeline: N goroutines load a cross-family corpus slice,
+// all sharing one ProofCache with BCF enabled, with every program loaded
+// from two goroutines at once so cache Get/Put races on identical
+// condition bytes actually occur. Per-program outcomes (verdict, error
+// class, refinement counts, boundary bytes) must be identical to
+// sequential loads, and the run must be race-clean under -race (the CI
+// race job runs this test).
+func TestConcurrentLoadsSharedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent soak skipped in -short mode")
+	}
+	entries := concurrentSample(48) // ~11 programs across all families
+	opts := func(c *ProofCache) Options {
+		return Options{
+			EnableBCF:  true,
+			Verifier:   verifier.Config{InsnLimit: evalInsnLimit},
+			ProofCache: c,
+		}
+	}
+
+	// Sequential reference, with its own (cold) shared cache.
+	seqCache := NewProofCache()
+	want := make([]loadOutcome, len(entries))
+	for i, e := range entries {
+		want[i] = outcomeOf(Load(e.Prog, opts(seqCache)))
+	}
+
+	// Concurrent run: two workers per program, all on one shared cache.
+	const replicas = 2
+	cache := NewProofCache()
+	got := make([]loadOutcome, len(entries)*replicas)
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		for i := range entries {
+			wg.Add(1)
+			go func(r, i int) {
+				defer wg.Done()
+				got[r*len(entries)+i] = outcomeOf(Load(entries[i].Prog, opts(cache)))
+			}(r, i)
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < replicas; r++ {
+		for i, e := range entries {
+			if g := got[r*len(entries)+i]; g != want[i] {
+				t.Errorf("%s (replica %d): concurrent outcome %+v != sequential %+v",
+					e.Prog.Name, r, g, want[i])
+			}
+		}
+	}
+
+	// The duplicate loads guarantee cross-goroutine condition repeats, so
+	// a shared cache must have served hits without corrupting outcomes.
+	s := cache.Snapshot()
+	if s.Hits == 0 {
+		t.Error("shared cache served no hits across duplicate concurrent loads")
+	}
+	if s.Hits+s.Misses == 0 {
+		t.Error("no cache traffic despite BCF loads")
+	}
+}
+
+// TestConcurrentCacheMixedKeys hammers one ProofCache from many
+// goroutines with overlapping key sets (forcing eviction churn alongside
+// hits) and then checks every surviving entry still round-trips its
+// exact bytes — aliasing or lost updates under contention would corrupt
+// them.
+func TestConcurrentCacheMixedKeys(t *testing.T) {
+	c := NewProofCacheCap(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("cond-%d", i%48))
+				v := []byte(fmt.Sprintf("proof-%d", i%48))
+				if p, ok := c.Get(k); ok {
+					if string(p) != string(v) {
+						t.Errorf("goroutine %d: key %s returned %q", g, k, p)
+					}
+					p[0] = 'X' // returned copies must be caller-owned
+					continue
+				}
+				c.Put(k, v)
+				v[0] = 'Y' // stored bytes must not alias the caller's buffer
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 48; i++ {
+		k := []byte(fmt.Sprintf("cond-%d", i))
+		if p, ok := c.Get(k); ok && string(p) != fmt.Sprintf("proof-%d", i) {
+			t.Errorf("key %s corrupted: %q", k, p)
+		}
+	}
+}
