@@ -1,0 +1,151 @@
+// Command bcfdiff reproduces and explores differential-soundness runs
+// from the command line: the same generator, oracles and minimizer the
+// internal/difftest suite uses, addressable by seed so a CI or fuzzing
+// failure ("generator seed 17, run seed 23") replays exactly.
+//
+// Usage:
+//
+//	bcfdiff -seed 17                     # all oracles on generator seed 17
+//	bcfdiff -seeds 0-199                 # sweep a seed range
+//	bcfdiff -seed 17 -oracle domain      # one oracle only
+//	bcfdiff -seed 17 -dump               # print the generated program
+//	bcfdiff -regressions                 # run the embedded corpus instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"bcf/internal/corpus"
+	"bcf/internal/difftest"
+	"bcf/internal/ebpf"
+	"bcf/internal/loader"
+	"bcf/internal/verifier"
+)
+
+func main() {
+	seed := flag.Int64("seed", -1, "single generator seed")
+	seeds := flag.String("seeds", "", "generator seed range lo-hi (inclusive)")
+	oracle := flag.String("oracle", "all", "oracle to run: domain, accept, adversary, all")
+	inputs := flag.Int("inputs", 8, "randomized inputs per accepted program")
+	dump := flag.Bool("dump", false, "print the generated program and exit")
+	minimize := flag.Bool("minimize", true, "minimize failing programs before reporting")
+	regressions := flag.Bool("regressions", false, "run the embedded regression corpus instead of generated programs")
+	flag.Parse()
+
+	var progs []namedProg
+	switch {
+	case *regressions:
+		for _, r := range corpus.MustRegressions() {
+			progs = append(progs, namedProg{name: r.Name, seed: 1, prog: r.Prog})
+		}
+	case *seeds != "":
+		lo, hi, err := parseRange(*seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for s := lo; s <= hi; s++ {
+			progs = append(progs, genProg(s))
+		}
+	case *seed >= 0:
+		progs = append(progs, genProg(*seed))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: bcfdiff -seed N | -seeds LO-HI | -regressions  [-oracle domain|accept|adversary|all] [-dump]")
+		os.Exit(2)
+	}
+
+	if *dump {
+		for _, p := range progs {
+			fmt.Printf("=== %s ===\n%s", p.name, p.prog.Disassemble())
+		}
+		return
+	}
+
+	failures := 0
+	for _, p := range progs {
+		failures += run(p, *oracle, *inputs, *minimize)
+	}
+	if failures > 0 {
+		fmt.Printf("%d violation(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("%d program(s), no violations\n", len(progs))
+}
+
+type namedProg struct {
+	name string
+	seed int64
+	prog *ebpf.Program
+}
+
+func genProg(s int64) namedProg {
+	return namedProg{name: fmt.Sprintf("gen-seed-%d", s), seed: s, prog: difftest.NewGen(s).Generate()}
+}
+
+func cfg() verifier.Config { return verifier.Config{InsnLimit: 200_000} }
+
+func run(p namedProg, oracle string, inputs int, minimize bool) (failures int) {
+	report := func(v fmt.Stringer, pred func(*ebpf.Program) bool) {
+		failures++
+		fmt.Printf("%s: %s\n", p.name, v)
+		repro := p.prog
+		if minimize {
+			repro = difftest.Minimize(p.prog, pred, 400)
+		}
+		fmt.Printf("reproducer:\n%s", repro.Disassemble())
+	}
+	if oracle == "domain" || oracle == "all" {
+		accepted, v := difftest.CheckDomain(p.prog, cfg(), inputs, p.seed)
+		if v != nil {
+			report(v, func(q *ebpf.Program) bool {
+				_, mv := difftest.CheckDomain(q, cfg(), inputs, p.seed)
+				return mv != nil
+			})
+		} else {
+			fmt.Printf("%s: domain oracle ok (accepted=%v)\n", p.name, accepted)
+		}
+	}
+	if oracle == "accept" || oracle == "all" {
+		opts := loader.Options{EnableBCF: true, Verifier: cfg()}
+		accepted, v := difftest.CheckAcceptSafe(p.prog, opts, inputs, p.seed)
+		if v != nil {
+			report(v, func(q *ebpf.Program) bool {
+				_, mv := difftest.CheckAcceptSafe(q, opts, inputs, p.seed)
+				return mv != nil
+			})
+		} else {
+			fmt.Printf("%s: accept-implies-safe oracle ok (accepted=%v)\n", p.name, accepted)
+		}
+	}
+	if oracle == "adversary" || oracle == "all" {
+		rng := rand.New(rand.NewSource(p.seed))
+		stats, viols := difftest.CheckAdversary(p.prog, loader.Options{Verifier: cfg()}, rng, nil)
+		for _, v := range viols {
+			failures++
+			fmt.Printf("%s: %s\n", p.name, v.String())
+		}
+		if len(viols) == 0 {
+			fmt.Printf("%s: adversary oracle ok (%d rounds, %d mutants)\n", p.name, stats.Rounds, stats.Mutants)
+		}
+	}
+	return failures
+}
+
+func parseRange(s string) (lo, hi int64, err error) {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -seeds %q: want LO-HI", s)
+	}
+	if lo, err = strconv.ParseInt(a, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad -seeds %q: %w", s, err)
+	}
+	if hi, err = strconv.ParseInt(b, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad -seeds %q: %w", s, err)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,170 @@
+package corpus
+
+// Regression corpus: minimized reproducers and promoted fuzz findings,
+// checked in as .bpfasm files and embedded into the binary. The difftest
+// oracles and CI run them on every build, so any program that once
+// exposed (or nearly exposed) a soundness bug keeps guarding against its
+// reintroduction.
+//
+// File format: the repository's textual assembly dialect, plus `;;`
+// directive comments carrying the metadata the bytes alone cannot:
+//
+//	;; prog name=<name> expect=accept|accept-bcf|reject
+//	;; map name=<name> key=<bytes> value=<bytes> entries=<n>
+//
+// expect=accept      both the baseline verifier and BCF accept
+// expect=accept-bcf  the baseline rejects, BCF accepts after refinement
+// expect=reject      both must keep rejecting (the program is unsafe)
+//
+// Promotion workflow: when a differential oracle or fuzz target finds a
+// failing program, minimize it (difftest.Minimize), save its Disassemble
+// output here with the directives, and add the fix's regression test.
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bcf/internal/ebpf"
+)
+
+//go:embed regressions/*.bpfasm
+var regressionFS embed.FS
+
+// Expected regression verdicts.
+const (
+	RegressionAccept    = "accept"     // baseline and BCF accept
+	RegressionAcceptBCF = "accept-bcf" // baseline rejects, BCF accepts
+	RegressionReject    = "reject"     // both must reject
+)
+
+// Regression is one embedded corpus entry.
+type Regression struct {
+	Name   string
+	File   string
+	Expect string
+	Prog   *ebpf.Program
+}
+
+// Regressions parses every embedded .bpfasm file, sorted by file name so
+// the order is stable across builds.
+func Regressions() ([]Regression, error) {
+	names, err := regressionFS.ReadDir("regressions")
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+	var out []Regression
+	for _, e := range names {
+		src, err := regressionFS.ReadFile("regressions/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		r, err := parseRegression(e.Name(), string(src))
+		if err != nil {
+			return nil, fmt.Errorf("regression %s: %w", e.Name(), err)
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// MustRegressions is Regressions but panics on error; the embedded files
+// are fixed at build time, so failure is a build defect.
+func MustRegressions() []Regression {
+	rs, err := Regressions()
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// parseRegression extracts the `;;` directives and assembles the body
+// (directives are ordinary comments to the assembler).
+func parseRegression(file, src string) (*Regression, error) {
+	r := &Regression{File: file}
+	var maps []*ebpf.MapSpec
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";;") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, ";;"))
+		if len(fields) == 0 {
+			continue
+		}
+		kv, err := parseDirective(fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		switch fields[0] {
+		case "prog":
+			r.Name = kv["name"]
+			r.Expect = kv["expect"]
+		case "map":
+			spec, err := mapDirective(kv)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			maps = append(maps, spec)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("missing `;; prog name=...` directive")
+	}
+	switch r.Expect {
+	case RegressionAccept, RegressionAcceptBCF, RegressionReject:
+	default:
+		return nil, fmt.Errorf("bad expect %q", r.Expect)
+	}
+	insns, err := ebpf.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	r.Prog = &ebpf.Program{
+		Name:  r.Name,
+		Type:  ebpf.ProgTracepoint,
+		Insns: insns,
+		Maps:  maps,
+	}
+	return r, nil
+}
+
+func parseDirective(fields []string) (map[string]string, error) {
+	kv := map[string]string{}
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed directive field %q", f)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func mapDirective(kv map[string]string) (*ebpf.MapSpec, error) {
+	spec := &ebpf.MapSpec{Name: kv["name"], Type: ebpf.MapArray}
+	for _, f := range []struct {
+		key string
+		dst *uint32
+	}{
+		{"key", &spec.KeySize},
+		{"value", &spec.ValueSize},
+		{"entries", &spec.MaxEntries},
+	} {
+		v, ok := kv[f.key]
+		if !ok {
+			return nil, fmt.Errorf("map directive missing %s=", f.key)
+		}
+		n, err := strconv.ParseUint(v, 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("map %s=%q: %w", f.key, v, err)
+		}
+		*f.dst = uint32(n)
+	}
+	return spec, nil
+}

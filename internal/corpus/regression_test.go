@@ -1,0 +1,58 @@
+package corpus
+
+import (
+	"testing"
+
+	"bcf/internal/loader"
+)
+
+// TestRegressionsParse: every embedded file assembles, validates, and
+// carries complete metadata.
+func TestRegressionsParse(t *testing.T) {
+	rs, err := Regressions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < 4 {
+		t.Fatalf("expected at least 4 regression entries, got %d", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if seen[r.Name] {
+			t.Errorf("%s: duplicate regression name %q", r.File, r.Name)
+		}
+		seen[r.Name] = true
+		if err := r.Prog.Validate(); err != nil {
+			t.Errorf("%s: invalid program: %v", r.File, err)
+		}
+		if len(r.Prog.Maps) == 0 {
+			t.Errorf("%s: no map directive", r.File)
+		}
+	}
+}
+
+// TestRegressionVerdicts: the expected verdict of every entry still
+// holds for both the baseline verifier and BCF. A flip in either
+// direction is a regression — silently accepting an unsafe program or
+// losing a refinement the corpus documents.
+func TestRegressionVerdicts(t *testing.T) {
+	for _, r := range MustRegressions() {
+		base := loader.Load(r.Prog, loader.Options{})
+		bcf := loader.Load(r.Prog, loader.Options{EnableBCF: true})
+		wantBase, wantBCF := false, false
+		switch r.Expect {
+		case RegressionAccept:
+			wantBase, wantBCF = true, true
+		case RegressionAcceptBCF:
+			wantBase, wantBCF = false, true
+		case RegressionReject:
+			wantBase, wantBCF = false, false
+		}
+		if base.Accepted != wantBase {
+			t.Errorf("%s: baseline accepted=%v, want %v (err: %v)", r.Name, base.Accepted, wantBase, base.Err)
+		}
+		if bcf.Accepted != wantBCF {
+			t.Errorf("%s: BCF accepted=%v, want %v (err: %v)", r.Name, bcf.Accepted, wantBCF, bcf.Err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/loader"
+)
+
+// AcceptSafeViolation reports a program the loader accepted that then
+// faulted when interpreted.
+type AcceptSafeViolation struct {
+	RunSeed int64
+	Fault   *ebpf.Fault
+}
+
+func (v *AcceptSafeViolation) String() string {
+	return fmt.Sprintf("accept-implies-safe oracle (run seed %d): accepted program faulted: %v", v.RunSeed, v.Fault)
+}
+
+// CheckAcceptSafe runs the accept-implies-safe oracle: load the program
+// with the given options (typically EnableBCF: true) and, if it is
+// accepted, interpret it `runs` times on randomized contexts and map
+// contents. Any runtime Fault is a soundness violation — the load was a
+// promise that none can occur. Returns whether the load accepted
+// (rejections are vacuously safe) and the first violation.
+func CheckAcceptSafe(p *ebpf.Program, opts loader.Options, runs int, seed int64) (accepted bool, viol *AcceptSafeViolation) {
+	res := loader.Load(p, opts)
+	if !res.Accepted {
+		return false, nil
+	}
+	for r := 0; r < runs; r++ {
+		runSeed := seed*1_000_003 + int64(r)
+		in := ebpf.NewInterp(p, runSeed)
+		in.RandomizeMaps()
+		ctxRng := rand.New(rand.NewSource(runSeed ^ 0x5deece66d))
+		if _, fault := in.Run(ebpf.RandomCtx(ctxRng, p.Type)); fault != nil {
+			return true, &AcceptSafeViolation{RunSeed: runSeed, Fault: fault}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,43 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcf/internal/loader"
+)
+
+// FuzzDomainSoundness drives oracle 1 from the native fuzzer: the
+// generator seed picks the program, the input seed the concrete runs.
+// Any counterexample the fuzzer finds is a real abstract-domain bug.
+func FuzzDomainSoundness(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s, s*31+7)
+	}
+	f.Fuzz(func(t *testing.T, genSeed, inputSeed int64) {
+		p := NewGen(genSeed).Generate()
+		if _, v := CheckDomain(p, baseVerifierConfig(), 3, inputSeed); v != nil {
+			t.Fatalf("generator seed %d: %v\n%s", genSeed, v, p.Disassemble())
+		}
+	})
+}
+
+// FuzzCheckerAdversary drives oracle 3: the generator seed picks the
+// program (plus the fixed refinement program every few runs), the
+// mutation seed the adversarial proof edits.
+func FuzzCheckerAdversary(f *testing.F) {
+	for s := int64(0); s < 4; s++ {
+		f.Add(s, s+100)
+	}
+	f.Fuzz(func(t *testing.T, genSeed, mutSeed int64) {
+		p := refineProg()
+		if genSeed%4 != 0 {
+			p = NewGen(genSeed).Generate()
+		}
+		rng := rand.New(rand.NewSource(mutSeed))
+		_, viols := CheckAdversary(p, loader.Options{Verifier: baseVerifierConfig()}, rng, nil)
+		for _, v := range viols {
+			t.Errorf("%v", v.String())
+		}
+	})
+}

@@ -1,0 +1,257 @@
+// Package difftest implements the differential soundness harness: one
+// seeded random program generator drives three oracles that cross-check
+// the abstract verifier, the BCF-enabled loader, and the kernel proof
+// checker against ground truth.
+//
+//   - Domain soundness (domain.go): every concrete register value observed
+//     while interpreting a verifier-accepted program must be admitted by
+//     the tnum and all four interval domains the verifier recorded at that
+//     (path, pc).
+//   - Accept-implies-safe (acceptsafe.go): a program the loader accepts
+//     must never fault when interpreted on randomized inputs and maps.
+//   - Checker adversary (adversary.go): every proof the user-space prover
+//     emits is re-checked after systematic mutations; the kernel checker
+//     must reject all mutants while accepting the originals.
+//
+// A delta-debugging minimizer (minimize.go) shrinks failing programs to
+// minimal reproducers before they are reported.
+package difftest
+
+import (
+	"math/rand"
+
+	"bcf/internal/ebpf"
+)
+
+// Gen produces seeded random, loop-free tracepoint programs. All jumps go
+// forward, so exhaustive path enumeration (the domain oracle runs the
+// verifier with pruning disabled) terminates. The shape mirrors real
+// map-processing programs: a lookup prologue binding the value pointer in
+// r6 and an initial unbounded scalar in r7, a body of random ALU ops,
+// branches, spills and helper calls over r7-r9, and a final map-value
+// access whose offset is (usually) bounded by a mask or a branch.
+type Gen struct {
+	rng *rand.Rand
+	// MaxBody bounds the number of random body steps (each step may emit
+	// a couple of instructions).
+	MaxBody int
+}
+
+// NewGen returns a generator for the given seed. Equal seeds generate
+// equal programs.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), MaxBody: 22}
+}
+
+var alu64Ops = []uint8{
+	ebpf.AluADD, ebpf.AluSUB, ebpf.AluMUL, ebpf.AluDIV, ebpf.AluMOD,
+	ebpf.AluAND, ebpf.AluOR, ebpf.AluXOR, ebpf.AluLSH, ebpf.AluRSH, ebpf.AluARSH,
+}
+
+var jmpOps = []uint8{
+	ebpf.JmpJEQ, ebpf.JmpJNE, ebpf.JmpJGT, ebpf.JmpJGE, ebpf.JmpJLT,
+	ebpf.JmpJLE, ebpf.JmpJSGT, ebpf.JmpJSGE, ebpf.JmpJSLT, ebpf.JmpJSLE,
+	ebpf.JmpJSET,
+}
+
+// scalarRegs are the registers the body computes over; r6 stays pinned to
+// the map value pointer.
+var scalarRegs = []ebpf.Reg{ebpf.R7, ebpf.R8, ebpf.R9}
+
+// imm returns a random immediate: usually small (interesting for bounds
+// logic), occasionally an arbitrary 32-bit pattern (interesting for
+// sign-extension and wrap-around handling).
+func (g *Gen) imm() int32 {
+	switch g.rng.Intn(6) {
+	case 0:
+		return int32(g.rng.Uint32())
+	case 1:
+		return -int32(g.rng.Intn(64))
+	default:
+		return int32(g.rng.Intn(64))
+	}
+}
+
+// pickLive returns a random live scalar register.
+func (g *Gen) pickLive(live map[ebpf.Reg]bool) ebpf.Reg {
+	var alive []ebpf.Reg
+	for _, r := range scalarRegs {
+		if live[r] {
+			alive = append(alive, r)
+		}
+	}
+	return alive[g.rng.Intn(len(alive))]
+}
+
+// Generate builds one program. The result always passes Validate; whether
+// the verifier accepts it is part of what the oracles explore.
+func (g *Gen) Generate() *ebpf.Program {
+	b := ebpf.NewBuilder()
+	valueSize := uint32(8 * (1 + g.rng.Intn(8))) // 8..64
+
+	// Prologue: r6 = map value pointer, r7 = first 8 value bytes.
+	b.Emit(
+		ebpf.LoadMapPtr(ebpf.R1, 0),
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluADD, ebpf.R2, -4),
+		ebpf.StoreImm(ebpf.R10, -4, 0, 4),
+		ebpf.Call(ebpf.FnMapLookupElem),
+	)
+	b.EmitJmp(ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 0), "out")
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R6, ebpf.R0),
+		ebpf.LoadMem(ebpf.R7, ebpf.R6, 0, 8),
+	)
+	live := map[ebpf.Reg]bool{ebpf.R7: true}
+
+	skips := 0
+	n := 4 + g.rng.Intn(g.MaxBody)
+	for i := 0; i < n; i++ {
+		g.emitStep(b, live, &skips, valueSize)
+	}
+
+	g.emitFinalAccess(b, live, valueSize)
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	b.Label("out")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+
+	return &ebpf.Program{
+		Name:  "difftest",
+		Type:  ebpf.ProgTracepoint,
+		Insns: b.MustProgram(),
+		Maps: []*ebpf.MapSpec{{
+			Name: "m", Type: ebpf.MapArray, KeySize: 4,
+			ValueSize: valueSize, MaxEntries: 4,
+		}},
+	}
+}
+
+// emitStep appends one random body step.
+func (g *Gen) emitStep(b *ebpf.Builder, live map[ebpf.Reg]bool, skips *int, valueSize uint32) {
+	dst := scalarRegs[g.rng.Intn(len(scalarRegs))]
+	switch g.rng.Intn(14) {
+	case 0: // fresh constant
+		b.Emit(ebpf.Mov64Imm(dst, g.imm()))
+		live[dst] = true
+	case 1: // 64-bit copy (creates a linked-scalar identity)
+		b.Emit(ebpf.Mov64Reg(dst, g.pickLive(live)))
+		live[dst] = true
+	case 2: // alu64 dst, src
+		if !live[dst] {
+			b.Emit(ebpf.Mov64Imm(dst, g.imm()))
+			live[dst] = true
+		}
+		b.Emit(ebpf.Alu64Reg(alu64Ops[g.rng.Intn(len(alu64Ops))], dst, g.pickLive(live)))
+	case 3: // alu64 dst, imm
+		if !live[dst] {
+			b.Emit(ebpf.Mov64Imm(dst, g.imm()))
+			live[dst] = true
+		}
+		op := alu64Ops[g.rng.Intn(len(alu64Ops))]
+		v := g.imm()
+		if op == ebpf.AluLSH || op == ebpf.AluRSH || op == ebpf.AluARSH {
+			v = int32(g.rng.Intn(64))
+		}
+		b.Emit(ebpf.Alu64Imm(op, dst, v))
+	case 4: // alu32 dst, src
+		if !live[dst] {
+			b.Emit(ebpf.Mov32Imm(dst, g.imm()))
+			live[dst] = true
+		}
+		b.Emit(ebpf.Alu32Reg(alu64Ops[g.rng.Intn(len(alu64Ops))], dst, g.pickLive(live)))
+	case 5: // alu32 dst, imm
+		if !live[dst] {
+			b.Emit(ebpf.Mov32Imm(dst, g.imm()))
+			live[dst] = true
+		}
+		op := alu64Ops[g.rng.Intn(len(alu64Ops))]
+		v := g.imm()
+		if op == ebpf.AluLSH || op == ebpf.AluRSH || op == ebpf.AluARSH {
+			v = int32(g.rng.Intn(32))
+		}
+		b.Emit(ebpf.Alu32Imm(op, dst, v))
+	case 6: // negate
+		b.Emit(ebpf.Neg64(g.pickLive(live)))
+	case 7: // bail-out branch against an immediate
+		op := jmpOps[g.rng.Intn(len(jmpOps))]
+		if g.rng.Intn(2) == 0 {
+			b.EmitJmp(ebpf.JmpImm(op, g.pickLive(live), g.imm(), 0), "out")
+		} else {
+			b.EmitJmp(ebpf.Jmp32Imm(op, g.pickLive(live), g.imm(), 0), "out")
+		}
+	case 8: // bail-out branch comparing two live scalars
+		op := jmpOps[g.rng.Intn(len(jmpOps))]
+		b.EmitJmp(ebpf.JmpReg(op, g.pickLive(live), g.pickLive(live), 0), "out")
+	case 9: // short forward skip over ops on already-live registers
+		label := skipLabel(*skips)
+		*skips++
+		op := jmpOps[g.rng.Intn(len(jmpOps))]
+		b.EmitJmp(ebpf.JmpImm(op, g.pickLive(live), g.imm(), 0), label)
+		for k := 0; k <= g.rng.Intn(2); k++ {
+			r := g.pickLive(live)
+			b.Emit(ebpf.Alu64Imm(alu64Ops[g.rng.Intn(len(alu64Ops)-3)], r, int32(g.rng.Intn(63))+1))
+		}
+		b.Label(label)
+	case 10: // 8-byte spill/fill round trip
+		r := g.pickLive(live)
+		off := int16(-8 * (1 + g.rng.Intn(4)))
+		b.Emit(ebpf.StoreMem(ebpf.R10, off, r, 8), ebpf.LoadMem(dst, ebpf.R10, off, 8))
+		live[dst] = true
+	case 11: // fresh unknown scalar from a helper
+		b.Emit(ebpf.Call(ebpf.FnGetPrandomU32), ebpf.Mov64Reg(dst, ebpf.R0))
+		live[dst] = true
+	case 12: // reload a (bounded-offset) value byte
+		mask := int32(valueSize - 1)
+		r := g.pickLive(live)
+		b.Emit(
+			ebpf.Mov64Reg(ebpf.R1, ebpf.R6),
+			ebpf.Alu64Imm(ebpf.AluAND, r, mask&^7),
+			ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, r),
+			ebpf.LoadMem(dst, ebpf.R1, 0, 1),
+		)
+		live[dst] = true
+	case 13: // full 64-bit constant (two-slot lddw)
+		b.Emit(ebpf.LoadImm64(dst, int64(g.rng.Uint64())))
+		live[dst] = true
+	}
+}
+
+// emitFinalAccess appends the closing map-value access at a scalar offset.
+// The offset is bounded by a power-of-two mask, by a branch, or (rarely)
+// not at all — the unbounded case exercises the rejection paths and, under
+// BCF, refinement.
+func (g *Gen) emitFinalAccess(b *ebpf.Builder, live map[ebpf.Reg]bool, valueSize uint32) {
+	off := g.pickLive(live)
+	size := []int{1, 2, 4, 8}[g.rng.Intn(4)]
+	// Largest power-of-two window that keeps mask-1 + extra + size inside
+	// the value.
+	window := uint32(1)
+	for window*2 <= valueSize-uint32(size) {
+		window *= 2
+	}
+	extra := int16(0)
+	if slack := int(valueSize) - int(window) - size; slack > 0 {
+		extra = int16(g.rng.Intn(slack + 1))
+	}
+	switch g.rng.Intn(4) {
+	case 0, 1: // mask-bounded
+		b.Emit(ebpf.Alu64Imm(ebpf.AluAND, off, int32(window-1)))
+	case 2: // branch-bounded
+		bound := int32(valueSize) - int32(size) - int32(extra)
+		b.EmitJmp(ebpf.JmpImm(ebpf.JmpJGT, off, bound, 0), "out")
+	case 3: // unbounded (usually rejected; under BCF sometimes refined)
+	}
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R6),
+		ebpf.Alu64Reg(ebpf.AluADD, ebpf.R1, off),
+	)
+	if g.rng.Intn(4) == 0 {
+		b.Emit(ebpf.StoreMem(ebpf.R1, extra, g.pickLive(live), size))
+	} else {
+		b.Emit(ebpf.LoadMem(ebpf.R0, ebpf.R1, extra, size))
+	}
+}
+
+func skipLabel(i int) string {
+	return "s" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}

@@ -1,0 +1,131 @@
+package difftest
+
+import (
+	"math"
+
+	"bcf/internal/ebpf"
+)
+
+// Minimize shrinks a failing program while pred keeps returning true
+// (pred must be true for prog itself). It alternates two passes until a
+// fixpoint or the call budget runs out: instruction deletion (with jump
+// retargeting across the gap, ld_imm64 pairs removed whole) and operand
+// simplification (immediates and offsets driven to zero). Every candidate
+// must still pass Program.Validate before pred is consulted.
+func Minimize(prog *ebpf.Program, pred func(*ebpf.Program) bool, budget int) *ebpf.Program {
+	cur := cloneProg(prog)
+	calls := 0
+	try := func(cand *ebpf.Program) bool {
+		if cand == nil || calls >= budget {
+			return false
+		}
+		if cand.Validate() != nil {
+			return false
+		}
+		calls++
+		if pred(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for changed := true; changed && calls < budget; {
+		changed = false
+		// Deletion pass, rescanning from the front after every success so
+		// indices stay meaningful.
+		for i := 0; i < len(cur.Insns); i++ {
+			if cur.Insns[i].IsPlaceholder() {
+				continue // removed together with its ld_imm64 head
+			}
+			if try(deleteInsn(cur, i)) {
+				changed = true
+				i = -1
+			}
+		}
+		// Simplification pass.
+		for i := 0; i < len(cur.Insns); i++ {
+			ins := cur.Insns[i]
+			if ins.IsPlaceholder() {
+				continue
+			}
+			if ins.Imm != 0 && !ins.IsCall() && !ins.IsLoadFromMap() {
+				if try(withInsn(cur, i, func(s *ebpf.Instruction) { s.Imm = 0 })) {
+					changed = true
+					continue
+				}
+				if ins.Imm != 1 && try(withInsn(cur, i, func(s *ebpf.Instruction) { s.Imm = 1 })) {
+					changed = true
+					continue
+				}
+			}
+			cls := ins.Class()
+			memCls := cls == ebpf.ClassLDX || cls == ebpf.ClassST || cls == ebpf.ClassSTX
+			if memCls && ins.Off != 0 {
+				if try(withInsn(cur, i, func(s *ebpf.Instruction) { s.Off = 0 })) {
+					changed = true
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// cloneProg copies the program with a private instruction slice (maps and
+// metadata are shared; the minimizer never edits them).
+func cloneProg(p *ebpf.Program) *ebpf.Program {
+	q := *p
+	q.Insns = append([]ebpf.Instruction(nil), p.Insns...)
+	return &q
+}
+
+// withInsn returns a copy of p with insns[i] edited.
+func withInsn(p *ebpf.Program, i int, edit func(*ebpf.Instruction)) *ebpf.Program {
+	q := cloneProg(p)
+	edit(&q.Insns[i])
+	return q
+}
+
+// deleteInsn returns a copy of p with the instruction at `at` removed
+// (both slots for ld_imm64) and every jump offset retargeted. Jumps into
+// the removed range land on its successor. Returns nil when a retargeted
+// offset leaves int16 range.
+func deleteInsn(p *ebpf.Program, at int) *ebpf.Program {
+	w := p.Insns[at].Slots()
+	if at+w > len(p.Insns) {
+		return nil
+	}
+	// newIdx[i]: index of old instruction i after deletion; targets inside
+	// the removed range resolve to the successor.
+	newIdx := make([]int, len(p.Insns)+1)
+	for i := 0; i <= len(p.Insns); i++ {
+		switch {
+		case i < at:
+			newIdx[i] = i
+		case i < at+w:
+			newIdx[i] = at
+		default:
+			newIdx[i] = i - w
+		}
+	}
+	out := make([]ebpf.Instruction, 0, len(p.Insns)-w)
+	for i, ins := range p.Insns {
+		if i >= at && i < at+w {
+			continue
+		}
+		if ins.IsJump() && !ins.IsCall() && !ins.IsExit() {
+			t := i + 1 + int(ins.Off)
+			if t < 0 || t > len(p.Insns) {
+				return nil
+			}
+			no := newIdx[t] - (newIdx[i] + 1)
+			if no < math.MinInt16 || no > math.MaxInt16 {
+				return nil
+			}
+			ins.Off = int16(no)
+		}
+		out = append(out, ins)
+	}
+	q := *p
+	q.Insns = out
+	return &q
+}

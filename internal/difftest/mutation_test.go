@@ -1,0 +1,122 @@
+package difftest
+
+// Mutation tests: prove each oracle actually catches the class of bug it
+// exists for, by seeding a known bug and requiring a detection. A quiet
+// oracle is only trustworthy if it is demonstrably loud under sabotage.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/expr"
+	"bcf/internal/loader"
+	"bcf/internal/proof"
+	"bcf/internal/verifier"
+)
+
+// TestSabotagedALUTransferCaught: a deliberately broken ALU transfer
+// function (64-bit ADD collapsing interval bounds to a single point) must
+// be caught by the domain oracle. The sabotage only tightens bounds, so
+// the verifier still accepts the same programs — exactly the silent
+// unsoundness the oracle exists to catch.
+func TestSabotagedALUTransferCaught(t *testing.T) {
+	cfg := baseVerifierConfig()
+	cfg.Sabotage = &verifier.Sabotage{CollapseAddBounds: true}
+	for s := 0; s < 200; s++ {
+		p := NewGen(int64(s)).Generate()
+		if _, v := CheckDomain(p, cfg, inputsPerSeed, int64(s)); v != nil {
+			if v.Kind == "containment" && v.Domain == "" {
+				t.Fatalf("violation reported without naming a domain: %v", v)
+			}
+			t.Logf("caught at seed %d: %v", s, v)
+			return
+		}
+	}
+	t.Fatal("domain oracle never detected the sabotaged ADD transfer function")
+}
+
+// TestSkippedBoundsCheckCaught: a verifier that skips map/stack bounds
+// checks accepts an unsafe program; the accept-implies-safe oracle must
+// see it fault. The program loads an unbounded scalar from the map value
+// and uses it as a pointer offset — safe verifiers reject it, the
+// sabotaged one accepts it, and concretely it walks off the map.
+func TestSkippedBoundsCheckCaught(t *testing.T) {
+	p := &ebpf.Program{
+		Name: "oob", Type: ebpf.ProgTracepoint,
+		Insns: ebpf.MustAssemble(`
+			r1 = map[0]
+			r2 = r10
+			r2 += -4
+			*(u32 *)(r10 -4) = 0
+			call 1
+			if r0 == 0 goto miss
+			r7 = *(u64 *)(r0 +0)
+			r0 += r7
+			r0 = *(u8 *)(r0 +0)
+		miss:
+			r0 = 0
+			exit
+		`),
+		Maps: []*ebpf.MapSpec{{Name: "m", Type: ebpf.MapArray, KeySize: 4, ValueSize: 16, MaxEntries: 4}},
+	}
+	honest := loader.Options{Verifier: baseVerifierConfig()}
+	if ok, _ := CheckAcceptSafe(p, honest, inputsPerSeed, 1); ok {
+		t.Fatal("honest verifier accepted the unbounded-offset program")
+	}
+	sabotaged := honest
+	sabotaged.Verifier.Sabotage = &verifier.Sabotage{SkipMemBounds: true}
+	ok, v := CheckAcceptSafe(p, sabotaged, inputsPerSeed, 1)
+	if !ok {
+		t.Fatal("sabotaged verifier still rejected; the seeded bug never activated")
+	}
+	if v == nil {
+		t.Fatal("accept-implies-safe oracle missed the fault in a wrongly-accepted program")
+	}
+	t.Logf("caught: %v", v)
+}
+
+// TestBrokenCheckerCaught: a proof checker that accepts everything must
+// make the adversary oracle report mutant-accepted violations, while the
+// real checker reports none on the same program and mutation seed.
+func TestBrokenCheckerCaught(t *testing.T) {
+	opts := loader.Options{Verifier: baseVerifierConfig()}
+
+	stats, viols := CheckAdversary(refineProg(), opts, rand.New(rand.NewSource(7)), nil)
+	if stats.Rounds == 0 {
+		t.Fatal("refinement program produced no protocol rounds")
+	}
+	if len(viols) != 0 {
+		t.Fatalf("real checker flagged: %v", viols[0].String())
+	}
+
+	acceptAll := func(cond *expr.Expr, p *proof.Proof) error { return nil }
+	stats, viols = CheckAdversary(refineProg(), opts, rand.New(rand.NewSource(7)), acceptAll)
+	if stats.Mutants == 0 {
+		t.Fatal("no mutants were generated")
+	}
+	if len(viols) == 0 {
+		t.Fatal("adversary oracle did not notice a checker that accepts every mutant")
+	}
+	t.Logf("broken checker flagged on %d/%d mutants", len(viols), stats.Mutants)
+}
+
+// TestRejectingCheckerCaught: the dual seeded bug — a checker that
+// rejects everything must be flagged through the original proofs.
+func TestRejectingCheckerCaught(t *testing.T) {
+	rejectAll := func(cond *expr.Expr, p *proof.Proof) error {
+		return errors.New("paranoid checker: no")
+	}
+	_, viols := CheckAdversary(refineProg(), loader.Options{Verifier: baseVerifierConfig()},
+		rand.New(rand.NewSource(7)), rejectAll)
+	found := false
+	for _, v := range viols {
+		if v.Kind == "original-rejected" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("adversary oracle did not notice a checker that rejects valid proofs")
+	}
+}

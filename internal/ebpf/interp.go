@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // FaultKind classifies a runtime safety violation detected by the
@@ -75,6 +76,12 @@ type Interp struct {
 	maps      []*mapInstance
 	rng       *rand.Rand
 	StepLimit int
+
+	// Trace, when non-nil, is invoked before each executed instruction
+	// with the current pc and register file. The differential soundness
+	// harness uses it to align concrete executions against the abstract
+	// states the verifier recorded. The callback must not retain regs.
+	Trace func(pc int, regs *[MaxReg]uint64)
 }
 
 type mapInstance struct {
@@ -141,6 +148,33 @@ func (in *Interp) SeedMapValue(mapIdx int, key []byte) error {
 		mi.values[string(key)] = r
 	}
 	return nil
+}
+
+// RandomizeMaps refills every existing map value with fresh bytes from
+// the interpreter's RNG, so repeated runs over one seed ladder exercise
+// different map contents. Entries are visited in sorted key order to keep
+// runs reproducible for a given seed.
+func (in *Interp) RandomizeMaps() {
+	for _, mi := range in.maps {
+		keys := make([]string, 0, len(mi.values))
+		for k := range mi.values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			in.rng.Read(mi.values[k].data)
+		}
+	}
+}
+
+// RandomCtx returns a context buffer of the right size for the program
+// type, filled from rng. A nil rng yields a zero context.
+func RandomCtx(rng *rand.Rand, t ProgType) []byte {
+	buf := make([]byte, t.CtxSize())
+	if rng != nil {
+		rng.Read(buf)
+	}
+	return buf
 }
 
 // lookup resolves an address to its region, or nil if unmapped.
@@ -222,6 +256,9 @@ func (in *Interp) Run(ctx []byte) (uint64, *Fault) {
 		}
 		if pc < 0 || pc >= len(insns) {
 			return 0, &Fault{Kind: FaultBadInsn, PC: pc, Msg: "pc out of range"}
+		}
+		if in.Trace != nil {
+			in.Trace(pc, &regs)
 		}
 		ins := insns[pc]
 		switch ins.Class() {

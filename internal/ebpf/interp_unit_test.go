@@ -1,0 +1,196 @@
+package ebpf
+
+// Direct unit tests for the interpreter's branch-condition and byteswap
+// primitives against the ISA specification. evalCond's contract matches
+// its call site in Run: for JMP32 the caller passes operands already
+// truncated to their low 32 bits, and evalCond re-derives the signed
+// views from those truncated values.
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// TestEvalCondGolden pins the sign/width corner cases the ISA spec calls
+// out: unsigned vs signed ordering of values with the top bit set, and
+// 32-bit sign-extension of truncated operands.
+func TestEvalCondGolden(t *testing.T) {
+	const (
+		minS64 = uint64(1) << 63 // math.MinInt64
+		maxS64 = uint64(math.MaxInt64)
+		minS32 = uint64(1) << 31 // math.MinInt32 as a truncated operand
+		maxS32 = uint64(math.MaxInt32)
+	)
+	cases := []struct {
+		name string
+		op   uint8
+		a, b uint64
+		is32 bool
+		want bool
+	}{
+		// -1 is the largest unsigned value but the smallest ordering-wise
+		// signed one.
+		{"jgt-neg1-vs-1", JmpJGT, ^uint64(0), 1, false, true},
+		{"jsgt-neg1-vs-1", JmpJSGT, ^uint64(0), 1, false, false},
+		{"jlt-neg1-vs-1", JmpJLT, ^uint64(0), 1, false, false},
+		{"jslt-neg1-vs-1", JmpJSLT, ^uint64(0), 1, false, true},
+		// The sign boundary itself.
+		{"jge-min-vs-0", JmpJGE, minS64, 0, false, true},
+		{"jsge-min-vs-0", JmpJSGE, minS64, 0, false, false},
+		{"jsle-min-vs-max", JmpJSLE, minS64, maxS64, false, true},
+		{"jgt-min-vs-max", JmpJGT, minS64, maxS64, false, true},
+		// Equality ops are sign-agnostic.
+		{"jeq-reflexive", JmpJEQ, minS64, minS64, false, true},
+		{"jne-reflexive", JmpJNE, minS64, minS64, false, false},
+		{"jeq-differ", JmpJEQ, 5, 6, false, false},
+		// JSET is a pure bit test.
+		{"jset-overlap", JmpJSET, 0x8, 0xf, false, true},
+		{"jset-disjoint", JmpJSET, 0x8, 0x7, false, false},
+		{"jset-zero-mask", JmpJSET, ^uint64(0), 0, false, false},
+		// 32-bit: 0xffffffff is u32 max but s32 -1.
+		{"w-jlt-neg1-vs-1", JmpJLT, 0xffffffff, 1, true, false},
+		{"w-jslt-neg1-vs-1", JmpJSLT, 0xffffffff, 1, true, true},
+		{"w-jsge-min-vs-max", JmpJSGE, minS32, maxS32, true, false},
+		{"w-jgt-min-vs-max", JmpJGT, minS32, maxS32, true, true},
+		// Unsigned inclusive/exclusive boundaries.
+		{"jge-equal", JmpJGE, 7, 7, false, true},
+		{"jgt-equal", JmpJGT, 7, 7, false, false},
+		{"jle-equal", JmpJLE, 7, 7, false, true},
+		{"jlt-equal", JmpJLT, 7, 7, false, false},
+	}
+	for _, tc := range cases {
+		got, err := evalCond(tc.op, tc.a, tc.b, tc.is32)
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: evalCond(%#x, %#x, %#x, is32=%v) = %v, want %v",
+				tc.name, tc.op, tc.a, tc.b, tc.is32, got, tc.want)
+		}
+	}
+}
+
+// TestEvalCondExhaustive sweeps every jump op over boundary-value pairs
+// in both widths, comparing against an independently written model of
+// the ISA comparison semantics.
+func TestEvalCondExhaustive(t *testing.T) {
+	type model struct {
+		op   uint8
+		eval func(a, b uint64, sa, sb int64) bool
+	}
+	models := []model{
+		{JmpJEQ, func(a, b uint64, _, _ int64) bool { return a == b }},
+		{JmpJNE, func(a, b uint64, _, _ int64) bool { return a != b }},
+		{JmpJGT, func(a, b uint64, _, _ int64) bool { return a > b }},
+		{JmpJGE, func(a, b uint64, _, _ int64) bool { return a >= b }},
+		{JmpJLT, func(a, b uint64, _, _ int64) bool { return a < b }},
+		{JmpJLE, func(a, b uint64, _, _ int64) bool { return a <= b }},
+		{JmpJSET, func(a, b uint64, _, _ int64) bool { return a&b != 0 }},
+		{JmpJSGT, func(_, _ uint64, sa, sb int64) bool { return sa > sb }},
+		{JmpJSGE, func(_, _ uint64, sa, sb int64) bool { return sa >= sb }},
+		{JmpJSLT, func(_, _ uint64, sa, sb int64) bool { return sa < sb }},
+		{JmpJSLE, func(_, _ uint64, sa, sb int64) bool { return sa <= sb }},
+	}
+	values := []uint64{
+		0, 1, 2, 7, 0x7f, 0x80, 0xff,
+		math.MaxInt32, 1 << 31, 1<<31 + 1, math.MaxUint32,
+		1 << 32, math.MaxInt64, 1 << 63, 1<<63 + 1, ^uint64(1), ^uint64(0),
+	}
+	for _, m := range models {
+		for _, is32 := range []bool{false, true} {
+			for _, a := range values {
+				for _, b := range values {
+					// Mirror the Run call site: JMP32 operands arrive
+					// pre-truncated.
+					ca, cb := a, b
+					if is32 {
+						ca, cb = uint64(uint32(a)), uint64(uint32(b))
+					}
+					sa, sb := int64(ca), int64(cb)
+					if is32 {
+						sa, sb = int64(int32(uint32(ca))), int64(int32(uint32(cb)))
+					}
+					want := m.eval(ca, cb, sa, sb)
+					got, err := evalCond(m.op, ca, cb, is32)
+					if err != nil {
+						t.Fatalf("evalCond(%#x, %#x, %#x, %v): %v", m.op, ca, cb, is32, err)
+					}
+					if got != want {
+						t.Fatalf("evalCond(%#x, %#x, %#x, is32=%v) = %v, want %v",
+							m.op, ca, cb, is32, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalCondUnknownOp: an op outside the ISA must be reported as an
+// error, not silently not-taken — Run turns it into a FaultBadInsn.
+func TestEvalCondUnknownOp(t *testing.T) {
+	if _, err := evalCond(0xe0, 1, 2, false); err == nil {
+		t.Fatal("expected error for unknown jump op")
+	}
+}
+
+// TestByteswapGolden pins the bswap16/32/64 and to-le truncation results
+// for an asymmetric pattern where every byte position is distinct.
+func TestByteswapGolden(t *testing.T) {
+	const v = uint64(0x1122334455667788)
+	cases := []struct {
+		name  string
+		width int
+		toBE  bool
+		want  uint64
+	}{
+		// The interpreter's memory model is little-endian, so "to le" is
+		// truncation and "to be" swaps the low `width` bits.
+		{"be16", 16, true, 0x8877},
+		{"be32", 32, true, 0x88776655},
+		{"be64", 64, true, 0x8877665544332211},
+		{"le16", 16, false, 0x7788},
+		{"le32", 32, false, 0x55667788},
+		{"le64", 64, false, v},
+	}
+	for _, tc := range cases {
+		if got := byteswap(v, tc.width, tc.toBE); got != tc.want {
+			t.Errorf("%s: byteswap(%#x, %d, %v) = %#x, want %#x",
+				tc.name, v, tc.width, tc.toBE, got, tc.want)
+		}
+	}
+}
+
+// TestByteswapProperties checks byteswap against math/bits as an
+// independent model, and the algebra the ISA implies: swapping is an
+// involution modulo truncation, and "to le" equals plain truncation.
+func TestByteswapProperties(t *testing.T) {
+	values := []uint64{
+		0, 1, 0x80, 0xff, 0x1234, 0xffff, 0x12345678,
+		0xdeadbeef, math.MaxUint32, 0x1122334455667788, ^uint64(0),
+	}
+	for _, v := range values {
+		if got, want := byteswap(v, 16, true), uint64(bits.ReverseBytes16(uint16(v))); got != want {
+			t.Errorf("be16(%#x) = %#x, want %#x", v, got, want)
+		}
+		if got, want := byteswap(v, 32, true), uint64(bits.ReverseBytes32(uint32(v))); got != want {
+			t.Errorf("be32(%#x) = %#x, want %#x", v, got, want)
+		}
+		if got, want := byteswap(v, 64, true), bits.ReverseBytes64(v); got != want {
+			t.Errorf("be64(%#x) = %#x, want %#x", v, got, want)
+		}
+		for _, width := range []int{16, 32, 64} {
+			if got, want := byteswap(byteswap(v, width, true), width, true), byteswap(v, width, false); got != want {
+				t.Errorf("be%d∘be%d(%#x) = %#x, want truncation %#x", width, width, v, got, want)
+			}
+			var mask uint64 = ^uint64(0)
+			if width < 64 {
+				mask = uint64(1)<<width - 1
+			}
+			if got, want := byteswap(v, width, false), v&mask; got != want {
+				t.Errorf("le%d(%#x) = %#x, want %#x", width, v, got, want)
+			}
+		}
+	}
+}

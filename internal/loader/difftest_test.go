@@ -142,7 +142,9 @@ func runDifferential(t *testing.T, iterations int, bcfOn bool, seed int64) (acce
 		accepted++
 		for s := int64(0); s < 8; s++ {
 			in := ebpf.NewInterp(p, s*7+1)
-			if _, fault := in.Run(make([]byte, p.Type.CtxSize())); fault != nil {
+			in.RandomizeMaps()
+			ctx := ebpf.RandomCtx(rand.New(rand.NewSource(s*13+3)), p.Type)
+			if _, fault := in.Run(ctx); fault != nil {
 				t.Fatalf("iter %d (bcf=%v): accepted program faulted: %v\n%s",
 					i, bcfOn, fault, p.Disassemble())
 			}

@@ -10,7 +10,7 @@ import (
 // branch when the abstraction allows, otherwise forks the state, refines
 // both sides with the branch condition, and pushes the taken side.
 // It returns the next pc for the current walk.
-func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *pathNode, stack *[]branchItem) (int, error) {
+func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *pathNode, obsTok any, stack *[]branchItem) (int, error) {
 	is32 := ins.Class() == ebpf.ClassJMP32
 	op := ins.JmpOp()
 	dst := &st.Regs[ins.Dst]
@@ -37,7 +37,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		markPtrOrNull(other, dst.ID, takenNull)
 		markPtrOrNull(st, dst.ID, !takenNull)
 		*stack = append(*stack, branchItem{st: other, pc: target,
-			node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}})
+			node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
 		node.taken = false
 		return pc + 1, nil
 	}
@@ -64,7 +64,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		if dst.Type.IsPtr() && srcReg != nil && srcReg.Type.IsPtr() {
 			other := st.clone()
 			*stack = append(*stack, branchItem{st: other, pc: target,
-				node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}})
+				node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
 			node.taken = false
 			return pc + 1, nil
 		}
@@ -103,7 +103,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		syncLinked(st, fSrc.ID, fSrc)
 	}
 	*stack = append(*stack, branchItem{st: other, pc: target,
-		node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}})
+		node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
 	node.taken = false
 	return pc + 1, nil
 }

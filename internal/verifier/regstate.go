@@ -244,23 +244,8 @@ func (r *RegState) wellFormed() bool {
 // contains reports whether concrete value v is admitted by the scalar
 // abstraction (all five domains). Used by soundness tests.
 func (r *RegState) contains(v uint64) bool {
-	if !r.Var.Contains(v) {
-		return false
-	}
-	if v < r.UMin || v > r.UMax {
-		return false
-	}
-	if int64(v) < r.SMin || int64(v) > r.SMax {
-		return false
-	}
-	v32 := uint32(v)
-	if v32 < r.U32Min || v32 > r.U32Max {
-		return false
-	}
-	if int32(v32) < r.S32Min || int32(v32) > r.S32Max {
-		return false
-	}
-	return true
+	ok, _ := r.Admits(v)
+	return ok
 }
 
 // String renders the register like the kernel verifier log.

@@ -166,6 +166,12 @@ type Config struct {
 	NoPruning bool
 	// LoopInvariants supplies precomputed loop fixpoints (§7 extension).
 	LoopInvariants []LoopInvariant
+	// Observer, when non-nil, is invoked before every analyzed
+	// instruction (differential soundness testing).
+	Observer Observer
+	// Sabotage deliberately weakens the verifier for oracle mutation
+	// tests. Never set outside tests.
+	Sabotage *Sabotage
 }
 
 // DefaultInsnLimit mirrors the kernel's BPF_COMPLEXITY_LIMIT_INSNS.
@@ -228,6 +234,7 @@ type branchItem struct {
 	st   *VState
 	pc   int
 	node *pathNode
+	obs  any // observer token of the forking instruction
 }
 
 // Verify runs the analysis and returns nil if the program is safe.
@@ -253,7 +260,7 @@ func (v *Verifier) Verify() error {
 // walk analyzes one path until exit, prune or error, pushing the untaken
 // sides of branches onto the stack.
 func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
-	st, pc, node := item.st, item.pc, item.node
+	st, pc, node, obsTok := item.st, item.pc, item.node, item.obs
 	for {
 		v.stats.InsnProcessed++
 		if v.stats.InsnProcessed > v.cfg.InsnLimit {
@@ -285,6 +292,9 @@ func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
 		}
 		v.logf("%d: %s", pc, ins.String())
 		node = &pathNode{parent: node, idx: int32(pc)}
+		if v.cfg.Observer != nil {
+			obsTok = v.cfg.Observer.Step(obsTok, pc, st)
+		}
 
 		switch ins.Class() {
 		case ebpf.ClassALU, ebpf.ClassALU64:
@@ -340,7 +350,7 @@ func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
 				pc++
 				continue
 			}
-			next, err := v.checkCondJmp(st, pc, ins, node, stack)
+			next, err := v.checkCondJmp(st, pc, ins, node, obsTok, stack)
 			if err != nil {
 				return err
 			}
@@ -450,6 +460,9 @@ func (v *Verifier) checkALU(st *VState, pc int, ins ebpf.Instruction, node *path
 		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "division by zero"}
 	}
 	aluScalar(dst, &src, op, is32)
+	if !is32 && op == ebpf.AluADD {
+		v.cfg.Sabotage.collapseAdd(dst)
+	}
 	return nil
 }
 
