@@ -28,6 +28,7 @@ import (
 	"bcf/internal/bcferr"
 	"bcf/internal/ebpf"
 	"bcf/internal/loader"
+	"bcf/internal/obs"
 	"bcf/internal/solver"
 	"bcf/internal/verifier"
 )
@@ -56,6 +57,12 @@ type (
 	ErrClass = bcferr.Class
 	// SessionLimits bound the kernel-side resources of one load session.
 	SessionLimits = bcf.SessionLimits
+	// Registry is the telemetry metrics registry (counters, gauges,
+	// fixed-bucket histograms) threaded through a load by WithTelemetry.
+	Registry = obs.Registry
+	// Tracer records the span timeline of a load as Chrome trace-event
+	// JSON (Perfetto-loadable).
+	Tracer = obs.Tracer
 )
 
 // Error classes (§6.2-style rejection buckets plus protocol robustness).
@@ -103,6 +110,12 @@ func NewInterp(p *Program, seed int64) *Interp { return ebpf.NewInterp(p, seed) 
 
 // NewProofCache returns an empty proof cache (see WithProofCache).
 func NewProofCache() *ProofCache { return loader.NewProofCache() }
+
+// NewRegistry returns an empty telemetry registry (see WithTelemetry).
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer returns an empty span tracer (see WithTelemetry).
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Report is the outcome of a Verify call.
 type Report struct {
@@ -160,6 +173,16 @@ func WithoutPruning() Option {
 // WithProofCache reuses proofs across loads (the §7 load-time cache).
 func WithProofCache(c *ProofCache) Option {
 	return func(o *loader.Options) { o.ProofCache = c }
+}
+
+// WithTelemetry threads a metrics registry and/or span tracer through
+// every layer of the load (verifier, session, refiner, solver, loader).
+// Either argument may be nil; a disabled layer costs only a nil check.
+func WithTelemetry(reg *Registry, tr *Tracer) Option {
+	return func(o *loader.Options) {
+		o.Obs = reg
+		o.Trace = tr
+	}
 }
 
 // WithoutRewriteTier forces every proof through bit-blasting (ablation).
@@ -239,13 +262,13 @@ func Verify(prog *Program, opts ...Option) *Report {
 		Log:            res.Log,
 		raw:            res,
 	}
+	// Wire totals come from the session's per-round traffic ledger — the
+	// single source of truth — not from re-summing refiner stats.
+	rep.ConditionBytes = res.CondBytes
+	rep.ProofBytes = res.ProofBytes
 	if res.RefineStats != nil {
 		rep.Refinements = res.RefineStats.Granted
 		rep.RefinementRequests = len(res.RefineStats.Requests)
-		for _, r := range res.RefineStats.Requests {
-			rep.ProofBytes += r.ProofBytes
-			rep.ConditionBytes += r.CondBytes
-		}
 	}
 	return rep
 }

@@ -17,17 +17,29 @@
 //	bcfbench -table duration # the §6.3 time split + wall-clock speedup
 //	bcfbench -table cache    # shared proof-cache hit/miss statistics
 //	bcfbench -n 96 -json out.json  # reduced-corpus smoke run, machine-readable
+//
+// Observability (the telemetry layer of internal/obs):
+//
+//	bcfbench -metrics                 # per-stage latency/traffic table + metrics block in -json
+//	bcfbench -tracefile t.json        # Chrome trace-event timeline (open in ui.perfetto.dev)
+//	bcfbench -cpuprofile cpu.pprof    # CPU profile of the run (go tool pprof)
+//	bcfbench -memprofile mem.pprof    # heap profile after the run
+//	bcfbench -listen :6060            # serve /metrics (Prometheus) + /debug/pprof while running
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
+	rpprof "runtime/pprof"
 
 	"bcf/internal/corpus"
 	"bcf/internal/eval"
+	"bcf/internal/obs"
 )
 
 // benchReport is the machine-readable output of -json: the acceptance
@@ -52,6 +64,10 @@ type benchReport struct {
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	CacheEvictions   int     `json:"cache_evictions"`
 	CacheSize        int     `json:"cache_size"`
+	// Metrics is the telemetry snapshot (per-stage latency histograms,
+	// pipeline counters) when the run had telemetry enabled (-metrics,
+	// -tracefile or -listen).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -63,11 +79,59 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable timing/acceptance report to this path")
 	n := flag.Int("n", 0, "evaluate only the first N corpus programs (0 = all 512)")
+	metrics := flag.Bool("metrics", false, "collect telemetry and print the per-stage metrics table")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON timeline to this path (Perfetto-loadable)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the run to this path")
+	listen := flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while running")
 	flag.Parse()
 
 	wantAll := *table == "" && *fig == ""
 	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" ||
-		*table == "classes" || *table == "cache" || *fig == "8" || *jsonPath != ""
+		*table == "classes" || *table == "cache" || *fig == "8" || *jsonPath != "" ||
+		*metrics || *traceFile != ""
+
+	// Telemetry is opt-in: with none of the observability flags set, the
+	// registry and tracer stay nil and every instrumented path pays only
+	// a nil check (the <2% throughput bound of the design).
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics || *traceFile != "" || *listen != "" {
+		reg = obs.NewRegistry()
+	}
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+	}
+	if *listen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*listen, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "bcfbench: listen:", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on %s\n", *listen)
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			rpprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var ev *eval.Evaluation
 	if needRun {
@@ -92,11 +156,23 @@ func main() {
 			Parallelism: *parallel,
 			Limit:       *n,
 			Progress:    progress,
+			Obs:         reg,
+			Trace:       tracer,
 		})
 		if *jsonPath != "" {
-			if err := writeJSON(*jsonPath, ev); err != nil {
+			if err := writeJSON(*jsonPath, ev, reg); err != nil {
 				fmt.Fprintln(os.Stderr, "bcfbench:", err)
 				os.Exit(1)
+			}
+		}
+		if *traceFile != "" {
+			if err := tracer.WriteFile(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, "bcfbench: trace:", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+					tracer.Len(), *traceFile)
 			}
 		}
 	}
@@ -134,9 +210,23 @@ func main() {
 	if wantAll || *table == "zone" {
 		show("zone", eval.ZoneTable())
 	}
+	if *metrics {
+		show("metrics", reg.Snapshot().TableString())
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := rpprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 	if !printed {
-		if *jsonPath != "" {
-			return // a pure -json run selected nothing to print
+		if *jsonPath != "" || *traceFile != "" {
+			return // a pure machine-readable run selected nothing to print
 		}
 		fmt.Fprintln(os.Stderr, "nothing selected; see -h")
 		os.Exit(2)
@@ -156,7 +246,7 @@ func effectiveParallelism(requested, size int) int {
 	return p
 }
 
-func writeJSON(path string, ev *eval.Evaluation) error {
+func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry) error {
 	acc := ev.Acceptance()
 	var programNS int64
 	for _, r := range ev.Results {
@@ -179,6 +269,9 @@ func writeJSON(path string, ev *eval.Evaluation) error {
 		CacheEvictions:   ev.Cache.Evictions,
 		CacheSize:        ev.Cache.Size,
 	}
+	if reg != nil {
+		rep.Metrics = reg.Snapshot()
+	}
 	if ev.WallClock > 0 {
 		rep.Speedup = float64(programNS) / float64(ev.WallClock.Nanoseconds())
 	}
@@ -187,6 +280,11 @@ func writeJSON(path string, ev *eval.Evaluation) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcfbench:", err)
+	os.Exit(1)
 }
 
 // corpusInsnLimit mirrors the scaled-down budget used by the test suite;

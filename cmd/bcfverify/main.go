@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	bcfverify [-bcf] [-debug] [-map-value-size N] prog.s
+//	bcfverify [-bcf] [-debug] [-stats] [-map-value-size N] prog.s
 //
 // The input is textual assembly (see bcfasm); `-bin` accepts raw bytecode
 // instead. `map[0]` references in the program resolve to a single array
-// map whose value size is set by -map-value-size.
+// map whose value size is set by -map-value-size. `-stats` dumps the
+// telemetry snapshot of the load (per-stage latency histograms, pipeline
+// counters) as JSON after the verdict.
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	valueSize := flag.Uint("map-value-size", 16, "value size of map[0]")
 	insnLimit := flag.Int("insn-limit", 0, "analyzed-instruction budget (0 = kernel default)")
 	progType := flag.String("type", "tracepoint", "program type: tracepoint|xdp|socket_filter|sched_cls")
+	stats := flag.Bool("stats", false, "dump the telemetry metrics snapshot as JSON after the verdict")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bcfverify [flags] prog.s")
@@ -65,6 +68,11 @@ func main() {
 	if *insnLimit > 0 {
 		opts = append(opts, bcf.WithInsnLimit(*insnLimit))
 	}
+	var reg *bcf.Registry
+	if *stats {
+		reg = bcf.NewRegistry()
+		opts = append(opts, bcf.WithTelemetry(reg, nil))
+	}
 
 	start := time.Now()
 	report := bcf.Verify(prog, opts...)
@@ -93,6 +101,12 @@ func main() {
 		}
 		if report.Counterexample != nil {
 			fmt.Printf("  counterexample: %v\n", report.Counterexample)
+		}
+	}
+	if *stats {
+		fmt.Println("  metrics:")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
 	if !report.Accepted {

@@ -7,6 +7,7 @@ import (
 	"bcf/internal/bcferr"
 	"bcf/internal/bcfenc"
 	"bcf/internal/expr"
+	"bcf/internal/obs"
 	"bcf/internal/proof"
 	"bcf/internal/verifier"
 )
@@ -51,6 +52,11 @@ type Refiner struct {
 	DisableBackward bool
 	// Limits passed to the proof checker.
 	Limits proof.Limits
+	// Obs and Trace, when non-nil, receive per-round counters,
+	// stage-latency histograms, and refine/track/encode/check spans
+	// (keyed by refinement round). Nil costs only a nil check.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 
 	stats Stats
 }
@@ -65,12 +71,23 @@ func (r *Refiner) Stats() *Stats { return &r.stats }
 
 // Refine handles one failed check (verifier.Refiner).
 func (r *Refiner) Refine(req *verifier.RefineRequest) (*verifier.RefineResult, error) {
+	var sp obs.Span
+	if r.Trace != nil {
+		sp = r.Trace.StartArgs(obs.CatRefine, "refine", map[string]any{
+			"round": len(r.stats.Requests), "insn": req.InsnIdx, "kind": req.Kind.String(),
+		})
+	}
+	r.Obs.Counter(obs.MRefineRequests).Inc()
 	res, err := r.refine(req)
 	if err != nil {
 		r.stats.Failed++
+		r.Obs.Counter(obs.MRefinementsFailed).Inc()
+		sp.End()
 		return nil, err
 	}
 	r.stats.Granted++
+	r.Obs.Counter(obs.MRefinementsGranted).Inc()
+	sp.End()
 	return res, nil
 }
 
@@ -82,6 +99,12 @@ func (r *Refiner) refine(req *verifier.RefineRequest) (*verifier.RefineResult, e
 		return nil, fmt.Errorf("bcf: empty analysis path")
 	}
 
+	var trackStart time.Time
+	if r.Obs != nil {
+		trackStart = time.Now()
+	}
+	tsp := r.Trace.Start(obs.CatRefine, "track")
+
 	// 1. Backward analysis pinpoints the suffix start.
 	start := 0
 	if !r.DisableBackward {
@@ -90,7 +113,12 @@ func (r *Refiner) refine(req *verifier.RefineRequest) (*verifier.RefineResult, e
 
 	// 2. Symbolic tracking re-executes the suffix.
 	tk := newTracker(req.Prog)
-	if err := tk.run(req.Path, start); err != nil {
+	err := tk.run(req.Path, start)
+	tsp.End()
+	if r.Obs != nil {
+		r.Obs.StageHistogram(obs.MTrackSeconds).Since(trackStart)
+	}
+	if err != nil {
 		return nil, err
 	}
 
@@ -152,15 +180,32 @@ func (r *Refiner) refine(req *verifier.RefineRequest) (*verifier.RefineResult, e
 // object itself never leaves kernel space; only its encoding does, and
 // the proof must establish exactly the stored condition.
 func (r *Refiner) delegate(cond *expr.Expr, tk *tracker, req *verifier.RefineRequest, start int) error {
+	var encStart time.Time
+	if r.Obs != nil {
+		encStart = time.Now()
+	}
+	esp := r.Trace.Start(obs.CatRefine, "encode")
 	condBytes, err := bcfenc.EncodeCondition(&bcfenc.Condition{Cond: cond})
+	esp.End()
+	if r.Obs != nil {
+		r.Obs.StageHistogram(obs.MEncodeSeconds).Since(encStart)
+	}
 	if err != nil {
 		return fmt.Errorf("bcf: encoding condition: %w", err)
 	}
 
+	// The round span covers the whole kernel→user→kernel round trip:
+	// wire transfer, loader work and prover time, as seen from the
+	// verification goroutine.
+	rsp := r.Trace.Start(obs.CatRefine, "round")
 	userStart := time.Now()
 	proofBytes, err := r.Service.Prove(condBytes)
 	userDur := time.Since(userStart)
+	rsp.End()
 	r.stats.UserTime += userDur
+	if r.Obs != nil {
+		r.Obs.StageHistogram(obs.MRoundSeconds).ObserveDuration(userDur)
+	}
 	rs := RequestStats{
 		TrackLen:     tk.steps,
 		BackwardLen:  len(req.Path) - 1 - start,
@@ -175,12 +220,17 @@ func (r *Refiner) delegate(cond *expr.Expr, tk *tracker, req *verifier.RefineReq
 		return fmt.Errorf("bcf: user space produced no proof: %w", err)
 	}
 
+	csp := r.Trace.Start(obs.CatCheck, "check")
 	checkStart := time.Now()
 	pf, err := bcfenc.DecodeProof(proofBytes)
 	if err == nil {
 		err = proof.CheckWithLimits(cond, pf, r.Limits)
 	}
 	rs.CheckDuration = time.Since(checkStart)
+	csp.End()
+	if r.Obs != nil {
+		r.Obs.StageHistogram(obs.MCheckSeconds).ObserveDuration(rs.CheckDuration)
+	}
 	rs.ProofBytes = len(proofBytes)
 	r.stats.CheckTime += rs.CheckDuration
 	r.stats.Requests = append(r.stats.Requests, rs)

@@ -6,6 +6,7 @@ import (
 
 	"bcf/internal/bcferr"
 	"bcf/internal/ebpf"
+	"bcf/internal/obs"
 	"bcf/internal/verifier"
 )
 
@@ -96,9 +97,25 @@ type Session struct {
 	abortOnce sync.Once
 
 	// Per-session accounting, touched only by the verification goroutine.
+	// rounds is the single source of truth for boundary traffic: one
+	// entry per refinement request, recording the bytes that actually
+	// crossed the wire in each direction (after any fault-injection
+	// mutation). Traffic() and the cumulative limit counters both derive
+	// from it.
 	requests   int
 	condBytes  int
 	proofBytes int
+	rounds     []RoundTraffic
+
+	// telemetry (nil = disabled). trace carries loader-side spans,
+	// ktrace the verification-goroutine ("kernel thread") spans.
+	obs    *obs.Registry
+	trace  *obs.Tracer
+	ktrace *obs.Tracer
+
+	// open timeline segments (loader-side thread).
+	spanKernel obs.Span
+	spanUser   obs.Span
 
 	// timing split for §6.3.
 	kernelStart time.Time
@@ -109,6 +126,16 @@ type Session struct {
 	loaded   bool
 	finished bool
 	result   error
+}
+
+// RoundTraffic records the wire bytes of one refinement round: the
+// condition shipped kernel→user and the proof (possibly empty) shipped
+// back. It is what Session.Traffic sums, and the invariant
+// condBytes+proofBytes == Σ per-round wire sizes is pinned by a
+// regression test.
+type RoundTraffic struct {
+	CondBytes  int
+	ProofBytes int
 }
 
 type proveResp struct {
@@ -132,18 +159,34 @@ func (ss sessionService) Prove(cond []byte) ([]byte, error) {
 		return nil, bcferr.New(bcferr.ClassResourceLimit,
 			"bcf: session exceeded %d refinement requests", s.Limits.MaxRequests)
 	}
+	if s.Fault != nil {
+		cond = s.Fault.CondOut(round, cond)
+	}
+	// Account the bytes that actually cross the boundary (post-fault):
+	// the per-round record is the authoritative traffic ledger, and the
+	// cumulative counters backing the limits are its running sums.
+	s.rounds = append(s.rounds, RoundTraffic{CondBytes: len(cond)})
 	s.condBytes += len(cond)
 	if s.condBytes > s.Limits.MaxCondBytes {
 		return nil, bcferr.New(bcferr.ClassResourceLimit,
 			"bcf: session exceeded %d cumulative condition bytes", s.Limits.MaxCondBytes)
 	}
-	if s.Fault != nil {
-		cond = s.Fault.CondOut(round, cond)
+	var wireStart time.Time
+	if s.obs != nil {
+		wireStart = time.Now()
 	}
 	select {
 	case s.condCh <- cond:
 	case <-s.abortCh:
 		return nil, errSessionAborted
+	}
+	if s.obs != nil {
+		s.obs.StageHistogram(obs.MWireSeconds).Since(wireStart)
+		s.obs.StageHistogram(obs.MCondBytes).Observe(float64(len(cond)))
+	}
+	if s.ktrace != nil {
+		s.ktrace.Instant(obs.CatWire, "cond-out",
+			map[string]any{"round": round, "bytes": len(cond)})
 	}
 	var watchdog <-chan time.Time
 	if s.Limits.ResumeTimeout > 0 {
@@ -157,7 +200,15 @@ func (ss sessionService) Prove(cond []byte) ([]byte, error) {
 		if s.Fault != nil && pb != nil {
 			pb = s.Fault.ProofIn(round, pb)
 		}
+		s.rounds[len(s.rounds)-1].ProofBytes = len(pb)
 		s.proofBytes += len(pb)
+		if s.obs != nil {
+			s.obs.StageHistogram(obs.MProofBytes).Observe(float64(len(pb)))
+		}
+		if s.ktrace != nil {
+			s.ktrace.Instant(obs.CatWire, "proof-in",
+				map[string]any{"round": round, "bytes": len(pb)})
+		}
 		if s.proofBytes > s.Limits.MaxProofBytes {
 			return nil, bcferr.New(bcferr.ClassResourceLimit,
 				"bcf: session exceeded %d cumulative proof bytes", s.Limits.MaxProofBytes)
@@ -182,7 +233,10 @@ type LoadResult struct {
 	Condition []byte
 }
 
-// NewSession prepares a load session for prog.
+// NewSession prepares a load session for prog. Telemetry handles ride in
+// on cfg (Obs, Trace): the verifier and refiner run on the verification
+// goroutine and report under a "kernel" trace thread, while the
+// session's own timeline segments stay on the caller's thread.
 func NewSession(prog *ebpf.Program, cfg verifier.Config) *Session {
 	s := &Session{
 		prog:    prog,
@@ -191,7 +245,16 @@ func NewSession(prog *ebpf.Program, cfg verifier.Config) *Session {
 		doneCh:  make(chan error, 1),
 		abortCh: make(chan struct{}),
 	}
+	s.obs = cfg.Obs
+	s.trace = cfg.Trace
+	if s.trace != nil {
+		s.trace = s.trace.WithThread(0, "loader")
+		s.ktrace = cfg.Trace.WithThread(1, "kernel")
+		cfg.Trace = s.ktrace
+	}
 	s.ref = NewRefiner(sessionService{s})
+	s.ref.Obs = cfg.Obs
+	s.ref.Trace = s.ktrace
 	cfg.Refiner = s.ref
 	s.v = verifier.New(prog, cfg)
 	return s
@@ -207,10 +270,21 @@ func (s *Session) Verifier() *verifier.Verifier { return s.v }
 func (s *Session) KernelTime() time.Duration { return s.kernelTime }
 func (s *Session) UserTime() time.Duration   { return s.userTime }
 
-// Traffic reports the cumulative boundary traffic accounted so far (valid
-// once the session is done).
+// Traffic reports the cumulative boundary traffic (valid once the
+// session is done). It is derived from the per-round ledger, so it is
+// always exactly the sum of the Rounds() wire sizes.
 func (s *Session) Traffic() (condBytes, proofBytes int) {
-	return s.condBytes, s.proofBytes
+	for _, rt := range s.rounds {
+		condBytes += rt.CondBytes
+		proofBytes += rt.ProofBytes
+	}
+	return condBytes, proofBytes
+}
+
+// Rounds returns the per-round wire-traffic ledger (valid once the
+// session is done). The slice is a copy.
+func (s *Session) Rounds() []RoundTraffic {
+	return append([]RoundTraffic(nil), s.rounds...)
 }
 
 // Load starts verification and runs until the first refinement condition
@@ -227,6 +301,7 @@ func (s *Session) Load() LoadResult {
 	s.loaded = true
 	s.Limits = s.Limits.withDefaults()
 	s.kernelStart = time.Now()
+	s.spanKernel = s.trace.Start(obs.CatSession, "kernel")
 	go func() {
 		s.doneCh <- s.v.Verify()
 	}()
@@ -246,13 +321,23 @@ func (s *Session) Resume(proofBytes []byte, userErr error) LoadResult {
 	}
 	s.userTime += time.Since(s.userStart)
 	s.kernelStart = time.Now()
+	s.spanUser.End()
+	s.spanKernel = s.trace.Start(obs.CatSession, "kernel")
+	var wireStart time.Time
+	if s.obs != nil {
+		wireStart = time.Now()
+	}
 	select {
 	case s.respCh <- proveResp{proof: proofBytes, err: userErr}:
+		if s.obs != nil {
+			s.obs.StageHistogram(obs.MWireSeconds).Since(wireStart)
+		}
 		return s.wait()
 	case err := <-s.doneCh:
 		// The pump gave up (watchdog or limit) while we were away; the
 		// verdict is already in.
 		s.kernelTime += time.Since(s.kernelStart)
+		s.spanKernel.End()
 		s.finished = true
 		s.result = err
 		return LoadResult{Done: true, Err: err}
@@ -264,9 +349,12 @@ func (s *Session) wait() LoadResult {
 	case cond := <-s.condCh:
 		s.kernelTime += time.Since(s.kernelStart)
 		s.userStart = time.Now()
+		s.spanKernel.End()
+		s.spanUser = s.trace.Start(obs.CatSession, "user")
 		return LoadResult{Condition: cond}
 	case err := <-s.doneCh:
 		s.kernelTime += time.Since(s.kernelStart)
+		s.spanKernel.End()
 		s.finished = true
 		s.result = err
 		return LoadResult{Done: true, Err: err}

@@ -1,0 +1,136 @@
+package bcf
+
+import (
+	"testing"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/obs"
+	"bcf/internal/verifier"
+)
+
+// twoRoundProg needs two independent refinements (two relational map
+// accesses), so the ledger accumulates more than one round.
+func twoRoundProg() *ebpf.Program {
+	return &ebpf.Program{
+		Type: ebpf.ProgTracepoint,
+		Maps: []*ebpf.MapSpec{{Name: "m", Type: ebpf.MapArray, KeySize: 4, ValueSize: 16, MaxEntries: 1}},
+		Insns: ebpf.MustAssemble(`
+			r1 = map[0]
+			r2 = r10
+			r2 += -4
+			*(u32 *)(r10 -4) = 0
+			call 1
+			if r0 == 0 goto miss
+			r6 = *(u64 *)(r0 +0)
+			r6 &= 0xf
+			r7 = 0xf
+			r7 -= r6
+			r1 = r0
+			r1 += r6
+			r1 += r7
+			r2 = *(u8 *)(r1 +0)
+			r8 = *(u64 *)(r0 +8)
+			r8 &= 0x7
+			r9 = 0x7
+			r9 -= r8
+			r1 = r0
+			r1 += r8
+			r1 += r9
+			r1 += 4
+			r0 = *(u8 *)(r1 +0)
+			exit
+		miss:
+			r0 = 0
+			exit
+		`),
+	}
+}
+
+// TestTrafficLedgerInvariant pins the single-source-of-truth contract of
+// the per-round traffic ledger: Traffic() must equal the sum of the
+// per-round wire sizes (Rounds()), which in a fault-free load must in
+// turn match the refiner's per-request accounting. A regression here
+// means two layers are counting boundary bytes independently again.
+func TestTrafficLedgerInvariant(t *testing.T) {
+	progs := map[string]*ebpf.Program{
+		"one-round":  sessionProg(),
+		"two-rounds": twoRoundProg(),
+	}
+	for name, prog := range progs {
+		t.Run(name, func(t *testing.T) {
+			sess := NewSession(prog, verifier.Config{})
+			if err := driveManually(t, sess); err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+			checkLedger(t, sess)
+		})
+	}
+}
+
+func checkLedger(t *testing.T, sess *Session) {
+	t.Helper()
+	condTotal, proofTotal := sess.Traffic()
+	rounds := sess.Rounds()
+	if len(rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	var condSum, proofSum int
+	for _, r := range rounds {
+		if r.CondBytes <= 0 || r.ProofBytes <= 0 {
+			t.Fatalf("round with empty wire traffic: %+v", r)
+		}
+		condSum += r.CondBytes
+		proofSum += r.ProofBytes
+	}
+	if condTotal != condSum || proofTotal != proofSum {
+		t.Fatalf("Traffic() = (%d, %d), ledger sums = (%d, %d)",
+			condTotal, proofTotal, condSum, proofSum)
+	}
+	// Fault-free load: the refiner's per-request stats must agree with
+	// the wire ledger byte for byte.
+	st := sess.Refiner().Stats()
+	if len(st.Requests) != len(rounds) {
+		t.Fatalf("refiner saw %d requests, ledger has %d rounds", len(st.Requests), len(rounds))
+	}
+	var rCond, rProof int
+	for _, q := range st.Requests {
+		rCond += q.CondBytes
+		rProof += q.ProofBytes
+	}
+	if rCond != condTotal || rProof != proofTotal {
+		t.Fatalf("refiner stats (%d, %d) != session ledger (%d, %d)",
+			rCond, rProof, condTotal, proofTotal)
+	}
+}
+
+// TestTrafficLedgerMatchesTelemetry cross-checks the third observer: the
+// wire-size histograms in the metrics registry must record one sample per
+// round and sum to the ledger totals.
+func TestTrafficLedgerMatchesTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	sess := NewSession(sessionProg(), verifier.Config{Obs: reg})
+	if err := driveManually(t, sess); err != nil {
+		t.Fatalf("rejected: %v", err)
+	}
+	checkLedger(t, sess)
+	condTotal, proofTotal := sess.Traffic()
+	rounds := len(sess.Rounds())
+
+	snap := reg.Snapshot()
+	ch, ok := snap.Histogram(obs.MCondBytes)
+	if !ok {
+		t.Fatalf("%s not recorded", obs.MCondBytes)
+	}
+	if int(ch.Count) != rounds || int(ch.Sum) != condTotal {
+		t.Fatalf("%s: count=%d sum=%v, ledger: rounds=%d cond=%d",
+			obs.MCondBytes, ch.Count, ch.Sum, rounds, condTotal)
+	}
+	ph, ok := snap.Histogram(obs.MProofBytes)
+	if !ok {
+		t.Fatalf("%s not recorded", obs.MProofBytes)
+	}
+	if int(ph.Count) != rounds || int(ph.Sum) != proofTotal {
+		t.Fatalf("%s: count=%d sum=%v, ledger: rounds=%d proof=%d",
+			obs.MProofBytes, ph.Count, ph.Sum, rounds, proofTotal)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"bcf/internal/bcferr"
 	"bcf/internal/corpus"
 	"bcf/internal/loader"
+	"bcf/internal/obs"
 	"bcf/internal/verifier"
 )
 
@@ -34,6 +35,11 @@ type ProgramResult struct {
 	CondSizes      []int
 	ProofSizes     []int
 	CheckDurations []time.Duration
+
+	// Wire totals from the session's per-round traffic ledger (the
+	// single source of truth; see bcf.Session.Rounds).
+	CondBytes  int
+	ProofBytes int
 
 	KernelTime time.Duration
 	UserTime   time.Duration
@@ -79,6 +85,13 @@ type Options struct {
 	// Progress, when non-nil, is called after each program completes.
 	// Calls are serialized and done is monotonically increasing.
 	Progress func(done, total int)
+	// Obs, when non-nil, aggregates per-stage latency histograms and
+	// pipeline counters across every load of the run (all workers share
+	// it; the registry is concurrency-safe).
+	Obs *obs.Registry
+	// Trace, when non-nil, records the span timeline of every load; each
+	// corpus program becomes one trace process, keyed by corpus index.
+	Trace *obs.Tracer
 }
 
 // Run executes the acceptance experiment over the whole dataset with the
@@ -140,15 +153,24 @@ func RunOpts(opts Options) *Evaluation {
 			defer wg.Done()
 			for i := range work {
 				e := entries[i]
+				var tr *obs.Tracer
+				if opts.Trace != nil {
+					tr = opts.Trace.WithProcess(i+1,
+						fmt.Sprintf("%s/%s/%s", e.Project, e.Source, e.Variant))
+				}
 				base := loader.Load(e.Prog, loader.Options{
 					Verifier:   verifier.Config{InsnLimit: opts.InsnLimit},
 					ProofCache: cache,
+					Obs:        opts.Obs,
+					Trace:      tr,
 				})
 				ev.Baseline[i] = base.Accepted
 				res := loader.Load(e.Prog, loader.Options{
 					EnableBCF:  true,
 					Verifier:   verifier.Config{InsnLimit: opts.InsnLimit},
 					ProofCache: cache,
+					Obs:        opts.Obs,
+					Trace:      tr,
 				})
 				ev.Results[i] = newProgramResult(e, res)
 				finished()
@@ -173,6 +195,8 @@ func newProgramResult(e corpus.Entry, res *loader.Result) ProgramResult {
 		Accepted:      res.Accepted,
 		Err:           res.Err,
 		ErrClass:      res.ErrClass,
+		CondBytes:     res.CondBytes,
+		ProofBytes:    res.ProofBytes,
 		KernelTime:    res.KernelTime,
 		UserTime:      res.UserTime,
 		TotalTime:     res.TotalTime,

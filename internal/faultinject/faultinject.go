@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bcf/internal/bcferr"
+	"bcf/internal/obs"
 )
 
 // Point names one injection site in the protocol.
@@ -96,6 +97,7 @@ type Injector struct {
 	delay  time.Duration
 	prev   []byte // last pristine proof seen, for replay
 	events []Event
+	reg    *obs.Registry
 }
 
 // New returns an injector with nothing armed. All byte-level choices
@@ -134,6 +136,27 @@ func (in *Injector) SetDelay(d time.Duration) *Injector {
 	defer in.mu.Unlock()
 	in.delay = d
 	return in
+}
+
+// WithRegistry wires the injector into a telemetry registry: every
+// injected fault increments faultinject_fired_total{point="..."}, so
+// chaos runs produce a per-point (and, combined with the loader's
+// bcf_load_failures_total{class,origin} counters, per-error-class)
+// breakdown instead of only log lines.
+func (in *Injector) WithRegistry(reg *obs.Registry) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.reg = reg
+	return in
+}
+
+// FiredAny reports whether any fault has been injected so far. The
+// loader uses it to attribute a failed load to an injected rather than
+// organic cause.
+func (in *Injector) FiredAny() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.events) > 0
 }
 
 // NewRandom derives a randomized fault schedule from the seed: between
@@ -198,6 +221,7 @@ func (in *Injector) fires(p Point, round int) bool {
 
 func (in *Injector) log(p Point, round int, detail string) {
 	in.events = append(in.events, Event{Point: p, Round: round, Detail: detail})
+	in.reg.Counter(obs.Label(obs.MFaultsInjected, "point", p.String())).Inc()
 }
 
 // flip returns b with one seeded bit flipped (b untouched; empty passes

@@ -1,0 +1,51 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"bcf/internal/obs"
+)
+
+// TestRegistryCountsInjectedFaults: every injected fault must increment
+// faultinject_fired_total{point="..."} so chaos runs can be broken down
+// per injection point from the metrics snapshot alone.
+func TestRegistryCountsInjectedFaults(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(11).WithRegistry(reg).Arm(CondCorrupt).Arm(ProofTruncate, 1)
+	payload := bytes.Repeat([]byte{0x55}, 32)
+
+	in.Condition(0, payload) // fires CondCorrupt
+	in.Condition(1, payload) // fires CondCorrupt again
+	in.Proof(0, payload)     // round 0: ProofTruncate not armed
+	in.Proof(1, payload)     // fires ProofTruncate
+
+	snap := reg.Snapshot()
+	if got := snap.Counter(obs.Label(obs.MFaultsInjected, "point", CondCorrupt.String())); got != 2 {
+		t.Fatalf("cond-corrupt counter = %d, want 2", got)
+	}
+	if got := snap.Counter(obs.Label(obs.MFaultsInjected, "point", ProofTruncate.String())); got != 1 {
+		t.Fatalf("proof-truncate counter = %d, want 1", got)
+	}
+	// The counters must agree with the injector's own event log.
+	var total int64
+	for _, c := range snap.CounterFamilies()[obs.MFaultsInjected] {
+		total += c.Value
+	}
+	if int(total) != len(in.Events()) {
+		t.Fatalf("registry total %d != %d logged events", total, len(in.Events()))
+	}
+}
+
+// TestNoRegistryIsNoop: an injector without a registry must keep working
+// (the nil-safe obs contract).
+func TestNoRegistryIsNoop(t *testing.T) {
+	in := New(5).Arm(CondCorrupt)
+	out := in.Condition(0, []byte{1, 2, 3, 4})
+	if bytes.Equal(out, []byte{1, 2, 3, 4}) {
+		t.Fatal("fault did not fire")
+	}
+	if in.Fired(CondCorrupt) != 1 {
+		t.Fatal("event not logged")
+	}
+}

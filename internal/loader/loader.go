@@ -20,6 +20,7 @@ import (
 	"bcf/internal/bcferr"
 	"bcf/internal/bcfenc"
 	"bcf/internal/ebpf"
+	"bcf/internal/obs"
 	"bcf/internal/solver"
 	"bcf/internal/verifier"
 )
@@ -80,6 +81,13 @@ type Options struct {
 	// DisableEscalation turns off the budget-exhaustion retry.
 	DisableEscalation bool
 
+	// Obs and Trace, when non-nil, are threaded through every layer of
+	// the load (verifier, session, refiner, solver): per-stage latency
+	// histograms, outcome counters and the load/session span timeline.
+	// Nil — the default — costs only a nil check on each hot path.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+
 	// Fault injects protocol faults on the user-space side (tests only).
 	Fault FaultHook
 }
@@ -105,6 +113,10 @@ type Result struct {
 	KernelTime time.Duration
 	UserTime   time.Duration
 	TotalTime  time.Duration
+	// Boundary traffic totals, sourced from the session's per-round wire
+	// ledger (the single source of truth; zero when BCF is disabled).
+	CondBytes  int
+	ProofBytes int
 	// Counterexample from the last failed condition, if any.
 	Counterexample map[uint32]uint64
 	// Proof cache hits during this load.
@@ -133,8 +145,41 @@ func (r *Result) classify() {
 func Load(prog *ebpf.Program, opts Options) *Result {
 	startAll := time.Now()
 	res := &Result{}
+	// Thread telemetry into the verifier config (and from there into the
+	// session and refiner); an explicitly configured registry on the
+	// verifier wins.
+	vcfg := opts.Verifier
+	if vcfg.Obs == nil {
+		vcfg.Obs = opts.Obs
+	}
+	if vcfg.Trace == nil {
+		vcfg.Trace = opts.Trace
+	}
+	reg := vcfg.Obs
+	opts.Obs, opts.Trace = vcfg.Obs, vcfg.Trace
+	reg.Counter(obs.MLoadsTotal).Inc()
+	lsp := vcfg.Trace.Start(obs.CatLoad, "load")
+	record := func() {
+		lsp.End()
+		if reg == nil {
+			return
+		}
+		reg.StageHistogram(obs.MLoadSeconds).ObserveDuration(res.TotalTime)
+		reg.StageHistogram(obs.MKernelSeconds).ObserveDuration(res.KernelTime)
+		reg.StageHistogram(obs.MUserSeconds).ObserveDuration(res.UserTime)
+		if res.Accepted {
+			reg.Counter(obs.MLoadsAccepted).Inc()
+			return
+		}
+		origin := "organic"
+		if f, ok := opts.Fault.(interface{ FiredAny() bool }); ok && f.FiredAny() {
+			origin = "injected"
+		}
+		reg.Counter(obs.Labels(obs.MLoadFailures,
+			"class", res.ErrClass.String(), "origin", origin)).Inc()
+	}
 	if !opts.EnableBCF {
-		v := verifier.New(prog, opts.Verifier)
+		v := verifier.New(prog, vcfg)
 		err := v.Verify()
 		res.Accepted = err == nil
 		res.Err = err
@@ -143,6 +188,7 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 		res.Log = v.Log()
 		res.KernelTime = time.Since(startAll)
 		res.TotalTime = res.KernelTime
+		record()
 		return res
 	}
 
@@ -160,7 +206,7 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 		maxRounds = DefaultMaxRounds
 	}
 
-	sess := bcf.NewSession(prog, opts.Verifier)
+	sess := bcf.NewSession(prog, vcfg)
 	sess.Limits = opts.Session
 	sess.Refiner().DisableBackward = opts.DisableBackward
 
@@ -182,6 +228,8 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 		res.KernelTime = sess.KernelTime()
 		res.UserTime = sess.UserTime()
 		res.TotalTime = time.Since(startAll)
+		res.CondBytes, res.ProofBytes = sess.Traffic()
+		record()
 		return res
 	}
 
@@ -239,8 +287,10 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 func prove(ctx context.Context, condBytes []byte, opts Options, res *Result) (proofBytes []byte, cex map[uint32]uint64, cacheHit bool, err error) {
 	if opts.ProofCache != nil {
 		if p, ok := opts.ProofCache.Get(condBytes); ok {
+			opts.Obs.Counter(obs.MCacheHits).Inc()
 			return p, nil, true, nil
 		}
+		opts.Obs.Counter(obs.MCacheMisses).Inc()
 	}
 	cond, err := bcfenc.DecodeCondition(condBytes)
 	if err != nil {
@@ -252,16 +302,24 @@ func prove(ctx context.Context, condBytes []byte, opts Options, res *Result) (pr
 		ctx, cancel = context.WithTimeout(ctx, opts.ProveTimeout)
 		defer cancel()
 	}
-	out, err := solver.Prove(ctx, cond.Cond, opts.Solver)
+	sopts := opts.Solver
+	if sopts.Obs == nil {
+		sopts.Obs = opts.Obs
+	}
+	if sopts.Trace == nil {
+		sopts.Trace = opts.Trace
+	}
+	out, err := solver.Prove(ctx, cond.Cond, sopts)
 	if err != nil && !opts.DisableEscalation &&
 		bcferr.ClassOf(err) == bcferr.ClassSolverTimeout && ctx.Err() == nil {
 		// Budget exhausted with wall-clock to spare: one escalation.
-		esc := opts.Solver
+		esc := sopts
 		esc.DisableRewriteTier = true
 		if esc.MaxConflicts > 0 {
 			esc.MaxConflicts *= escalationBudgetFactor
 		}
 		res.Escalations++
+		opts.Obs.Counter(obs.MEscalations).Inc()
 		out, err = solver.Prove(ctx, cond.Cond, esc)
 	}
 	if err != nil {

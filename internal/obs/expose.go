@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// family strips a folded label suffix: `x_total{class="y"}` → x_total.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelPart returns the `{...}` suffix without braces, or "".
+func labelPart(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name[i+1:], "}")
+	}
+	return ""
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one TYPE line per family, histograms expanded
+// into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	typed := map[string]bool{}
+	emitType := func(fam, kind string) {
+		if !typed[fam] {
+			typed[fam] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+		}
+	}
+	for _, c := range snap.Counters {
+		emitType(family(c.Name), "counter")
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		emitType(family(g.Name), "gauge")
+		fmt.Fprintf(w, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		fam := family(h.Name)
+		emitType(fam, "histogram")
+		labels := labelPart(h.Name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := `le="` + formatFloat(bound) + `"`
+			if labels != "" {
+				le = labels + "," + le
+			}
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, le, cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		le := `le="+Inf"`
+		if labels != "" {
+			le = labels + "," + le
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, le, cum)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", fam, suffix, formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, h.Count)
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON (the expvar-style
+// machine-readable form used by bcfverify -stats and the BENCH_*.json
+// metrics block).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the Prometheus text format over HTTP (mount at
+// /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TableString renders a human-readable summary of the snapshot: every
+// counter, and per-histogram count/avg/p50/p99/max-bound statistics —
+// the bcfbench -metrics table.
+func (s *Snapshot) TableString() string {
+	var b strings.Builder
+	b.WriteString("Telemetry snapshot\n")
+	if len(s.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "    %-52s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("  gauges:\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "    %-52s %12d\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("  histograms:\n")
+		fmt.Fprintf(&b, "    %-36s %8s %12s %12s %12s\n", "name", "count", "avg", "p50", "p99")
+		for _, h := range s.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			if strings.HasSuffix(family(h.Name), "_seconds") {
+				fmt.Fprintf(&b, "    %-36s %8d %12s %12s %12s\n", h.Name, h.Count,
+					durString(h.Avg()), durString(h.Quantile(0.5)), durString(h.Quantile(0.99)))
+			} else {
+				fmt.Fprintf(&b, "    %-36s %8d %12.1f %12.1f %12.1f\n", h.Name, h.Count,
+					h.Avg(), h.Quantile(0.5), h.Quantile(0.99))
+			}
+		}
+	}
+	return b.String()
+}
+
+func durString(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// CounterFamilies groups counter values by family and sorts each group,
+// for breakdown tables (e.g. failures by class/origin).
+func (s *Snapshot) CounterFamilies() map[string][]CounterValue {
+	out := map[string][]CounterValue{}
+	for _, c := range s.Counters {
+		f := family(c.Name)
+		out[f] = append(out[f], c)
+	}
+	for _, vs := range out {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event (the JSON array format consumed
+// by Perfetto and chrome://tracing). Complete events (ph "X") carry a
+// duration; instant events (ph "i") and metadata events (ph "M") do not.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceSink collects events from every derived Tracer handle.
+type traceSink struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+	named  map[[2]int64]bool // (pid,tid) pairs already carrying name metadata
+}
+
+// Tracer records spans and events keyed by a (pid, tid) pair — in this
+// repository pid identifies the program under load and tid the thread
+// role (user/loader side vs kernel/verifier side). Handles derived with
+// WithProcess/WithThread share one event sink, so a single trace file
+// covers a whole parallel evaluation. The nil Tracer is a valid no-op:
+// every method returns immediately and Start hands out an inert Span.
+type Tracer struct {
+	sink *traceSink
+	pid  int64
+	tid  int64
+}
+
+// NewTracer returns a tracer writing to a fresh sink (pid 0, tid 0).
+func NewTracer() *Tracer {
+	return &Tracer{sink: &traceSink{start: time.Now(), named: map[[2]int64]bool{}}}
+}
+
+// WithProcess derives a handle whose events carry the given pid,
+// labelling it in the trace viewer. Nil-safe.
+func (t *Tracer) WithProcess(pid int, name string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	nt := &Tracer{sink: t.sink, pid: int64(pid), tid: t.tid}
+	if name != "" {
+		nt.meta("process_name", name, true)
+	}
+	return nt
+}
+
+// WithThread derives a handle whose events carry the given tid,
+// labelling it in the trace viewer. Nil-safe.
+func (t *Tracer) WithThread(tid int, name string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	nt := &Tracer{sink: t.sink, pid: t.pid, tid: int64(tid)}
+	if name != "" {
+		nt.meta("thread_name", name, false)
+	}
+	return nt
+}
+
+// meta emits a process_name/thread_name metadata event once per
+// (pid,tid) key.
+func (t *Tracer) meta(kind, name string, process bool) {
+	s := t.sink
+	key := [2]int64{t.pid, t.tid}
+	if process {
+		key[1] = -1 // process names key on pid alone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mk := [2]int64{key[0], key[1]}
+	if s.named[mk] {
+		return
+	}
+	s.named[mk] = true
+	s.events = append(s.events, traceEvent{
+		Name: kind, Ph: "M", PID: t.pid, TID: t.tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Span is an open interval on the trace timeline. The zero Span (from a
+// nil Tracer) is inert: End and EndArgs are no-ops.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	begin time.Time
+	args  map[string]any
+}
+
+// Start opens a span. Close it with End (or EndArgs to attach data).
+func (t *Tracer) Start(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, begin: time.Now()}
+}
+
+// StartArgs opens a span with arguments attached up front.
+func (t *Tracer) StartArgs(cat, name string, args map[string]any) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, begin: time.Now(), args: args}
+}
+
+// End closes the span and records it.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span, merging extra arguments into any set at
+// Start.
+func (s Span) EndArgs(extra map[string]any) {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	args := s.args
+	if len(extra) > 0 {
+		if args == nil {
+			args = extra
+		} else {
+			for k, v := range extra {
+				args[k] = v
+			}
+		}
+	}
+	sink := s.t.sink
+	sink.mu.Lock()
+	sink.events = append(sink.events, traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS:   float64(s.begin.Sub(sink.start).Nanoseconds()) / 1e3,
+		Dur:  float64(end.Sub(s.begin).Nanoseconds()) / 1e3,
+		PID:  s.t.pid, TID: s.t.tid, Args: args,
+	})
+	sink.mu.Unlock()
+}
+
+// Instant records a zero-duration event (thread scope).
+func (t *Tracer) Instant(cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	sink := t.sink
+	sink.mu.Lock()
+	sink.events = append(sink.events, traceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS:  float64(time.Since(sink.start).Nanoseconds()) / 1e3,
+		PID: t.pid, TID: t.tid, Args: args,
+	})
+	sink.mu.Unlock()
+}
+
+// Len reports how many events have been recorded.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.sink.mu.Lock()
+	defer t.sink.mu.Unlock()
+	return len(t.sink.events)
+}
+
+// traceFile is the Chrome trace-event JSON object format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON emits the collected events as Chrome trace-event JSON
+// (object format, loadable in Perfetto / chrome://tracing). Nil-safe:
+// a nil tracer writes an empty trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.sink.mu.Lock()
+		tf.TraceEvents = append(tf.TraceEvents, t.sink.events...)
+		t.sink.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// WriteFile writes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -3,10 +3,12 @@ package solver
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"bcf/internal/bcferr"
 	"bcf/internal/bitblast"
 	"bcf/internal/expr"
+	"bcf/internal/obs"
 	"bcf/internal/proof"
 	"bcf/internal/sat"
 )
@@ -39,6 +41,10 @@ type Options struct {
 	// MaxConflicts bounds the SAT search (0 = default budget). Exceeding
 	// it returns an error, modeling the paper's rare solver timeouts.
 	MaxConflicts int64
+	// Obs and Trace, when non-nil, receive per-tier latency histograms,
+	// outcome counters and prove/tier spans. Nil costs only a nil check.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // Outcome is the result of reasoning about one refinement condition.
@@ -69,8 +75,39 @@ func Prove(ctx context.Context, cond *expr.Expr, opts Options) (*Outcome, error)
 	if err := ctx.Err(); err != nil {
 		return nil, bcferr.Wrap(bcferr.ClassSolverTimeout, fmt.Errorf("solver: %w", err))
 	}
+	var t0 time.Time
+	if opts.Obs != nil {
+		t0 = time.Now()
+	}
+	sp := opts.Trace.Start(obs.CatProve, "prove")
+	out, err := prove(ctx, cond, opts)
+	sp.End()
+	if opts.Obs != nil {
+		opts.Obs.StageHistogram(obs.MProveSeconds).Since(t0)
+		if err == nil {
+			tier := out.Tier.String()
+			if !out.Proven {
+				tier = "counterexample"
+			}
+			opts.Obs.Counter(obs.Label(obs.MProveTier, "tier", tier)).Inc()
+		}
+	}
+	return out, err
+}
+
+func prove(ctx context.Context, cond *expr.Expr, opts Options) (*Outcome, error) {
 	if !opts.DisableRewriteTier {
-		if p, ok := rewriteProof(cond); ok {
+		var t0 time.Time
+		if opts.Obs != nil {
+			t0 = time.Now()
+		}
+		sp := opts.Trace.Start(obs.CatProve, "tier1-rewrite")
+		p, ok := rewriteProof(cond)
+		sp.End()
+		if opts.Obs != nil {
+			opts.Obs.StageHistogram(obs.MProveRewriteSeconds).Since(t0)
+		}
+		if ok {
 			return &Outcome{Proven: true, Proof: p, Tier: TierRewrite}, nil
 		}
 	}
@@ -164,7 +201,15 @@ func (b *builder) proveByEval(f *expr.Expr) (uint32, bool) {
 }
 
 // bitblastProve is the complete tier.
-func bitblastProve(ctx context.Context, cond *expr.Expr, opts Options) (*Outcome, error) {
+func bitblastProve(ctx context.Context, cond *expr.Expr, opts Options) (out *Outcome, err error) {
+	if opts.Obs != nil {
+		t0 := time.Now()
+		defer func() { opts.Obs.StageHistogram(obs.MProveBitblastSeconds).Since(t0) }()
+	}
+	if opts.Trace != nil {
+		sp := opts.Trace.Start(obs.CatProve, "tier2-bitblast")
+		defer sp.End()
+	}
 	notCond := expr.BoolNot(cond)
 	cnf, err := bitblast.Encode(notCond)
 	if err != nil {

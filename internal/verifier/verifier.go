@@ -3,8 +3,10 @@ package verifier
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"bcf/internal/ebpf"
+	"bcf/internal/obs"
 	"bcf/internal/tnum"
 )
 
@@ -172,6 +174,12 @@ type Config struct {
 	// Sabotage deliberately weakens the verifier for oracle mutation
 	// tests. Never set outside tests.
 	Sabotage *Sabotage
+	// Obs, when non-nil, receives the verifier's counters and the
+	// per-run latency histogram. Nil costs only a nil check.
+	Obs *obs.Registry
+	// Trace, when non-nil, records a span per verification run and per
+	// explored path, plus prune instants.
+	Trace *obs.Tracer
 }
 
 // DefaultInsnLimit mirrors the kernel's BPF_COMPLEXITY_LIMIT_INSNS.
@@ -239,6 +247,23 @@ type branchItem struct {
 
 // Verify runs the analysis and returns nil if the program is safe.
 func (v *Verifier) Verify() error {
+	var t0 time.Time
+	if v.cfg.Obs != nil {
+		t0 = time.Now()
+	}
+	sp := v.cfg.Trace.Start(obs.CatVerifier, "verify")
+	err := v.verify()
+	sp.End()
+	if r := v.cfg.Obs; r != nil {
+		r.StageHistogram(obs.MVerifySeconds).Since(t0)
+		r.Counter(obs.MInsnsProcessed).Add(int64(v.stats.InsnProcessed))
+		r.Counter(obs.MPathsExplored).Add(int64(v.stats.PathsExplored))
+		r.Counter(obs.MStatesPruned).Add(int64(v.stats.StatesPruned))
+	}
+	return err
+}
+
+func (v *Verifier) verify() error {
 	if err := v.prog.Validate(); err != nil {
 		return &Error{InsnIdx: 0, Kind: CheckOther, Msg: err.Error()}
 	}
@@ -250,7 +275,16 @@ func (v *Verifier) Verify() error {
 		item := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		v.stats.PathsExplored++
-		if err := v.walk(item, &stack); err != nil {
+		var err error
+		if v.cfg.Trace != nil {
+			psp := v.cfg.Trace.StartArgs(obs.CatVerifier, "path",
+				map[string]any{"pc": item.pc})
+			err = v.walk(item, &stack)
+			psp.End()
+		} else {
+			err = v.walk(item, &stack)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -287,6 +321,7 @@ func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
 			if v.pruned(pc, st) {
 				v.stats.StatesPruned++
 				v.logf("%d: pruned", pc)
+				v.cfg.Trace.Instant(obs.CatVerifier, "prune", nil)
 				return nil
 			}
 		}
