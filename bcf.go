@@ -50,6 +50,9 @@ type (
 	Fault = ebpf.Fault
 	// ProofCache memoizes proofs across loads of the same program.
 	ProofCache = loader.ProofCache
+	// RemoteProver proves encoded refinement conditions out of process
+	// (see WithRemoteProver; internal/proofrpc.Client implements it).
+	RemoteProver = loader.RemoteProver
 	// VerifierStats are the analyzer's counters.
 	VerifierStats = verifier.Stats
 	// ErrClass buckets a rejection by root cause (see the Class*
@@ -137,6 +140,10 @@ type Report struct {
 	KernelNanos, UserNanos int64
 	// CacheHits counts proofs served from the cache.
 	CacheHits int
+	// RemoteProofs/RemoteFallbacks count obligations proven by the
+	// remote daemon versus degraded to the in-process solver (see
+	// WithRemoteProver).
+	RemoteProofs, RemoteFallbacks int
 	// Counterexample holds a violating assignment from the last failed
 	// refinement condition, when one was found.
 	Counterexample map[uint32]uint64
@@ -173,6 +180,24 @@ func WithoutPruning() Option {
 // WithProofCache reuses proofs across loads (the §7 load-time cache).
 func WithProofCache(c *ProofCache) Option {
 	return func(o *loader.Options) { o.ProofCache = c }
+}
+
+// WithRemoteProver proves refinement conditions through p — typically a
+// proofrpc client talking to a bcfd daemon — instead of the in-process
+// solver. Transport failures (daemon down, timeout, corrupt reply) fall
+// back to local proving transparently; authoritative remote answers
+// (counterexamples, solver failures) are final. The kernel-side checker
+// still validates every proof, so a misbehaving daemon can cause
+// rejection or fallback but never an unsound accept.
+func WithRemoteProver(p RemoteProver) Option {
+	return func(o *loader.Options) { o.Remote = p }
+}
+
+// WithRemoteOnly disables the local fallback: a transport failure
+// becomes a ClassProtocol rejection instead of an in-process solve.
+// Useful for CI and tests that must not mask a dead daemon.
+func WithRemoteOnly() Option {
+	return func(o *loader.Options) { o.RemoteOnly = true }
 }
 
 // WithTelemetry threads a metrics registry and/or span tracer through
@@ -251,16 +276,18 @@ func Verify(prog *Program, opts ...Option) *Report {
 	}
 	res := loader.Load(prog, lo)
 	rep := &Report{
-		Accepted:       res.Accepted,
-		Err:            res.Err,
-		Class:          res.ErrClass,
-		Stats:          res.VerifierStats,
-		KernelNanos:    res.KernelTime.Nanoseconds(),
-		UserNanos:      res.UserTime.Nanoseconds(),
-		CacheHits:      res.CacheHits,
-		Counterexample: res.Counterexample,
-		Log:            res.Log,
-		raw:            res,
+		Accepted:        res.Accepted,
+		Err:             res.Err,
+		Class:           res.ErrClass,
+		Stats:           res.VerifierStats,
+		KernelNanos:     res.KernelTime.Nanoseconds(),
+		UserNanos:       res.UserTime.Nanoseconds(),
+		CacheHits:       res.CacheHits,
+		RemoteProofs:    res.RemoteProofs,
+		RemoteFallbacks: res.RemoteFallbacks,
+		Counterexample:  res.Counterexample,
+		Log:             res.Log,
+		raw:             res,
 	}
 	// Wire totals come from the session's per-round traffic ledger — the
 	// single source of truth — not from re-summing refiner stats.

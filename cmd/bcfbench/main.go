@@ -39,17 +39,25 @@ import (
 
 	"bcf/internal/corpus"
 	"bcf/internal/eval"
+	"bcf/internal/loader"
 	"bcf/internal/obs"
+	"bcf/internal/proofrpc"
 )
 
 // benchReport is the machine-readable output of -json: the acceptance
 // headline plus the timing and cache numbers that form the per-commit
 // performance trajectory (BENCH_*.json).
 type benchReport struct {
-	Corpus      int   `json:"corpus"`
-	InsnLimit   int   `json:"insn_limit"`
-	Parallelism int   `json:"parallelism"`
-	WallMS      int64 `json:"wall_ms"`
+	// Run metadata: enough to interpret a BENCH_*.json without the
+	// invocation that produced it.
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Remote      bool   `json:"remote"`
+	RemoteAddr  string `json:"remote_addr,omitempty"`
+	Corpus      int    `json:"corpus"`
+	InsnLimit   int    `json:"insn_limit"`
+	Parallelism int    `json:"parallelism"`
+	WallMS      int64  `json:"wall_ms"`
 	// ProgramMS sums per-program analysis time: the sequential-equivalent
 	// wall clock. Speedup = program_ms / wall_ms.
 	ProgramMS        int64   `json:"program_ms"`
@@ -64,6 +72,15 @@ type benchReport struct {
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	CacheEvictions   int     `json:"cache_evictions"`
 	CacheSize        int     `json:"cache_size"`
+	// Remote-proving outcome split (zero without -remote).
+	RemoteProofs    int `json:"remote_proofs,omitempty"`
+	RemoteFallbacks int `json:"remote_fallbacks,omitempty"`
+	// Cold/warm comparison of -coldwarm: the same corpus run twice.
+	// Locally the runs share one proof cache; remotely each run gets a
+	// fresh local cache so warm hits exercise the daemon's stores.
+	ColdWallMS  int64   `json:"cold_wall_ms,omitempty"`
+	WarmWallMS  int64   `json:"warm_wall_ms,omitempty"`
+	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
 	// Metrics is the telemetry snapshot (per-stage latency histograms,
 	// pipeline counters) when the run had telemetry enabled (-metrics,
 	// -tracefile or -listen).
@@ -84,12 +101,14 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the run to this path")
 	listen := flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while running")
+	remote := flag.String("remote", "", "prove via a bcfd daemon at this address (unix:/path or host:port)")
+	coldwarm := flag.Bool("coldwarm", false, "run the corpus twice and report cold vs warm-cache timing")
 	flag.Parse()
 
 	wantAll := *table == "" && *fig == ""
 	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" ||
 		*table == "classes" || *table == "cache" || *fig == "8" || *jsonPath != "" ||
-		*metrics || *traceFile != ""
+		*metrics || *traceFile != "" || *coldwarm
 
 	// Telemetry is opt-in: with none of the observability flags set, the
 	// registry and tracer stay nil and every instrumented path pays only
@@ -133,7 +152,18 @@ func main() {
 		}()
 	}
 
+	var remoteProver loader.RemoteProver
+	if *remote != "" {
+		client, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg})
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Close()
+		remoteProver = client
+	}
+
 	var ev *eval.Evaluation
+	var coldWall, warmWall int64
 	if needRun {
 		progress := func(done, total int) {
 			if !*quiet && done%64 == 0 {
@@ -151,16 +181,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "running the %d-program evaluation (insn limit %d, parallelism %d)...\n",
 				size, *limit, effectiveParallelism(*parallel, size))
 		}
-		ev = eval.RunOpts(eval.Options{
-			InsnLimit:   *limit,
-			Parallelism: *parallel,
-			Limit:       *n,
-			Progress:    progress,
-			Obs:         reg,
-			Trace:       tracer,
-		})
+		runOnce := func(cache *loader.ProofCache) *eval.Evaluation {
+			return eval.RunOpts(eval.Options{
+				InsnLimit:   *limit,
+				Parallelism: *parallel,
+				Limit:       *n,
+				Cache:       cache,
+				Remote:      remoteProver,
+				Progress:    progress,
+				Obs:         reg,
+				Trace:       tracer,
+			})
+		}
+		if *coldwarm {
+			// Locally the two runs share one proof cache, so the warm run
+			// measures the in-process cache. Remotely each run gets a fresh
+			// local cache: warm hits must come back over the wire from the
+			// daemon's memory/disk stores.
+			var shared *loader.ProofCache
+			if remoteProver == nil {
+				shared = loader.NewProofCache()
+			}
+			ev = runOnce(shared)
+			coldWall = ev.WallClock.Milliseconds()
+			warm := runOnce(shared)
+			warmWall = warm.WallClock.Milliseconds()
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "cold run: %dms, warm run: %dms (%.2fx; remote=%v)\n",
+					coldWall, warmWall, warmSpeedup(ev.WallClock.Nanoseconds(), warm.WallClock.Nanoseconds()),
+					remoteProver != nil)
+			}
+		} else {
+			ev = runOnce(nil)
+		}
 		if *jsonPath != "" {
-			if err := writeJSON(*jsonPath, ev, reg); err != nil {
+			meta := reportMeta{
+				remoteAddr: *remote,
+				coldWallMS: coldWall,
+				warmWallMS: warmWall,
+			}
+			if err := writeJSON(*jsonPath, ev, reg, meta); err != nil {
 				fmt.Fprintln(os.Stderr, "bcfbench:", err)
 				os.Exit(1)
 			}
@@ -246,13 +306,24 @@ func effectiveParallelism(requested, size int) int {
 	return p
 }
 
-func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry) error {
+// reportMeta carries the invocation context into the JSON report.
+type reportMeta struct {
+	remoteAddr string
+	coldWallMS int64
+	warmWallMS int64
+}
+
+func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry, meta reportMeta) error {
 	acc := ev.Acceptance()
 	var programNS int64
 	for _, r := range ev.Results {
 		programNS += r.TotalTime.Nanoseconds()
 	}
 	rep := benchReport{
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Remote:           meta.remoteAddr != "",
+		RemoteAddr:       meta.remoteAddr,
 		Corpus:           len(ev.Results),
 		InsnLimit:        ev.InsnLimit,
 		Parallelism:      ev.Parallelism,
@@ -268,6 +339,13 @@ func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry) error {
 		CacheHitRate:     ev.Cache.HitRate(),
 		CacheEvictions:   ev.Cache.Evictions,
 		CacheSize:        ev.Cache.Size,
+		RemoteProofs:     ev.RemoteProofs,
+		RemoteFallbacks:  ev.RemoteFallbacks,
+		ColdWallMS:       meta.coldWallMS,
+		WarmWallMS:       meta.warmWallMS,
+	}
+	if meta.warmWallMS > 0 {
+		rep.WarmSpeedup = warmSpeedup(meta.coldWallMS, meta.warmWallMS)
 	}
 	if reg != nil {
 		rep.Metrics = reg.Snapshot()
@@ -280,6 +358,14 @@ func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// warmSpeedup is cold/warm, guarded against a zero warm measurement.
+func warmSpeedup(cold, warm int64) float64 {
+	if warm <= 0 {
+		return 0
+	}
+	return float64(cold) / float64(warm)
 }
 
 func fatal(err error) {

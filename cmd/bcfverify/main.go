@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bcf"
+	"bcf/internal/proofrpc"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	insnLimit := flag.Int("insn-limit", 0, "analyzed-instruction budget (0 = kernel default)")
 	progType := flag.String("type", "tracepoint", "program type: tracepoint|xdp|socket_filter|sched_cls")
 	stats := flag.Bool("stats", false, "dump the telemetry metrics snapshot as JSON after the verdict")
+	remote := flag.String("remote", "", "prove via a bcfd daemon at this address (unix:/path or host:port)")
+	remoteOnly := flag.Bool("remote-only", false, "with -remote: fail instead of falling back to the in-process solver")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bcfverify [flags] prog.s")
@@ -72,6 +75,19 @@ func main() {
 	if *stats {
 		reg = bcf.NewRegistry()
 		opts = append(opts, bcf.WithTelemetry(reg, nil))
+	}
+	if *remote != "" {
+		client, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg})
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Close()
+		opts = append(opts, bcf.WithRemoteProver(client))
+		if *remoteOnly {
+			opts = append(opts, bcf.WithRemoteOnly())
+		}
+	} else if *remoteOnly {
+		fatal(fmt.Errorf("-remote-only requires -remote"))
 	}
 
 	start := time.Now()

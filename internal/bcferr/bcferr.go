@@ -137,6 +137,45 @@ func Wrap(c Class, err error) error {
 	return &E{Class: c, Err: err}
 }
 
+// ErrRemoteUnavailable marks transport-level failures of the remote
+// proving service: dial errors, request timeouts, broken or corrupt
+// frames. The loader treats any error matching this sentinel as "the
+// daemon is unreachable" and falls back to the in-process prover;
+// every other remote error is an authoritative proving outcome.
+var ErrRemoteUnavailable = errors.New("bcf: remote prover unavailable")
+
+// cexError attaches a falsifying assignment to an error without
+// disturbing the class chain. It lets a prover (local or remote) report
+// "the condition is violated, here is the model" through a single error
+// value, so singleflight waiters and remote clients see the same
+// counterexample as the goroutine that ran the solver.
+type cexError struct {
+	err error
+	cex map[uint32]uint64
+}
+
+func (c *cexError) Error() string { return c.err.Error() }
+func (c *cexError) Unwrap() error { return c.err }
+
+// WithCounterexample wraps err with a falsifying assignment. A nil err
+// or empty cex returns err unchanged.
+func WithCounterexample(err error, cex map[uint32]uint64) error {
+	if err == nil || len(cex) == 0 {
+		return err
+	}
+	return &cexError{err: err, cex: cex}
+}
+
+// CounterexampleOf extracts the falsifying assignment carried anywhere
+// in err's chain (nil when none).
+func CounterexampleOf(err error) map[uint32]uint64 {
+	var c *cexError
+	if errors.As(err, &c) {
+		return c.cex
+	}
+	return nil
+}
+
 // ClassOf reports the most specific (innermost) class found in err's
 // chain. Unclassified non-nil errors report ClassNone; callers that know
 // the context (e.g. "this came out of the verifier") apply their own

@@ -46,6 +46,11 @@ type ProgramResult struct {
 	TotalTime  time.Duration
 
 	InsnProcessed int
+
+	// RemoteProofs/RemoteFallbacks count obligations proven by the
+	// remote daemon versus degraded to the in-process solver.
+	RemoteProofs    int
+	RemoteFallbacks int
 }
 
 // Evaluation aggregates the full run.
@@ -61,6 +66,10 @@ type Evaluation struct {
 	WallClock time.Duration
 	// Cache is the final snapshot of the shared proof cache.
 	Cache loader.CacheStats
+	// RemoteProofs/RemoteFallbacks total the per-program remote-proving
+	// counters (zero when the run had no remote prover).
+	RemoteProofs    int
+	RemoteFallbacks int
 }
 
 // Options configure an evaluation run.
@@ -82,6 +91,10 @@ type Options struct {
 	// Limit restricts the run to the first Limit corpus entries
 	// (0 = full dataset); used by smoke tests and CI.
 	Limit int
+	// Remote, when non-nil, proves refinement conditions via a proving
+	// daemon (remote-first, transparent fallback to the in-process
+	// solver on transport failure). All workers share the client.
+	Remote loader.RemoteProver
 	// Progress, when non-nil, is called after each program completes.
 	// Calls are serialized and done is monotonically increasing.
 	Progress func(done, total int)
@@ -169,6 +182,7 @@ func RunOpts(opts Options) *Evaluation {
 					EnableBCF:  true,
 					Verifier:   verifier.Config{InsnLimit: opts.InsnLimit},
 					ProofCache: cache,
+					Remote:     opts.Remote,
 					Obs:        opts.Obs,
 					Trace:      tr,
 				})
@@ -185,22 +199,28 @@ func RunOpts(opts Options) *Evaluation {
 
 	ev.WallClock = time.Since(start)
 	ev.Cache = cache.Snapshot()
+	for _, r := range ev.Results {
+		ev.RemoteProofs += r.RemoteProofs
+		ev.RemoteFallbacks += r.RemoteFallbacks
+	}
 	return ev
 }
 
 // newProgramResult flattens one load result into the evaluation row.
 func newProgramResult(e corpus.Entry, res *loader.Result) ProgramResult {
 	pr := ProgramResult{
-		Entry:         e,
-		Accepted:      res.Accepted,
-		Err:           res.Err,
-		ErrClass:      res.ErrClass,
-		CondBytes:     res.CondBytes,
-		ProofBytes:    res.ProofBytes,
-		KernelTime:    res.KernelTime,
-		UserTime:      res.UserTime,
-		TotalTime:     res.TotalTime,
-		InsnProcessed: res.VerifierStats.InsnProcessed,
+		Entry:           e,
+		Accepted:        res.Accepted,
+		Err:             res.Err,
+		ErrClass:        res.ErrClass,
+		CondBytes:       res.CondBytes,
+		ProofBytes:      res.ProofBytes,
+		KernelTime:      res.KernelTime,
+		UserTime:        res.UserTime,
+		TotalTime:       res.TotalTime,
+		InsnProcessed:   res.VerifierStats.InsnProcessed,
+		RemoteProofs:    res.RemoteProofs,
+		RemoteFallbacks: res.RemoteFallbacks,
 	}
 	if res.RefineStats != nil {
 		pr.Refinements = res.RefineStats.Granted

@@ -21,9 +21,19 @@ type ProofCache struct {
 	capacity  int
 	entries   map[string]*list.Element
 	order     *list.List // front = most recently used
+	flights   map[string]*flight
 	hits      int
 	misses    int
 	evictions int
+	coalesced int
+}
+
+// flight is one in-progress computation for a key; duplicate callers
+// wait on done and share the leader's result.
+type flight struct {
+	done  chan struct{}
+	proof []byte
+	err   error
 }
 
 type cacheEntry struct {
@@ -44,6 +54,7 @@ func NewProofCacheCap(capacity int) *ProofCache {
 		capacity: capacity,
 		entries:  map[string]*list.Element{},
 		order:    list.New(),
+		flights:  map[string]*flight{},
 	}
 }
 
@@ -89,6 +100,61 @@ func (c *ProofCache) Put(cond, proofBytes []byte) {
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, proof: stored})
 }
 
+// GetOrCompute returns the cached proof for cond, or runs compute to
+// produce it, with singleflight semantics: when several goroutines ask
+// for the same missing key concurrently, exactly one runs compute and
+// the rest block until it finishes, sharing its result (§7: the solver
+// is deterministic, so duplicate work is pure waste — and with a remote
+// prover, duplicate wire round-trips too). A successful computation is
+// stored in the cache; a failed one is not, so a later caller retries.
+//
+// hit reports a cache hit; shared reports that the result came from a
+// concurrent leader's computation rather than this caller's own. The
+// returned proof is a defensive copy in every case.
+func (c *ProofCache) GetOrCompute(cond []byte, compute func() ([]byte, error)) (proof []byte, hit, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[string(cond)]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		p := append([]byte(nil), el.Value.(*cacheEntry).proof...)
+		c.mu.Unlock()
+		return p, true, false, nil
+	}
+	c.misses++
+	key := string(cond)
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, true, f.err
+		}
+		return append([]byte(nil), f.proof...), false, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.proof, f.err = compute()
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, false, false, f.err
+	}
+	c.Put(cond, f.proof)
+	return append([]byte(nil), f.proof...), false, false, nil
+}
+
+// Coalesced counts lookups that piggybacked on a concurrent in-flight
+// computation of the same key instead of running their own.
+func (c *ProofCache) Coalesced() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
+}
+
 // Stats reports cache effectiveness.
 func (c *ProofCache) Stats() (hits, misses, size int) {
 	c.mu.Lock()
@@ -101,6 +167,7 @@ type CacheStats struct {
 	Hits      int
 	Misses    int
 	Evictions int
+	Coalesced int
 	Size      int
 	Cap       int
 }
@@ -123,6 +190,7 @@ func (c *ProofCache) Snapshot() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Coalesced: c.coalesced,
 		Size:      len(c.entries),
 		Cap:       c.capacity,
 	}

@@ -1,8 +1,12 @@
 package loader
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestProofCacheLRUEviction(t *testing.T) {
@@ -117,5 +121,102 @@ func TestProofCacheDefaultCap(t *testing.T) {
 	}
 	if NewProofCacheCap(0).Cap() != DefaultProofCacheCap {
 		t.Fatal("zero capacity should select the default")
+	}
+}
+
+// TestProofCacheSingleflight is the regression test for concurrent
+// same-key proving: N goroutines racing on one missing key must run the
+// compute function exactly once, and every one of them must observe the
+// leader's result.
+func TestProofCacheSingleflight(t *testing.T) {
+	c := NewProofCache()
+	const workers = 16
+	var computes atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]byte, workers)
+	sharedOrHit := make([]bool, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, hit, shared, err := c.GetOrCompute([]byte("cond"), func() ([]byte, error) {
+				computes.Add(1)
+				<-release // hold every other goroutine in the flight
+				return []byte("proof"), nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			results[i] = p
+			sharedOrHit[i] = hit || shared
+		}(i)
+	}
+	// Let every goroutine reach the cache before the leader finishes.
+	for computes.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	leaderless := 0
+	for i, p := range results {
+		if string(p) != "proof" {
+			t.Fatalf("worker %d got %q", i, p)
+		}
+		if !sharedOrHit[i] {
+			leaderless++
+		}
+	}
+	if leaderless != 1 {
+		t.Fatalf("%d workers claim to have led the flight, want 1", leaderless)
+	}
+	if c.Coalesced() == 0 {
+		t.Fatal("no coalesced lookups recorded")
+	}
+	// The result must be cached for later callers.
+	if _, ok := c.Get([]byte("cond")); !ok {
+		t.Fatal("singleflight result not cached")
+	}
+}
+
+// A failed computation must not poison the cache: the next caller
+// retries, and waiters of the failed flight see the same error.
+func TestProofCacheSingleflightError(t *testing.T) {
+	c := NewProofCache()
+	wantErr := errors.New("solver exploded")
+	_, _, _, err := c.GetOrCompute([]byte("k"), func() ([]byte, error) {
+		return nil, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Fatal("failed computation was cached")
+	}
+	p, hit, shared, err := c.GetOrCompute([]byte("k"), func() ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || shared || string(p) != "ok" {
+		t.Fatalf("retry: p=%q hit=%v shared=%v err=%v", p, hit, shared, err)
+	}
+}
+
+// GetOrCompute must not alias its return value with the cached bytes.
+func TestProofCacheSingleflightNoAliasing(t *testing.T) {
+	c := NewProofCache()
+	p, _, _, err := c.GetOrCompute([]byte("k"), func() ([]byte, error) {
+		return []byte("payload"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(p, "XXXXXXX")
+	if got, ok := c.Get([]byte("k")); !ok || string(got) != "payload" {
+		t.Fatalf("cache corrupted through the returned slice: %q", got)
 	}
 }

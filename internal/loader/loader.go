@@ -13,6 +13,7 @@ package loader
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -47,6 +48,17 @@ type FaultHook interface {
 	Proof(round int, b []byte) (out []byte, drop bool)
 }
 
+// RemoteProver proves a refinement condition out of process, working at
+// the wire-format level: it receives the exact condition bytes the
+// kernel emitted and returns encoded proof bytes ready for submission.
+// proofrpc.Client implements it over the bcfd daemon. Errors matching
+// bcferr.ErrRemoteUnavailable are transport failures (dead daemon,
+// timeout, corrupt frame); everything else is an authoritative proving
+// outcome, with counterexamples carried via bcferr.WithCounterexample.
+type RemoteProver interface {
+	ProveBytes(ctx context.Context, cond []byte) ([]byte, error)
+}
+
 // Options configure a load.
 type Options struct {
 	// EnableBCF turns on proof-guided refinement; false gives the
@@ -66,6 +78,17 @@ type Options struct {
 	// DisableBackward makes symbolic tracking start at the path head
 	// instead of the computed suffix (ablation of §4's backward analysis).
 	DisableBackward bool
+
+	// Remote, when non-nil, sends obligations to a remote proving service
+	// instead of the in-process solver. Transport failures transparently
+	// fall back to the in-process prover (a dead daemon degrades to
+	// today's behavior) unless RemoteOnly is set. The ProofCache, when
+	// also configured, layers in front of the remote call.
+	Remote RemoteProver
+	// RemoteOnly disables the in-process fallback: a transport failure
+	// becomes the load's outcome (CI smoke tests that must not silently
+	// mask a dead daemon).
+	RemoteOnly bool
 
 	// Context cancels the whole load when done (nil = Background).
 	Context context.Context
@@ -121,6 +144,11 @@ type Result struct {
 	Counterexample map[uint32]uint64
 	// Proof cache hits during this load.
 	CacheHits int
+	// RemoteProofs counts obligations proven by the remote service;
+	// RemoteFallbacks counts transport failures that degraded to the
+	// in-process prover.
+	RemoteProofs    int
+	RemoteFallbacks int
 	// Log is the verifier debug log (Config.Debug only).
 	Log []string
 }
@@ -280,21 +308,70 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 	return finish(lr, nil)
 }
 
-// prove translates one condition, consults the cache, and invokes the
-// solver under the per-condition deadline. A conflict-budget exhaustion
-// is retried once, escalated straight to bit-blasting with a larger
-// budget, provided the deadlines still have room.
+// prove resolves one condition: cache (with singleflight), then the
+// remote service when configured, then the in-process solver.
 func prove(ctx context.Context, condBytes []byte, opts Options, res *Result) (proofBytes []byte, cex map[uint32]uint64, cacheHit bool, err error) {
 	if opts.ProofCache != nil {
-		if p, ok := opts.ProofCache.Get(condBytes); ok {
+		p, hit, shared, err := opts.ProofCache.GetOrCompute(condBytes, func() ([]byte, error) {
+			return proveUncached(ctx, condBytes, opts, res)
+		})
+		switch {
+		case hit:
 			opts.Obs.Counter(obs.MCacheHits).Inc()
-			return p, nil, true, nil
+		case shared:
+			opts.Obs.Counter(obs.MCacheCoalesced).Inc()
+		default:
+			opts.Obs.Counter(obs.MCacheMisses).Inc()
 		}
-		opts.Obs.Counter(obs.MCacheMisses).Inc()
+		if err != nil {
+			return nil, bcferr.CounterexampleOf(err), false, err
+		}
+		return p, nil, hit || shared, nil
 	}
+	p, err := proveUncached(ctx, condBytes, opts, res)
+	if err != nil {
+		return nil, bcferr.CounterexampleOf(err), false, err
+	}
+	return p, nil, false, nil
+}
+
+// proveUncached resolves one obligation without consulting the cache.
+// With a remote prover configured, the obligation travels over the wire
+// first; only transport-level failures (bcferr.ErrRemoteUnavailable)
+// degrade to the in-process solver — a counterexample or solver failure
+// reported by the daemon is the authoritative outcome.
+func proveUncached(ctx context.Context, condBytes []byte, opts Options, res *Result) ([]byte, error) {
+	if opts.Remote != nil {
+		out, rerr := opts.Remote.ProveBytes(ctx, condBytes)
+		switch {
+		case rerr == nil:
+			res.RemoteProofs++
+			opts.Obs.Counter(obs.MRemoteProofs).Inc()
+			return out, nil
+		case !errors.Is(rerr, bcferr.ErrRemoteUnavailable):
+			return nil, rerr
+		case opts.RemoteOnly:
+			return nil, bcferr.Wrap(bcferr.ClassProtocol,
+				fmt.Errorf("loader: remote prover: %w", rerr))
+		case ctx.Err() != nil:
+			return nil, bcferr.Wrap(bcferr.ClassSolverTimeout,
+				fmt.Errorf("loader: load deadline: %w", ctx.Err()))
+		default:
+			res.RemoteFallbacks++
+			opts.Obs.Counter(obs.MRemoteFallbacks).Inc()
+		}
+	}
+	return proveLocal(ctx, condBytes, opts, res)
+}
+
+// proveLocal translates one condition and invokes the in-process solver
+// under the per-condition deadline. A conflict-budget exhaustion is
+// retried once, escalated straight to bit-blasting with a larger
+// budget, provided the deadlines still have room.
+func proveLocal(ctx context.Context, condBytes []byte, opts Options, res *Result) ([]byte, error) {
 	cond, err := bcfenc.DecodeCondition(condBytes)
 	if err != nil {
-		return nil, nil, false, bcferr.Wrap(bcferr.ClassProtocol,
+		return nil, bcferr.Wrap(bcferr.ClassProtocol,
 			fmt.Errorf("loader: bad condition from kernel: %w", err))
 	}
 	if opts.ProveTimeout > 0 {
@@ -323,19 +400,16 @@ func prove(ctx context.Context, condBytes []byte, opts Options, res *Result) (pr
 		out, err = solver.Prove(ctx, cond.Cond, esc)
 	}
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("loader: solver: %w", err)
+		return nil, fmt.Errorf("loader: solver: %w", err)
 	}
 	if !out.Proven {
-		return nil, out.Counterexample, false, bcferr.New(bcferr.ClassUnsafe,
-			"loader: condition violated (counterexample found)")
+		return nil, bcferr.WithCounterexample(bcferr.New(bcferr.ClassUnsafe,
+			"loader: condition violated (counterexample found)"), out.Counterexample)
 	}
 	buf, err := bcfenc.EncodeProof(out.Proof)
 	if err != nil {
-		return nil, nil, false, bcferr.Wrap(bcferr.ClassProtocol,
+		return nil, bcferr.Wrap(bcferr.ClassProtocol,
 			fmt.Errorf("loader: encoding proof: %w", err))
 	}
-	if opts.ProofCache != nil {
-		opts.ProofCache.Put(condBytes, buf)
-	}
-	return buf, nil, false, nil
+	return buf, nil
 }

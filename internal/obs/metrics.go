@@ -39,6 +39,27 @@ const (
 	MEscalations        = "bcf_solver_escalations_total"
 	MCacheHits          = "bcf_proof_cache_hits_total"
 	MCacheMisses        = "bcf_proof_cache_misses_total"
+	MCacheCoalesced     = "bcf_proof_cache_coalesced_total" // singleflight piggybacks
+
+	// Remote proving, client side (proofrpc.Client + loader fallback).
+	MRemoteProofs    = "bcf_remote_proofs_total"    // obligations proven by the daemon
+	MRemoteFallbacks = "bcf_remote_fallbacks_total" // transport failures degraded to in-process
+	MRemoteRequests  = "bcf_remote_requests_total"  // RPC attempts, label: outcome=ok|transport|error
+	MRemoteRetries   = "bcf_remote_retries_total"   // attempts beyond the first
+	MRemoteSource    = "bcf_remote_source_total"    // label: src=solved|mem|disk|coalesced
+	MRemoteSeconds   = "bcf_remote_seconds"         // whole ProveBytes call incl. retries
+
+	// Remote proving, daemon side (internal/proofd).
+	MDaemonConns      = "proofd_conns_total"
+	MDaemonRequests   = "proofd_requests_total" // label: type=prove|ping
+	MDaemonReplies    = "proofd_replies_total"  // label: source=solved|mem|disk|coalesced
+	MDaemonErrors     = "proofd_errors_total"   // label: class
+	MDaemonRejects    = "proofd_frames_rejected_total"
+	MDaemonInflight   = "proofd_inflight"
+	MDaemonSeconds    = "proofd_request_seconds"
+	MDaemonDiskHits   = "proofd_disk_hits_total"
+	MDaemonDiskMisses = "proofd_disk_misses_total"
+	MDaemonDiskWrites = "proofd_disk_writes_total"
 
 	// Fault injection (chaos runs). Label: point.
 	MFaultsInjected = "faultinject_fired_total"
@@ -53,6 +74,7 @@ const (
 	CatCheck    = "check"
 	CatSession  = "session"
 	CatLoad     = "load"
+	CatRPC      = "rpc"
 )
 
 // LatencyBuckets cover 1µs..10s, the whole range the paper's stages span

@@ -1,0 +1,358 @@
+package proofd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"bcf/internal/bcfenc"
+	"bcf/internal/bcferr"
+	"bcf/internal/loader"
+	"bcf/internal/obs"
+	"bcf/internal/proofrpc"
+	"bcf/internal/solver"
+)
+
+// Server defaults.
+const (
+	// DefaultMaxInflight bounds concurrently-proving requests; beyond
+	// it, connections queue (backpressure) instead of piling goroutines
+	// onto the solver.
+	defaultMaxInflightFactor = 2
+	// DefaultDrainTimeout bounds the graceful Shutdown drain.
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Options configure a Server.
+type Options struct {
+	// Solver options for obligations that miss every cache layer.
+	Solver solver.Options
+	// ProveTimeout bounds the solver on each obligation (0 = none).
+	ProveTimeout time.Duration
+	// Cache is the in-memory LRU + singleflight layer; nil allocates a
+	// default-capacity one. The same structure the loader uses in
+	// process, so coalescing semantics match.
+	Cache *loader.ProofCache
+	// Store is the disk layer under the LRU; nil disables persistence.
+	Store *Store
+	// MaxInflight bounds concurrently-served prove requests
+	// (0 = 2×GOMAXPROCS).
+	MaxInflight int
+	// MaxPayload overrides the per-frame payload budget
+	// (0 = proofrpc.MaxPayload).
+	MaxPayload int
+	// Obs and Trace, when non-nil, receive the daemon's metrics/spans.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+}
+
+// Server serves the proofrpc protocol: one goroutine per connection,
+// singleflight coalescing of identical in-flight obligations, an
+// LRU-over-disk cache hierarchy in front of the solver, an inflight
+// semaphore for backpressure, and a graceful drain on Shutdown.
+type Server struct {
+	opts     Options
+	cache    *loader.ProofCache
+	inflight chan struct{}
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]bool // conn -> busy (serving a request)
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// New returns an unstarted server.
+func New(opts Options) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = defaultMaxInflightFactor * runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxPayload <= 0 || opts.MaxPayload > proofrpc.MaxPayload {
+		opts.MaxPayload = proofrpc.MaxPayload
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = loader.NewProofCache()
+	}
+	return &Server{
+		opts:      opts,
+		cache:     cache,
+		inflight:  make(chan struct{}, opts.MaxInflight),
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]bool{},
+	}
+}
+
+// Cache exposes the server's memory cache (stats, tests).
+func (s *Server) Cache() *loader.ProofCache { return s.cache }
+
+// Serve accepts connections on l until the listener fails or Shutdown
+// runs. It blocks; run it in its own goroutine to serve several
+// listeners at once.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("proofd: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = false
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.opts.Obs.Counter(obs.MDaemonConns).Inc()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown gracefully drains the server: listeners close, idle
+// connections are torn down, busy connections finish their current
+// request, and remaining stragglers are force-closed when ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for conn, busy := range s.conns {
+		if !busy {
+			conn.Close() // wakes the blocked ReadFrame
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// setBusy flips a connection's busy flag; it reports false when the
+// server has closed underneath the connection (stop serving).
+func (s *Server) setBusy(conn net.Conn, busy bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[conn]; !ok {
+		return false
+	}
+	s.conns[conn] = busy
+	return !s.closed
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+// serveConn handles one connection: read a frame, serve it, reply,
+// repeat. Requests on one connection are sequential by construction
+// (the client keeps one outstanding request per connection), so no
+// per-connection demultiplexing is needed.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	for {
+		f, err := proofrpc.ReadFrame(conn)
+		if err != nil {
+			// EOF, peer reset, or a malformed/oversized frame. The frame
+			// decoder cannot resynchronize a byte stream after garbage, so
+			// any decode failure drops the connection.
+			if !isClosedErr(err) {
+				s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
+			}
+			return
+		}
+		if len(f.Payload) > s.opts.MaxPayload {
+			s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
+			s.reply(conn, f.ReqID, &proofrpc.Frame{
+				Type: proofrpc.TError,
+				Payload: proofrpc.EncodeErrorPayload(uint32(bcferr.ClassResourceLimit),
+					fmt.Sprintf("payload %d bytes exceeds server limit %d", len(f.Payload), s.opts.MaxPayload)),
+			})
+			return
+		}
+		if !s.setBusy(conn, true) {
+			return // shutting down: don't start new work
+		}
+		reply := s.handle(f)
+		ok := s.setBusy(conn, false)
+		if err := s.reply(conn, f.ReqID, reply); err != nil || !ok {
+			return
+		}
+	}
+}
+
+func (s *Server) reply(conn net.Conn, reqID uint64, f *proofrpc.Frame) error {
+	f.ReqID = reqID
+	return proofrpc.WriteFrame(conn, f)
+}
+
+// isClosedErr distinguishes a peer going away (normal) from a peer
+// sending garbage (counted as a rejected frame).
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// handle serves one request frame under the inflight semaphore.
+func (s *Server) handle(f *proofrpc.Frame) *proofrpc.Frame {
+	switch f.Type {
+	case proofrpc.TPing:
+		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "ping")).Inc()
+		return &proofrpc.Frame{Type: proofrpc.TPong}
+	case proofrpc.TProve:
+		s.inflight <- struct{}{} // backpressure beyond MaxInflight
+		s.opts.Obs.Gauge(obs.MDaemonInflight).Add(1)
+		defer func() {
+			s.opts.Obs.Gauge(obs.MDaemonInflight).Add(-1)
+			<-s.inflight
+		}()
+		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "prove")).Inc()
+		var t0 time.Time
+		if s.opts.Obs != nil {
+			t0 = time.Now()
+		}
+		sp := s.opts.Trace.Start(obs.CatRPC, "proofd-prove")
+		reply := s.prove(f.Payload)
+		sp.End()
+		if s.opts.Obs != nil {
+			s.opts.Obs.StageHistogram(obs.MDaemonSeconds).Since(t0)
+		}
+		return reply
+	default:
+		s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
+		return &proofrpc.Frame{
+			Type: proofrpc.TError,
+			Payload: proofrpc.EncodeErrorPayload(uint32(bcferr.ClassProtocol),
+				fmt.Sprintf("unexpected request type %d", f.Type)),
+		}
+	}
+}
+
+// prove resolves one obligation through the cache hierarchy:
+// memory LRU → singleflight coalescing → disk store → solver.
+func (s *Server) prove(cond []byte) *proofrpc.Frame {
+	src := proofrpc.SrcSolved
+	proofBytes, hit, shared, err := s.cache.GetOrCompute(cond, func() ([]byte, error) {
+		key := CacheKey(cond)
+		if s.opts.Store != nil {
+			if p, ok := s.opts.Store.Get(key); ok {
+				src = proofrpc.SrcDisk
+				return p, nil
+			}
+		}
+		p, err := s.solve(cond)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.Store != nil {
+			s.opts.Store.Put(key, p) // best-effort; a full disk only loses warmth
+		}
+		return p, nil
+	})
+	switch {
+	case hit:
+		src = proofrpc.SrcMem
+	case shared:
+		src = proofrpc.SrcCoalesced
+	}
+	if err != nil {
+		return s.errorReply(err)
+	}
+	s.opts.Obs.Counter(obs.Label(obs.MDaemonReplies, "source", proofrpc.SrcString(src))).Inc()
+	return &proofrpc.Frame{Type: proofrpc.TProofOK, Payload: append([]byte{src}, proofBytes...)}
+}
+
+// solve runs the solver on a cache-missing obligation.
+func (s *Server) solve(condBytes []byte) ([]byte, error) {
+	cond, err := bcfenc.DecodeCondition(condBytes)
+	if err != nil {
+		return nil, bcferr.Wrap(bcferr.ClassProtocol,
+			fmt.Errorf("bad condition: %w", err))
+	}
+	ctx := context.Background()
+	if s.opts.ProveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.ProveTimeout)
+		defer cancel()
+	}
+	sopts := s.opts.Solver
+	if sopts.Obs == nil {
+		sopts.Obs = s.opts.Obs
+	}
+	if sopts.Trace == nil {
+		sopts.Trace = s.opts.Trace
+	}
+	out, err := solver.Prove(ctx, cond.Cond, sopts)
+	if err != nil {
+		return nil, err
+	}
+	if !out.Proven {
+		return nil, bcferr.WithCounterexample(bcferr.New(bcferr.ClassUnsafe,
+			"condition violated (counterexample found)"), out.Counterexample)
+	}
+	return bcfenc.EncodeProof(out.Proof)
+}
+
+// errorReply maps a proving error to its wire form: counterexamples
+// travel as TCex (so the loader reports the same falsifying assignment
+// remote as local), everything else as a classified TError.
+func (s *Server) errorReply(err error) *proofrpc.Frame {
+	if cex := bcferr.CounterexampleOf(err); cex != nil {
+		s.opts.Obs.Counter(obs.Label(obs.MDaemonErrors, "class", bcferr.ClassUnsafe.String())).Inc()
+		return &proofrpc.Frame{Type: proofrpc.TCex, Payload: proofrpc.EncodeCexPayload(cex)}
+	}
+	class := bcferr.ClassOf(err)
+	if class == bcferr.ClassNone {
+		class = bcferr.ClassProtocol
+	}
+	s.opts.Obs.Counter(obs.Label(obs.MDaemonErrors, "class", class.String())).Inc()
+	return &proofrpc.Frame{
+		Type:    proofrpc.TError,
+		Payload: proofrpc.EncodeErrorPayload(uint32(class), err.Error()),
+	}
+}

@@ -1,0 +1,149 @@
+// Package proofd is the remote proving daemon: a concurrent server that
+// wraps solver.Prove behind the proofrpc frame protocol, layering a
+// content-addressed disk store and the shared in-memory ProofCache
+// (with its singleflight) in front of the solver so identical
+// obligations — across connections, loads, machines and daemon restarts
+// — are proven once and amortized fleet-wide (§7's determinism argument
+// taken to its deployment conclusion).
+package proofd
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"bcf/internal/obs"
+)
+
+// Disk store file format: a small header in front of the proof bytes so
+// a torn write or bit rot is detected on read instead of being handed
+// to a client (which would then burn a kernel-side check on garbage).
+const (
+	storeMagic   = 0x44464342 // "BCFD"
+	storeVersion = 1
+	storeHdrLen  = 16 // magic u32 | version u32 | proof len u32 | crc32 u32
+)
+
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// CacheKey is the content address of an obligation: the SHA-256 of the
+// exact condition bytes the kernel emitted. The verifier is
+// deterministic, so the key is stable across loads, machines and
+// restarts; two different conditions colliding is cryptographically
+// negligible.
+func CacheKey(cond []byte) [sha256.Size]byte { return sha256.Sum256(cond) }
+
+// Store is a content-addressed, disk-backed proof store. Entries are
+// written atomically (temp file + rename), verified on read, and laid
+// out two-level (aa/rest) so a fleet-scale cache does not degenerate
+// into one giant directory. Safe for concurrent use: distinct keys are
+// independent files, and same-key writers race benignly to an identical
+// content (rename is atomic).
+type Store struct {
+	dir string
+	reg *obs.Registry
+}
+
+// OpenStore creates (if needed) and opens a store rooted at dir.
+func OpenStore(dir string, reg *obs.Registry) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("proofd: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("proofd: store: %w", err)
+	}
+	return &Store{dir: dir, reg: reg}, nil
+}
+
+// Dir reports the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key [sha256.Size]byte) string {
+	hex := fmt.Sprintf("%x", key)
+	return filepath.Join(s.dir, hex[:2], hex[2:])
+}
+
+// Get returns the stored proof for key. Unreadable or corrupt entries
+// count as misses and are removed so a later Put can heal them.
+func (s *Store) Get(key [sha256.Size]byte) ([]byte, bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.reg.Counter(obs.MDaemonDiskMisses).Inc()
+		return nil, false
+	}
+	proof, ok := decodeStoreEntry(data)
+	if !ok {
+		os.Remove(p)
+		s.reg.Counter(obs.MDaemonDiskMisses).Inc()
+		return nil, false
+	}
+	s.reg.Counter(obs.MDaemonDiskHits).Inc()
+	return proof, true
+}
+
+// Put stores a proof under key, atomically.
+func (s *Store) Put(key [sha256.Size]byte, proof []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("proofd: store: %w", err)
+	}
+	buf := make([]byte, storeHdrLen, storeHdrLen+len(proof))
+	binary.LittleEndian.PutUint32(buf[0:], storeMagic)
+	binary.LittleEndian.PutUint32(buf[4:], storeVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(proof)))
+	binary.LittleEndian.PutUint32(buf[12:], crc32.Checksum(proof, storeCRC))
+	buf = append(buf, proof...)
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("proofd: store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("proofd: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("proofd: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("proofd: store: %w", err)
+	}
+	s.reg.Counter(obs.MDaemonDiskWrites).Inc()
+	return nil
+}
+
+// Len walks the store and counts entries (tests and the bcfd banner;
+// not a hot path).
+func (s *Store) Len() int {
+	n := 0
+	filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info.Mode().IsRegular() && filepath.Base(path)[0] != '.' {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+func decodeStoreEntry(data []byte) ([]byte, bool) {
+	if len(data) < storeHdrLen {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != storeMagic ||
+		binary.LittleEndian.Uint32(data[4:]) != storeVersion {
+		return nil, false
+	}
+	plen := binary.LittleEndian.Uint32(data[8:])
+	if int64(len(data)) != storeHdrLen+int64(plen) {
+		return nil, false
+	}
+	proof := data[storeHdrLen:]
+	if crc32.Checksum(proof, storeCRC) != binary.LittleEndian.Uint32(data[12:]) {
+		return nil, false
+	}
+	return proof, true
+}

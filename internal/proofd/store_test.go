@@ -1,0 +1,102 @@
+package proofd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bcf/internal/obs"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := OpenStore(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey([]byte("condition bytes"))
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store returned an entry")
+	}
+	proof := []byte("proof payload")
+	if err := s.Put(key, proof); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != string(proof) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if reg.Counter(obs.MDaemonDiskWrites).Value() != 1 ||
+		reg.Counter(obs.MDaemonDiskHits).Value() != 1 ||
+		reg.Counter(obs.MDaemonDiskMisses).Value() != 1 {
+		t.Fatal("disk counters off")
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey([]byte("k"))
+	if err := s1.Put(key, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != "p" {
+		t.Fatal("entry did not survive reopen")
+	}
+}
+
+// A corrupted entry must read as a miss — and be removed so a later Put
+// heals it — never as garbage proof bytes handed to a client.
+func TestStoreRejectsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey([]byte("k"))
+	if err := s.Put(key, []byte("pristine proof")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit on disk.
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	// Truncated header.
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry served")
+	}
+}
+
+func TestOpenStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenStore("", nil); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

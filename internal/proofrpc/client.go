@@ -1,0 +1,345 @@
+package proofrpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcf/internal/bcfenc"
+	"bcf/internal/bcferr"
+	"bcf/internal/obs"
+)
+
+// Client defaults.
+const (
+	DefaultConnectTimeout = 1 * time.Second
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxRetries     = 2
+	DefaultRetryBackoff   = 25 * time.Millisecond
+	DefaultMaxIdleConns   = 8
+)
+
+// FaultHook intercepts the client side of the RPC path (test
+// instrumentation; internal/faultinject implements it). A nil hook
+// costs nothing.
+type FaultHook interface {
+	// RPCSend runs before a request attempt is written; a non-nil error
+	// models the connection dropping mid-flight.
+	RPCSend(req int) error
+	// RPCRecv may delay and/or replace the reply payload (slow daemon,
+	// corrupted bytes on the wire).
+	RPCRecv(req int, payload []byte) []byte
+}
+
+// ClientOptions configure a Client.
+type ClientOptions struct {
+	// Network and Addr name the daemon endpoint ("unix" + socket path,
+	// or "tcp" + host:port). ParseAddr derives them from one string.
+	Network, Addr string
+	// ConnectTimeout bounds each dial (0 = DefaultConnectTimeout).
+	ConnectTimeout time.Duration
+	// RequestTimeout bounds each request attempt end to end, in addition
+	// to the caller's context (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a transport failure is retried with
+	// backoff before the request is reported unavailable (<0 = none,
+	// 0 = DefaultMaxRetries).
+	MaxRetries int
+	// RetryBackoff is the base backoff, doubled per retry
+	// (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// MaxIdleConns bounds the pooled idle connections
+	// (0 = DefaultMaxIdleConns).
+	MaxIdleConns int
+	// Obs, when non-nil, receives request/retry/fallback counters and
+	// the per-source proof counts reported by the daemon.
+	Obs *obs.Registry
+	// Trace, when non-nil, records one span per RPC.
+	Trace *obs.Tracer
+	// Fault injects RPC faults (tests only).
+	Fault FaultHook
+}
+
+// ParseAddr turns a user-facing endpoint string into a (network, addr)
+// pair: "unix:/path" and "tcp:host:port" are explicit; a bare string
+// containing a path separator is a Unix socket, anything else TCP.
+func ParseAddr(s string) (network, addr string, err error) {
+	switch {
+	case s == "":
+		return "", "", fmt.Errorf("proofrpc: empty address")
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", strings.TrimPrefix(s, "unix:"), nil
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", strings.TrimPrefix(s, "tcp:"), nil
+	case strings.ContainsAny(s, "/\\"):
+		return "unix", s, nil
+	default:
+		return "tcp", s, nil
+	}
+}
+
+// Client talks to a bcfd daemon. It implements loader.RemoteProver: a
+// ProveBytes call ships the condition over the wire and returns the
+// daemon's proof bytes. Transport failures are retried with bounded
+// backoff and ultimately reported as bcferr.ErrRemoteUnavailable, which
+// the loader turns into an in-process fallback — a dead daemon degrades
+// to local proving, never to a hang.
+//
+// The client keeps a small pool of idle connections; concurrent
+// requests each use their own connection (one outstanding request per
+// connection keeps the protocol trivially correlated).
+type Client struct {
+	opts ClientOptions
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+
+	reqSeq atomic.Uint64
+}
+
+// NewClient returns a client for the given endpoint; it does not dial
+// until the first request.
+func NewClient(opts ClientOptions) *Client {
+	if opts.ConnectTimeout <= 0 {
+		opts.ConnectTimeout = DefaultConnectTimeout
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.MaxIdleConns <= 0 {
+		opts.MaxIdleConns = DefaultMaxIdleConns
+	}
+	return &Client{opts: opts}
+}
+
+// Dial is shorthand for NewClient with the endpoint parsed by
+// ParseAddr; opts.Network/Addr are overwritten, everything else is kept.
+func Dial(endpoint string, opts ClientOptions) (*Client, error) {
+	network, addr, err := ParseAddr(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	opts.Network, opts.Addr = network, addr
+	return NewClient(opts), nil
+}
+
+// Close drops every pooled connection. In-flight requests finish on
+// their own connections; later requests fail to dial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle, c.closed = nil, true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// unavailable wraps a transport-level failure so that
+// errors.Is(err, bcferr.ErrRemoteUnavailable) holds.
+func unavailable(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, bcferr.ErrRemoteUnavailable)...)
+}
+
+func (c *Client) acquire() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, unavailable("proofrpc: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout(c.opts.Network, c.opts.Addr, c.opts.ConnectTimeout)
+	if err != nil {
+		return nil, unavailable("proofrpc: dial %s %s: %v", c.opts.Network, c.opts.Addr, err)
+	}
+	return conn, nil
+}
+
+func (c *Client) release(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opts.MaxIdleConns {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// Ping round-trips a liveness frame.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, TPing, nil)
+	return err
+}
+
+// ProveBytes ships one encoded condition to the daemon and returns the
+// encoded proof. It implements loader.RemoteProver; see the Client doc
+// for the error contract.
+func (c *Client) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
+	var t0 time.Time
+	if c.opts.Obs != nil {
+		t0 = time.Now()
+	}
+	sp := c.opts.Trace.Start(obs.CatRPC, "remote-prove")
+	reply, err := c.roundTrip(ctx, TProve, cond)
+	sp.End()
+	if c.opts.Obs != nil {
+		c.opts.Obs.StageHistogram(obs.MRemoteSeconds).Since(t0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// roundTrip performs one request with retry-with-backoff on transport
+// failures. Reply interpretation (proof / counterexample / remote
+// error) happens inside each attempt so that a corrupt-but-readable
+// reply is retried like any other transport fault.
+func (c *Client) roundTrip(ctx context.Context, typ uint32, payload []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.opts.Obs.Counter(obs.MRemoteRetries).Inc()
+			backoff := c.opts.RetryBackoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return nil, unavailable("proofrpc: %v", ctx.Err())
+			case <-time.After(backoff):
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, unavailable("proofrpc: %v", err)
+		}
+		reply, err, transport := c.attempt(ctx, typ, payload)
+		switch {
+		case err == nil:
+			c.opts.Obs.Counter(obs.Label(obs.MRemoteRequests, "outcome", "ok")).Inc()
+			return reply, nil
+		case transport:
+			c.opts.Obs.Counter(obs.Label(obs.MRemoteRequests, "outcome", "transport")).Inc()
+			lastErr = err
+			continue
+		default:
+			// Authoritative remote outcome: no retry, no fallback.
+			c.opts.Obs.Counter(obs.Label(obs.MRemoteRequests, "outcome", "error")).Inc()
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt runs one request on one connection. transport=true marks
+// failures of the wire, not of the prover.
+func (c *Client) attempt(ctx context.Context, typ uint32, payload []byte) (reply []byte, err error, transport bool) {
+	req := int(c.reqSeq.Add(1) - 1)
+	if c.opts.Fault != nil {
+		if ferr := c.opts.Fault.RPCSend(req); ferr != nil {
+			return nil, unavailable("proofrpc: %v", ferr), true
+		}
+	}
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, err, true
+	}
+	deadline := time.Now().Add(c.opts.RequestTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+
+	f := &Frame{Type: typ, ReqID: uint64(req), Payload: payload}
+	if err := WriteFrame(conn, f); err != nil {
+		conn.Close()
+		return nil, unavailable("proofrpc: write: %v", err), true
+	}
+	rf, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, unavailable("proofrpc: read: %v", err), true
+	}
+	body := rf.Payload
+	if c.opts.Fault != nil {
+		body = c.opts.Fault.RPCRecv(req, body)
+	}
+	if rf.ReqID != uint64(req) {
+		conn.Close()
+		return nil, unavailable("proofrpc: reply for request %d, want %d", rf.ReqID, req), true
+	}
+	out, err, transport := c.interpret(typ, rf.Type, body)
+	if transport {
+		conn.Close()
+		return nil, err, true
+	}
+	c.release(conn)
+	return out, err, false
+}
+
+// interpret maps a reply frame to the request's outcome.
+func (c *Client) interpret(reqType, replyType uint32, body []byte) (out []byte, err error, transport bool) {
+	switch replyType {
+	case TPong:
+		if reqType != TPing {
+			return nil, unavailable("proofrpc: unexpected pong"), true
+		}
+		return nil, nil, false
+
+	case TProofOK:
+		if reqType != TProve {
+			return nil, unavailable("proofrpc: unexpected proof reply"), true
+		}
+		if len(body) < 1 {
+			return nil, unavailable("proofrpc: empty proof reply"), true
+		}
+		src, proofBytes := body[0], body[1:]
+		// Sanity-decode before handing the bytes to the kernel boundary:
+		// a corrupted reply becomes a transport fault (retry, then local
+		// fallback) instead of a guaranteed kernel-side rejection. The
+		// kernel checker remains the soundness gate either way.
+		if _, derr := bcfenc.DecodeProof(proofBytes); derr != nil {
+			return nil, unavailable("proofrpc: undecodable proof from daemon: %v", derr), true
+		}
+		c.opts.Obs.Counter(obs.Label(obs.MRemoteSource, "src", SrcString(src))).Inc()
+		return append([]byte(nil), proofBytes...), nil, false
+
+	case TCex:
+		cex, derr := DecodeCexPayload(body)
+		if derr != nil {
+			return nil, unavailable("proofrpc: bad cex payload: %v", derr), true
+		}
+		return nil, bcferr.WithCounterexample(bcferr.New(bcferr.ClassUnsafe,
+			"proofrpc: condition violated (counterexample found remotely)"), cex), false
+
+	case TError:
+		class, msg, derr := DecodeErrorPayload(body)
+		if derr != nil {
+			return nil, unavailable("proofrpc: bad error payload: %v", derr), true
+		}
+		return nil, bcferr.New(bcferr.Class(class), "proofrpc: remote: %s", msg), false
+
+	default:
+		return nil, unavailable("proofrpc: unexpected reply type %d", replyType), true
+	}
+}

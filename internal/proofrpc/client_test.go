@@ -1,0 +1,231 @@
+package proofrpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bcf/internal/bcfenc"
+	"bcf/internal/bcferr"
+	"bcf/internal/expr"
+	"bcf/internal/obs"
+	"bcf/internal/solver"
+)
+
+// fakeServer speaks raw frames on a Unix socket; handle maps each
+// request to a reply (nil = close the connection without replying).
+func fakeServer(t *testing.T, handle func(*Frame) *Frame) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "fake.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					f, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					reply := handle(f)
+					if reply == nil {
+						return
+					}
+					reply.ReqID = f.ReqID
+					if err := WriteFrame(conn, reply); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return "unix:" + sock
+}
+
+func newTestClient(t *testing.T, endpoint string, reg *obs.Registry) *Client {
+	t.Helper()
+	network, addr, err := ParseAddr(endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(ClientOptions{
+		Network:        network,
+		Addr:           addr,
+		ConnectTimeout: time.Second,
+		RequestTimeout: 2 * time.Second,
+		RetryBackoff:   time.Millisecond,
+		Obs:            reg,
+	})
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// validProof returns encoded proof bytes that pass the client's sanity
+// decode.
+func validProof(t *testing.T) []byte {
+	t.Helper()
+	cond := expr.Ule(expr.Const(0, 8), expr.Var(1, 8))
+	out, err := solver.Prove(context.Background(), cond, solver.Options{})
+	if err != nil || !out.Proven {
+		t.Fatalf("proving trivial condition: %v", err)
+	}
+	b, err := bcfenc.EncodeProof(out.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClientPingAndProve(t *testing.T) {
+	proof := validProof(t)
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		switch f.Type {
+		case TPing:
+			return &Frame{Type: TPong}
+		case TProve:
+			return &Frame{Type: TProofOK, Payload: append([]byte{SrcDisk}, proof...)}
+		}
+		return nil
+	})
+	reg := obs.NewRegistry()
+	c := newTestClient(t, endpoint, reg)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	got, err := c.ProveBytes(context.Background(), []byte("cond"))
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if string(got) != string(proof) {
+		t.Fatal("proof bytes mangled in transit")
+	}
+	if n := reg.Counter(obs.Label(obs.MRemoteSource, "src", "disk")).Value(); n != 1 {
+		t.Fatalf("disk-source counter = %d, want 1", n)
+	}
+}
+
+func TestClientCounterexample(t *testing.T) {
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		return &Frame{Type: TCex, Payload: EncodeCexPayload(map[uint32]uint64{7: 99})}
+	})
+	c := newTestClient(t, endpoint, nil)
+	_, err := c.ProveBytes(context.Background(), []byte("cond"))
+	if err == nil {
+		t.Fatal("want error for counterexample reply")
+	}
+	if errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatal("counterexample misclassified as transport failure")
+	}
+	if bcferr.ClassOf(err) != bcferr.ClassUnsafe {
+		t.Fatalf("class = %v, want unsafe", bcferr.ClassOf(err))
+	}
+	cex := bcferr.CounterexampleOf(err)
+	if cex[7] != 99 {
+		t.Fatalf("cex = %v, want {7:99}", cex)
+	}
+}
+
+func TestClientRemoteError(t *testing.T) {
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		return &Frame{Type: TError,
+			Payload: EncodeErrorPayload(uint32(bcferr.ClassSolverTimeout), "budget exhausted")}
+	})
+	c := newTestClient(t, endpoint, nil)
+	_, err := c.ProveBytes(context.Background(), []byte("cond"))
+	if err == nil || errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatalf("want authoritative remote error, got %v", err)
+	}
+	if bcferr.ClassOf(err) != bcferr.ClassSolverTimeout {
+		t.Fatalf("class = %v, want solver-timeout", bcferr.ClassOf(err))
+	}
+}
+
+func TestClientDeadDaemonUnavailable(t *testing.T) {
+	c := newTestClient(t, "unix:"+filepath.Join(t.TempDir(), "nobody-home.sock"), nil)
+	start := time.Now()
+	_, err := c.ProveBytes(context.Background(), []byte("cond"))
+	if !errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want ErrRemoteUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead daemon took %v to report", elapsed)
+	}
+}
+
+func TestClientCorruptProofRetriesThenUnavailable(t *testing.T) {
+	var requests atomic.Int32
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		requests.Add(1)
+		// Valid frame, garbage proof bytes: must fail the sanity decode.
+		return &Frame{Type: TProofOK, Payload: []byte{SrcSolved, 0xde, 0xad, 0xbe, 0xef}}
+	})
+	reg := obs.NewRegistry()
+	c := newTestClient(t, endpoint, reg)
+	_, err := c.ProveBytes(context.Background(), []byte("cond"))
+	if !errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want ErrRemoteUnavailable", err)
+	}
+	if n := requests.Load(); n != int32(1+DefaultMaxRetries) {
+		t.Fatalf("server saw %d attempts, want %d", n, 1+DefaultMaxRetries)
+	}
+	if n := reg.Counter(obs.MRemoteRetries).Value(); n != int64(DefaultMaxRetries) {
+		t.Fatalf("retry counter = %d, want %d", n, DefaultMaxRetries)
+	}
+}
+
+func TestClientRecoversAfterDroppedConn(t *testing.T) {
+	proof := validProof(t)
+	var requests atomic.Int32
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		if requests.Add(1) == 1 {
+			return nil // first attempt: connection drops before the reply
+		}
+		return &Frame{Type: TProofOK, Payload: append([]byte{SrcSolved}, proof...)}
+	})
+	c := newTestClient(t, endpoint, nil)
+	got, err := c.ProveBytes(context.Background(), []byte("cond"))
+	if err != nil {
+		t.Fatalf("prove after dropped conn: %v", err)
+	}
+	if string(got) != string(proof) {
+		t.Fatal("proof bytes mangled after retry")
+	}
+}
+
+func TestClientContextCancelled(t *testing.T) {
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		time.Sleep(50 * time.Millisecond)
+		return &Frame{Type: TPong}
+	})
+	c := newTestClient(t, endpoint, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := c.Ping(ctx)
+	if !errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want ErrRemoteUnavailable", err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	endpoint := fakeServer(t, func(f *Frame) *Frame { return &Frame{Type: TPong} })
+	c := newTestClient(t, endpoint, nil)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Ping(context.Background()); !errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatalf("err after close = %v, want ErrRemoteUnavailable", err)
+	}
+}

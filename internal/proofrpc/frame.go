@@ -1,0 +1,241 @@
+// Package proofrpc is the wire protocol of the remote proving service:
+// a versioned, length-prefixed frame format carried over TCP or Unix
+// sockets, plus the client used by the loader to offload proof search
+// to a bcfd daemon.
+//
+// The protocol deliberately mirrors the kernel↔user boundary discipline
+// of the BCF design: payloads are the exact internal/bcfenc condition
+// and proof messages (so the daemon and the loader exercise the same
+// encoders the kernel boundary does), frames carry a CRC so a corrupted
+// transport is detected before a payload is parsed, and the decoder is
+// strict — size limits, version pinning, no trailing garbage — and
+// fuzzable (FuzzDecodeFrame). None of this is trusted by the kernel:
+// whatever proof bytes come back over the wire still go through the
+// kernel-side checker, which is the only soundness gate.
+package proofrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FrameMagic opens every frame ("BCFR" little-endian).
+const FrameMagic = 0x52464342
+
+// FrameVersion is the protocol version; frames carrying any other
+// version are rejected (no negotiation — the fleet upgrades in lockstep
+// with the wire format, like bcfenc.Version).
+const FrameVersion = 1
+
+// Frame types.
+const (
+	// TPing / TPong are the liveness handshake.
+	TPing uint32 = iota + 1
+	TPong
+	// TProve carries a bcfenc-encoded condition to the daemon.
+	TProve
+	// TProofOK answers a TProve: one source byte (Src*) followed by the
+	// bcfenc-encoded proof.
+	TProofOK
+	// TCex answers a TProve whose condition is falsifiable: a count and
+	// (var u32, value u64) pairs of the falsifying assignment.
+	TCex
+	// TError answers a TProve that failed: a bcferr class word followed
+	// by the error message.
+	TError
+
+	maxFrameType = TError
+)
+
+// Proof sources reported in the first payload byte of a TProofOK reply,
+// so clients can observe (and tests can assert) where a proof came from.
+const (
+	SrcSolved    byte = iota // the daemon ran the solver
+	SrcMem                   // served from the daemon's in-memory LRU
+	SrcDisk                  // served from the daemon's disk store
+	SrcCoalesced             // piggybacked on a concurrent identical obligation
+)
+
+// SrcString names a proof source (metrics labels).
+func SrcString(src byte) string {
+	switch src {
+	case SrcSolved:
+		return "solved"
+	case SrcMem:
+		return "mem"
+	case SrcDisk:
+		return "disk"
+	case SrcCoalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// MaxPayload bounds a frame payload. Conditions and proofs are
+// page-scale (§6.3: 99.4% of proofs under 4 KiB, tail to ~46 KB); 16 MiB
+// leaves orders of magnitude of headroom while keeping a hostile peer
+// from forcing unbounded allocations.
+const MaxPayload = 1 << 24
+
+// HeaderLen is the fixed frame header size in bytes:
+// magic u32 | version u32 | type u32 | request id u64 | payload len u32 |
+// payload crc32 u32.
+const HeaderLen = 28
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    uint32
+	ReqID   uint64
+	Payload []byte
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame serializes f onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if f.Type == 0 || f.Type > maxFrameType {
+		return nil, fmt.Errorf("proofrpc: unknown frame type %d", f.Type)
+	}
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d", len(f.Payload), MaxPayload)
+	}
+	var hdr [HeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], FrameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], FrameVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], f.Type)
+	binary.LittleEndian.PutUint64(hdr[12:], f.ReqID)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(f.Payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...), nil
+}
+
+// EncodeFrame serializes one frame.
+func EncodeFrame(f *Frame) ([]byte, error) { return AppendFrame(nil, f) }
+
+// DecodeFrame parses one frame from the front of buf, returning the
+// frame and the number of bytes consumed. It is strict: bad magic,
+// unknown version or type, oversized payloads, truncation and CRC
+// mismatches are all errors. The returned payload aliases buf.
+func DecodeFrame(buf []byte) (*Frame, int, error) {
+	if len(buf) < HeaderLen {
+		return nil, 0, fmt.Errorf("proofrpc: truncated header (%d bytes)", len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != FrameMagic {
+		return nil, 0, fmt.Errorf("proofrpc: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != FrameVersion {
+		return nil, 0, fmt.Errorf("proofrpc: unsupported version %d", v)
+	}
+	typ := binary.LittleEndian.Uint32(buf[8:])
+	if typ == 0 || typ > maxFrameType {
+		return nil, 0, fmt.Errorf("proofrpc: unknown frame type %d", typ)
+	}
+	plen := binary.LittleEndian.Uint32(buf[20:])
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d", plen, MaxPayload)
+	}
+	total := HeaderLen + int(plen)
+	if len(buf) < total {
+		return nil, 0, fmt.Errorf("proofrpc: truncated payload (%d of %d bytes)", len(buf)-HeaderLen, plen)
+	}
+	payload := buf[HeaderLen:total]
+	if c := crc32.Checksum(payload, crcTable); c != binary.LittleEndian.Uint32(buf[24:]) {
+		return nil, 0, fmt.Errorf("proofrpc: payload CRC mismatch")
+	}
+	return &Frame{
+		Type:    typ,
+		ReqID:   binary.LittleEndian.Uint64(buf[12:]),
+		Payload: payload,
+	}, total, nil
+}
+
+// WriteFrame serializes f to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r, enforcing the same limits
+// as DecodeFrame before allocating the payload.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[20:])
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d", plen, MaxPayload)
+	}
+	buf := make([]byte, HeaderLen+int(plen))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("proofrpc: reading payload: %w", err)
+	}
+	f, _, err := DecodeFrame(buf)
+	return f, err
+}
+
+// ---- typed payloads ----
+
+// EncodeCexPayload serializes a falsifying assignment for a TCex frame.
+// The encoding is deterministic (ascending variable id), so identical
+// counterexamples produce identical frames.
+func EncodeCexPayload(cex map[uint32]uint64) []byte {
+	ids := make([]uint32, 0, len(cex))
+	for id := range cex {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; cex maps are tiny
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	buf := make([]byte, 4, 4+12*len(ids))
+	binary.LittleEndian.PutUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		var ent [12]byte
+		binary.LittleEndian.PutUint32(ent[0:], id)
+		binary.LittleEndian.PutUint64(ent[4:], cex[id])
+		buf = append(buf, ent[:]...)
+	}
+	return buf
+}
+
+// DecodeCexPayload parses a TCex payload.
+func DecodeCexPayload(buf []byte) (map[uint32]uint64, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("proofrpc: truncated cex payload")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if int64(len(buf)) != 4+12*int64(n) {
+		return nil, fmt.Errorf("proofrpc: cex payload length mismatch")
+	}
+	cex := make(map[uint32]uint64, n)
+	for i := 0; i < int(n); i++ {
+		off := 4 + 12*i
+		cex[binary.LittleEndian.Uint32(buf[off:])] = binary.LittleEndian.Uint64(buf[off+4:])
+	}
+	return cex, nil
+}
+
+// EncodeErrorPayload serializes a classified error for a TError frame.
+func EncodeErrorPayload(class uint32, msg string) []byte {
+	buf := make([]byte, 4, 4+len(msg))
+	binary.LittleEndian.PutUint32(buf, class)
+	return append(buf, msg...)
+}
+
+// DecodeErrorPayload parses a TError payload.
+func DecodeErrorPayload(buf []byte) (class uint32, msg string, err error) {
+	if len(buf) < 4 {
+		return 0, "", fmt.Errorf("proofrpc: truncated error payload")
+	}
+	return binary.LittleEndian.Uint32(buf), string(buf[4:]), nil
+}

@@ -1,0 +1,198 @@
+package proofrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// Golden frames pin the wire format: any byte-level change to the
+// header layout, CRC polynomial or field order breaks these, which is
+// exactly the point — the daemon and its clients upgrade in lockstep.
+func TestFrameGoldens(t *testing.T) {
+	cases := []struct {
+		name   string
+		frame  Frame
+		golden string
+	}{
+		{"ping", Frame{Type: TPing},
+			"42434652010000000100000000000000000000000000000000000000"},
+		{"prove", Frame{Type: TProve, ReqID: 7, Payload: []byte("hello")},
+			"4243465201000000030000000700000000000000050000004cbb719a68656c6c6f"},
+		{"proof-ok", Frame{Type: TProofOK, ReqID: 0xdeadbeefcafe, Payload: []byte{SrcDisk, 1, 2, 3}},
+			"424346520100000004000000fecaefbeadde0000040000002239546602010203"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := EncodeFrame(&tc.frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hex.EncodeToString(got) != tc.golden {
+				t.Fatalf("encoding drifted:\n got  %x\n want %s", got, tc.golden)
+			}
+			dec, n, err := DecodeFrame(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(got) {
+				t.Fatalf("consumed %d of %d bytes", n, len(got))
+			}
+			if dec.Type != tc.frame.Type || dec.ReqID != tc.frame.ReqID ||
+				!bytes.Equal(dec.Payload, tc.frame.Payload) {
+				t.Fatalf("round trip: got %+v, want %+v", dec, tc.frame)
+			}
+		})
+	}
+}
+
+func TestFrameReadWriteRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := &Frame{Type: TProve, ReqID: 42, Payload: bytes.Repeat([]byte{0xab}, 4096)}
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+// mutate returns a valid encoded frame with one header field rewritten.
+func mutate(t *testing.T, off int, v uint32) []byte {
+	t.Helper()
+	b, err := EncodeFrame(&Frame{Type: TProve, ReqID: 1, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(b[off:], v)
+	return b
+}
+
+func TestDecodeFrameRejections(t *testing.T) {
+	valid, err := EncodeFrame(&Frame{Type: TProve, ReqID: 1, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"empty", nil, "truncated header"},
+		{"short-header", valid[:HeaderLen-1], "truncated header"},
+		{"truncated-payload", valid[:len(valid)-3], "truncated payload"},
+		{"bad-magic", mutate(t, 0, 0x12345678), "bad magic"},
+		{"bad-version", mutate(t, 4, 99), "unsupported version"},
+		{"zero-type", mutate(t, 8, 0), "unknown frame type"},
+		{"huge-type", mutate(t, 8, 1000), "unknown frame type"},
+		{"oversized-len", mutate(t, 20, MaxPayload+1), "exceeds limit"},
+		{"crc-mismatch", mutate(t, 24, 0), "CRC mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeFrame(tc.buf)
+			if err == nil {
+				t.Fatal("decode accepted a bad frame")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	// A flipped payload bit must be caught by the CRC.
+	flipped := append([]byte(nil), valid...)
+	flipped[HeaderLen+2] ^= 0x40
+	if _, _, err := DecodeFrame(flipped); err == nil {
+		t.Fatal("payload corruption not detected")
+	}
+}
+
+func TestEncodeFrameRejections(t *testing.T) {
+	if _, err := EncodeFrame(&Frame{Type: 0}); err == nil {
+		t.Fatal("encoded a zero-type frame")
+	}
+	if _, err := EncodeFrame(&Frame{Type: maxFrameType + 1}); err == nil {
+		t.Fatal("encoded an unknown-type frame")
+	}
+	if _, err := EncodeFrame(&Frame{Type: TProve, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Fatal("encoded an oversized frame")
+	}
+}
+
+func TestReadFrameOversizedHeaderStopsEarly(t *testing.T) {
+	// An adversarial length field must be rejected before the payload is
+	// allocated or read.
+	b := mutate(t, 20, MaxPayload+1)
+	_, err := ReadFrame(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v, want payload limit rejection", err)
+	}
+}
+
+func TestCexPayloadRoundTrip(t *testing.T) {
+	cex := map[uint32]uint64{3: 0xdeadbeef, 1: 42, 2: 1 << 60}
+	buf := EncodeCexPayload(cex)
+	// Deterministic: ids ascend regardless of map order.
+	if buf2 := EncodeCexPayload(map[uint32]uint64{2: 1 << 60, 1: 42, 3: 0xdeadbeef}); !bytes.Equal(buf, buf2) {
+		t.Fatal("cex encoding is not deterministic")
+	}
+	got, err := DecodeCexPayload(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cex) {
+		t.Fatalf("got %d entries, want %d", len(got), len(cex))
+	}
+	for id, v := range cex {
+		if got[id] != v {
+			t.Fatalf("cex[%d] = %d, want %d", id, got[id], v)
+		}
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, append(buf, 0)} {
+		if _, err := DecodeCexPayload(bad); err == nil {
+			t.Fatalf("accepted bad cex payload %x", bad)
+		}
+	}
+}
+
+func TestErrorPayloadRoundTrip(t *testing.T) {
+	buf := EncodeErrorPayload(3, "solver timed out")
+	class, msg, err := DecodeErrorPayload(buf)
+	if err != nil || class != 3 || msg != "solver timed out" {
+		t.Fatalf("got class=%d msg=%q err=%v", class, msg, err)
+	}
+	if _, _, err := DecodeErrorPayload([]byte{1}); err == nil {
+		t.Fatal("accepted truncated error payload")
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in, network, addr string
+		wantErr           bool
+	}{
+		{"unix:/tmp/bcfd.sock", "unix", "/tmp/bcfd.sock", false},
+		{"tcp:127.0.0.1:9090", "tcp", "127.0.0.1:9090", false},
+		{"/var/run/bcfd.sock", "unix", "/var/run/bcfd.sock", false},
+		{"localhost:9090", "tcp", "localhost:9090", false},
+		{"", "", "", true},
+	}
+	for _, tc := range cases {
+		network, addr, err := ParseAddr(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("ParseAddr(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil || network != tc.network || addr != tc.addr {
+			t.Fatalf("ParseAddr(%q) = %q %q %v, want %q %q", tc.in, network, addr, err, tc.network, tc.addr)
+		}
+	}
+}
