@@ -29,6 +29,7 @@ import (
 	"bcf/internal/ebpf"
 	"bcf/internal/loader"
 	"bcf/internal/obs"
+	"bcf/internal/prooffleet"
 	"bcf/internal/solver"
 	"bcf/internal/verifier"
 )
@@ -53,6 +54,16 @@ type (
 	// RemoteProver proves encoded refinement conditions out of process
 	// (see WithRemoteProver; internal/proofrpc.Client implements it).
 	RemoteProver = loader.RemoteProver
+	// Fleet is the resilient multi-daemon proving client: it rendezvous-
+	// hashes the obligation key space across several bcfd daemons, with
+	// health-probed circuit breakers per backend, hedged requests for
+	// slow keys, failover on transport faults, and admission control that
+	// the loader converts into bounded waits (see NewRemoteFleet).
+	Fleet = prooffleet.Fleet
+	// FleetOptions configure NewRemoteFleet.
+	FleetOptions = prooffleet.Options
+	// FleetStats snapshots a fleet's resilience counters.
+	FleetStats = prooffleet.Stats
 	// VerifierStats are the analyzer's counters.
 	VerifierStats = verifier.Stats
 	// ErrClass buckets a rejection by root cause (see the Class*
@@ -142,8 +153,10 @@ type Report struct {
 	CacheHits int
 	// RemoteProofs/RemoteFallbacks count obligations proven by the
 	// remote daemon versus degraded to the in-process solver (see
-	// WithRemoteProver).
+	// WithRemoteProver); RemoteBackpressure counts bounded waits behind
+	// the fleet's admission control.
 	RemoteProofs, RemoteFallbacks int
+	RemoteBackpressure            int
 	// Counterexample holds a violating assignment from the last failed
 	// refinement condition, when one was found.
 	Counterexample map[uint32]uint64
@@ -198,6 +211,25 @@ func WithRemoteProver(p RemoteProver) Option {
 // Useful for CI and tests that must not mask a dead daemon.
 func WithRemoteOnly() Option {
 	return func(o *loader.Options) { o.RemoteOnly = true }
+}
+
+// NewRemoteFleet builds the resilient multi-daemon proving client over
+// the given bcfd endpoints ("unix:/path" or "host:port"). Close the
+// fleet when done. Pass it to WithRemoteFleet; the degradation ladder —
+// failover to a replica, hedging past a slow backend, in-process
+// fallback when the whole fleet is unreachable — is transparent, and the
+// kernel-side checker still validates every proof, so no backend
+// (however broken or malicious) can cause an unsound accept.
+func NewRemoteFleet(opts FleetOptions) (*Fleet, error) {
+	return prooffleet.New(opts)
+}
+
+// WithRemoteFleet proves refinement conditions through a multi-daemon
+// fleet. Equivalent to WithRemoteProver(f) and provided for symmetry;
+// admission-control rejections from the fleet become bounded client-side
+// waits rather than failures.
+func WithRemoteFleet(f *Fleet) Option {
+	return func(o *loader.Options) { o.Remote = f }
 }
 
 // WithTelemetry threads a metrics registry and/or span tracer through
@@ -276,18 +308,19 @@ func Verify(prog *Program, opts ...Option) *Report {
 	}
 	res := loader.Load(prog, lo)
 	rep := &Report{
-		Accepted:        res.Accepted,
-		Err:             res.Err,
-		Class:           res.ErrClass,
-		Stats:           res.VerifierStats,
-		KernelNanos:     res.KernelTime.Nanoseconds(),
-		UserNanos:       res.UserTime.Nanoseconds(),
-		CacheHits:       res.CacheHits,
-		RemoteProofs:    res.RemoteProofs,
-		RemoteFallbacks: res.RemoteFallbacks,
-		Counterexample:  res.Counterexample,
-		Log:             res.Log,
-		raw:             res,
+		Accepted:           res.Accepted,
+		Err:                res.Err,
+		Class:              res.ErrClass,
+		Stats:              res.VerifierStats,
+		KernelNanos:        res.KernelTime.Nanoseconds(),
+		UserNanos:          res.UserTime.Nanoseconds(),
+		CacheHits:          res.CacheHits,
+		RemoteProofs:       res.RemoteProofs,
+		RemoteFallbacks:    res.RemoteFallbacks,
+		RemoteBackpressure: res.RemoteBackpressure,
+		Counterexample:     res.Counterexample,
+		Log:                res.Log,
+		raw:                res,
 	}
 	// Wire totals come from the session's per-round traffic ledger — the
 	// single source of truth — not from re-summing refiner stats.

@@ -3,8 +3,14 @@ package bcf
 // Tests of the public API surface (the library a downstream user sees).
 
 import (
+	"context"
+	"net"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"bcf/internal/proofd"
 )
 
 func apiFig2() *Program {
@@ -171,5 +177,62 @@ func TestPublicInterpreterOracle(t *testing.T) {
 		if _, fault := in.Run(make([]byte, prog.Type.CtxSize())); fault != nil {
 			t.Fatalf("fault at seed %d: %v", seed, fault)
 		}
+	}
+}
+
+func TestPublicRemoteFleet(t *testing.T) {
+	// Two real daemons on Unix sockets.
+	var endpoints []string
+	for i := 0; i < 2; i++ {
+		s := proofd.New(proofd.Options{})
+		sock := filepath.Join(t.TempDir(), "bcfd.sock")
+		l, err := net.Listen("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Serve(l) }()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+			<-done
+		})
+		endpoints = append(endpoints, "unix:"+sock)
+	}
+
+	fleet, err := NewRemoteFleet(FleetOptions{Endpoints: endpoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	rep := Verify(apiFig2(), WithBCF(), WithRemoteFleet(fleet))
+	if !rep.Accepted {
+		t.Fatalf("rejected: %v", rep.Err)
+	}
+	if rep.RemoteProofs == 0 {
+		t.Fatal("no obligations proven by the fleet")
+	}
+	if st := fleet.Stats(); st.Dispatches == 0 {
+		t.Fatal("fleet stats recorded no dispatches")
+	}
+
+	// A fleet of dead endpoints degrades to the in-process solver with
+	// the verdict unchanged.
+	deadFleet, err := NewRemoteFleet(FleetOptions{
+		Endpoints:      []string{"unix:" + filepath.Join(t.TempDir(), "gone.sock")},
+		ConnectTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deadFleet.Close()
+	rep = Verify(apiFig2(), WithBCF(), WithRemoteFleet(deadFleet))
+	if !rep.Accepted {
+		t.Fatalf("rejected with dead fleet: %v", rep.Err)
+	}
+	if rep.RemoteFallbacks == 0 {
+		t.Fatal("no fallbacks recorded against a dead fleet")
 	}
 }

@@ -18,6 +18,13 @@
 //	bcfbench -table cache    # shared proof-cache hit/miss statistics
 //	bcfbench -n 96 -json out.json  # reduced-corpus smoke run, machine-readable
 //
+// Remote proving (single daemon or a fleet):
+//
+//	bcfbench -remote unix:/run/bcfd.sock           # one daemon via proofrpc
+//	bcfbench -remote unix:/a.sock,unix:/b.sock,unix:/c.sock   # prooffleet
+//	bcfbench -remote ...,... -hedge 5ms            # fixed hedging delay
+//	bcfbench -remote ...,... -hedge -1ns           # hedging off
+//
 // Observability (the telemetry layer of internal/obs):
 //
 //	bcfbench -metrics                 # per-stage latency/traffic table + metrics block in -json
@@ -36,11 +43,14 @@ import (
 	"os"
 	"runtime"
 	rpprof "runtime/pprof"
+	"strings"
+	"time"
 
 	"bcf/internal/corpus"
 	"bcf/internal/eval"
 	"bcf/internal/loader"
 	"bcf/internal/obs"
+	"bcf/internal/prooffleet"
 	"bcf/internal/proofrpc"
 )
 
@@ -73,8 +83,14 @@ type benchReport struct {
 	CacheEvictions   int     `json:"cache_evictions"`
 	CacheSize        int     `json:"cache_size"`
 	// Remote-proving outcome split (zero without -remote).
-	RemoteProofs    int `json:"remote_proofs,omitempty"`
-	RemoteFallbacks int `json:"remote_fallbacks,omitempty"`
+	RemoteProofs       int `json:"remote_proofs,omitempty"`
+	RemoteFallbacks    int `json:"remote_fallbacks,omitempty"`
+	RemoteBackpressure int `json:"remote_backpressure,omitempty"`
+	// Fleet routing/resilience counters and latency percentiles when
+	// -remote named more than one endpoint. HedgeDelayMS records the
+	// -hedge flag (-1 = hedging disabled, 0 = percentile-derived).
+	HedgeDelayMS float64           `json:"hedge_delay_ms,omitempty"`
+	Fleet        *prooffleet.Stats `json:"fleet,omitempty"`
 	// Cold/warm comparison of -coldwarm: the same corpus run twice.
 	// Locally the runs share one proof cache; remotely each run gets a
 	// fresh local cache so warm hits exercise the daemon's stores.
@@ -101,7 +117,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the run to this path")
 	listen := flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while running")
-	remote := flag.String("remote", "", "prove via a bcfd daemon at this address (unix:/path or host:port)")
+	remote := flag.String("remote", "", "prove via bcfd daemon(s): unix:/path or host:port, comma-separated for a fleet")
+	hedge := flag.Duration("hedge", 0, "fleet hedging delay (0 = derive from latency percentiles, negative = off)")
 	coldwarm := flag.Bool("coldwarm", false, "run the corpus twice and report cold vs warm-cache timing")
 	flag.Parse()
 
@@ -152,14 +169,32 @@ func main() {
 		}()
 	}
 
+	// A single -remote endpoint keeps the plain proofrpc client; a
+	// comma-separated list builds a prooffleet with rendezvous routing,
+	// breakers and hedging.
 	var remoteProver loader.RemoteProver
+	var fleet *prooffleet.Fleet
 	if *remote != "" {
-		client, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg})
-		if err != nil {
-			fatal(err)
+		if endpoints := splitEndpoints(*remote); len(endpoints) > 1 {
+			f, err := prooffleet.New(prooffleet.Options{
+				Endpoints:  endpoints,
+				HedgeDelay: *hedge,
+				Obs:        reg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			fleet = f
+			remoteProver = f
+		} else {
+			client, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg})
+			if err != nil {
+				fatal(err)
+			}
+			defer client.Close()
+			remoteProver = client
 		}
-		defer client.Close()
-		remoteProver = client
 	}
 
 	var ev *eval.Evaluation
@@ -217,6 +252,8 @@ func main() {
 		if *jsonPath != "" {
 			meta := reportMeta{
 				remoteAddr: *remote,
+				hedge:      *hedge,
+				fleet:      fleet,
 				coldWallMS: coldWall,
 				warmWallMS: warmWall,
 			}
@@ -309,8 +346,22 @@ func effectiveParallelism(requested, size int) int {
 // reportMeta carries the invocation context into the JSON report.
 type reportMeta struct {
 	remoteAddr string
+	hedge      time.Duration
+	fleet      *prooffleet.Fleet
 	coldWallMS int64
 	warmWallMS int64
+}
+
+// splitEndpoints parses the -remote flag: a comma-separated endpoint
+// list with empty elements dropped.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry, meta reportMeta) error {
@@ -320,29 +371,38 @@ func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry, meta reportM
 		programNS += r.TotalTime.Nanoseconds()
 	}
 	rep := benchReport{
-		GoVersion:        runtime.Version(),
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		Remote:           meta.remoteAddr != "",
-		RemoteAddr:       meta.remoteAddr,
-		Corpus:           len(ev.Results),
-		InsnLimit:        ev.InsnLimit,
-		Parallelism:      ev.Parallelism,
-		WallMS:           ev.WallClock.Milliseconds(),
-		ProgramMS:        programNS / 1e6,
-		BaselineAccepted: acc.BaselineAccepted,
-		BCFAccepted:      acc.BCFAccepted,
-		WeakCondition:    acc.WeakCondition,
-		InsnLimitReject:  acc.InsnLimit,
-		Untriggered:      acc.Untriggered,
-		CacheHits:        ev.Cache.Hits,
-		CacheMisses:      ev.Cache.Misses,
-		CacheHitRate:     ev.Cache.HitRate(),
-		CacheEvictions:   ev.Cache.Evictions,
-		CacheSize:        ev.Cache.Size,
-		RemoteProofs:     ev.RemoteProofs,
-		RemoteFallbacks:  ev.RemoteFallbacks,
-		ColdWallMS:       meta.coldWallMS,
-		WarmWallMS:       meta.warmWallMS,
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Remote:             meta.remoteAddr != "",
+		RemoteAddr:         meta.remoteAddr,
+		Corpus:             len(ev.Results),
+		InsnLimit:          ev.InsnLimit,
+		Parallelism:        ev.Parallelism,
+		WallMS:             ev.WallClock.Milliseconds(),
+		ProgramMS:          programNS / 1e6,
+		BaselineAccepted:   acc.BaselineAccepted,
+		BCFAccepted:        acc.BCFAccepted,
+		WeakCondition:      acc.WeakCondition,
+		InsnLimitReject:    acc.InsnLimit,
+		Untriggered:        acc.Untriggered,
+		CacheHits:          ev.Cache.Hits,
+		CacheMisses:        ev.Cache.Misses,
+		CacheHitRate:       ev.Cache.HitRate(),
+		CacheEvictions:     ev.Cache.Evictions,
+		CacheSize:          ev.Cache.Size,
+		RemoteProofs:       ev.RemoteProofs,
+		RemoteFallbacks:    ev.RemoteFallbacks,
+		RemoteBackpressure: ev.RemoteBackpressure,
+		ColdWallMS:         meta.coldWallMS,
+		WarmWallMS:         meta.warmWallMS,
+	}
+	if meta.fleet != nil {
+		stats := meta.fleet.Stats()
+		rep.Fleet = &stats
+		rep.HedgeDelayMS = float64(meta.hedge) / float64(time.Millisecond)
+		if meta.hedge < 0 {
+			rep.HedgeDelayMS = -1
+		}
 	}
 	if meta.warmWallMS > 0 {
 		rep.WarmSpeedup = warmSpeedup(meta.coldWallMS, meta.warmWallMS)

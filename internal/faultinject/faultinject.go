@@ -55,6 +55,19 @@ const (
 	RPCDelay
 	// RPCCorrupt flips one bit of the remote reply payload on the wire.
 	RPCCorrupt
+	// FleetFlap makes a fleet dispatch fail as if the backend bounced
+	// (accepts, then dies mid-request). Fires for any backend.
+	FleetFlap
+	// FleetPartition makes a seeded subset of backends unreachable for
+	// the scheduled dispatches (a network partition: some clients can
+	// reach some daemons).
+	FleetPartition
+	// FleetSlow stalls a backend's reply (slow trickle; exercises hedging
+	// and request deadlines).
+	FleetSlow
+	// FleetByzantine flips one bit of a backend's proof reply (a
+	// compromised or buggy prover returning garbage).
+	FleetByzantine
 	// NumPoints is the number of injection points (for schedules).
 	NumPoints
 )
@@ -85,16 +98,24 @@ func (p Point) String() string {
 		return "rpc-delay"
 	case RPCCorrupt:
 		return "rpc-corrupt"
+	case FleetFlap:
+		return "fleet-flap"
+	case FleetPartition:
+		return "fleet-partition"
+	case FleetSlow:
+		return "fleet-slow"
+	case FleetByzantine:
+		return "fleet-byzantine"
 	}
 	return "unknown"
 }
 
 // corruptingPoints are the points whose firing must force a rejection
-// (they tamper with bytes crossing the trust boundary). The RPC points
-// are deliberately absent: a corrupted or dropped remote reply is a
-// transport fault the client degrades to the in-process solver, so the
-// load may still legitimately be accepted — on a locally proven, fully
-// checked proof.
+// (they tamper with bytes crossing the trust boundary). The RPC and
+// Fleet points are deliberately absent: a corrupted, dropped, slow or
+// byzantine remote reply is a transport fault the client degrades —
+// failover to a replica or in-process fallback — so the load may still
+// legitimately be accepted, on a fully checked proof.
 var corruptingPoints = []Point{CondCorrupt, CondTruncate, ProofCorrupt, ProofTruncate, ProofReplay}
 
 // Event records one fault actually injected.
@@ -117,6 +138,10 @@ type Injector struct {
 	prev   []byte // last pristine proof seen, for replay
 	events []Event
 	reg    *obs.Registry
+
+	// partitionSalt lazily seeds the FleetPartition side assignment
+	// (0 = not yet drawn).
+	partitionSalt uint64
 }
 
 // New returns an injector with nothing armed. All byte-level choices
@@ -370,6 +395,67 @@ func (in *Injector) RPCRecv(req int, payload []byte) []byte {
 		time.Sleep(delay)
 	}
 	return payload
+}
+
+// ---- prooffleet.FaultHook (multi-daemon fleet client) ----
+
+// FleetDispatch may make backend unreachable for dispatch seq: a flap
+// hits whichever backend the dispatch landed on, a partition only the
+// seeded subset of backends. The fleet treats either as a transport
+// failure and fails the key over.
+func (in *Injector) FleetDispatch(backend string, seq int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fires(FleetFlap, seq) {
+		in.log(FleetFlap, seq, "backend flapped: "+backend)
+		return errors.New("faultinject: backend flapped (injected)")
+	}
+	if in.fires(FleetPartition, seq) && in.partitioned(backend) {
+		in.log(FleetPartition, seq, "partitioned from: "+backend)
+		return errors.New("faultinject: backend partitioned (injected)")
+	}
+	return nil
+}
+
+// FleetDelay may stall backend's reply for dispatch seq (slow trickle).
+func (in *Injector) FleetDelay(backend string, seq int) time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fires(FleetSlow, seq) {
+		in.log(FleetSlow, seq, backend+" slowed "+in.delay.String())
+		return in.delay
+	}
+	return 0
+}
+
+// FleetProof may corrupt backend's proof reply for dispatch seq (a
+// byzantine prover). The fleet's sanity decode catches the garbage and
+// fails over; the bytes never reach the kernel checker.
+func (in *Injector) FleetProof(backend string, seq int, payload []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fires(FleetByzantine, seq) {
+		in.log(FleetByzantine, seq, "byzantine reply from "+backend)
+		return in.flip(payload)
+	}
+	return payload
+}
+
+// partitioned deterministically assigns each backend to one side of the
+// partition: FNV of the endpoint, salted by a seed-derived value drawn
+// once, decides reachability — stable for the injector's lifetime, and a
+// pure function of (seed, endpoint) so schedules replay. Caller holds
+// in.mu.
+func (in *Injector) partitioned(backend string) bool {
+	if in.partitionSalt == 0 {
+		in.partitionSalt = in.rng.Uint64() | 1
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(backend); i++ {
+		h ^= uint64(backend[i])
+		h *= 1099511628211
+	}
+	return (h^in.partitionSalt)&1 == 0
 }
 
 // ---- bcf.FaultHook (kernel-boundary side) ----

@@ -1,0 +1,136 @@
+package loader
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bcf/internal/bcfenc"
+	"bcf/internal/bcferr"
+	"bcf/internal/ebpf"
+	"bcf/internal/solver"
+)
+
+// backpressureProver rejects the first `rejects` ProveBytes calls with
+// ErrBackpressure (a saturated fleet), then proves for real — or keeps
+// rejecting forever when rejects < 0.
+type backpressureProver struct {
+	mu       sync.Mutex
+	rejects  int
+	attempts int
+}
+
+func (p *backpressureProver) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
+	p.mu.Lock()
+	p.attempts++
+	reject := p.rejects != 0
+	if p.rejects > 0 {
+		p.rejects--
+	}
+	p.mu.Unlock()
+	if reject {
+		return nil, bcferr.ErrBackpressure
+	}
+	c, err := bcfenc.DecodeCondition(cond)
+	if err != nil {
+		return nil, err
+	}
+	out, err := solver.Prove(ctx, c.Cond, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return bcfenc.EncodeProof(out.Proof)
+}
+
+// figure2Prog is the paper's running example, which needs refinement —
+// so every load drives the remote prover.
+func figure2Prog() *ebpf.Program {
+	return prog(lookupPrologue+`
+		r1 = r0
+		r2 = *(u64 *)(r1 +0)
+		r2 &= 0xf
+		r1 += r2
+		r3 = 0xf
+		r3 -= r2
+		r1 += r3
+		r0 = *(u8 *)(r1 +0)
+		exit
+	`+lookupEpilogue, testMap16)
+}
+
+// TestBackpressureWaitThenRemoteProof: admission rejections from a
+// saturated-but-healthy fleet are absorbed by bounded waits, after which
+// the remote proof lands — no fallback, no failure.
+func TestBackpressureWaitThenRemoteProof(t *testing.T) {
+	p := figure2Prog()
+
+	remote := &backpressureProver{rejects: 2}
+	res := Load(p, Options{
+		EnableBCF: true,
+		Remote:    remote,
+	})
+	if !res.Accepted {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if res.RemoteBackpressure == 0 {
+		t.Fatal("no backpressure waits recorded")
+	}
+	if res.RemoteProofs == 0 {
+		t.Fatal("no remote proofs after the queue drained")
+	}
+	if res.RemoteFallbacks != 0 {
+		t.Fatalf("%d fallbacks despite the fleet recovering within the wait bound", res.RemoteFallbacks)
+	}
+}
+
+// TestBackpressureExhaustedFallsBack: a fleet that never admits drains
+// the wait bound and then degrades like a transport failure — the load
+// still completes in process.
+func TestBackpressureExhaustedFallsBack(t *testing.T) {
+	p := figure2Prog()
+
+	remote := &backpressureProver{rejects: -1}
+	res := Load(p, Options{
+		EnableBCF:        true,
+		Remote:           remote,
+		BackpressureWait: 30 * time.Millisecond,
+	})
+	if !res.Accepted {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if res.RemoteProofs != 0 {
+		t.Fatalf("%d remote proofs from a never-admitting fleet", res.RemoteProofs)
+	}
+	if res.RemoteFallbacks == 0 {
+		t.Fatal("no fallback after the wait bound drained")
+	}
+	if res.RemoteBackpressure == 0 {
+		t.Fatal("no backpressure waits recorded")
+	}
+}
+
+// TestBackpressureRemoteOnlyClassified: under RemoteOnly an exhausted
+// wait bound is the load's outcome, classified like any transport
+// failure rather than hanging or panicking.
+func TestBackpressureRemoteOnlyClassified(t *testing.T) {
+	p := figure2Prog()
+
+	remote := &backpressureProver{rejects: -1}
+	start := time.Now()
+	res := Load(p, Options{
+		EnableBCF:        true,
+		Remote:           remote,
+		RemoteOnly:       true,
+		BackpressureWait: 30 * time.Millisecond,
+	})
+	if res.Accepted {
+		t.Fatal("accepted with no prover available")
+	}
+	if res.ErrClass != bcferr.ClassProtocol {
+		t.Fatalf("class = %v, want ClassProtocol", res.ErrClass)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("load took %v; backpressure waits unbounded", elapsed)
+	}
+}

@@ -42,12 +42,26 @@ const (
 	MCacheCoalesced     = "bcf_proof_cache_coalesced_total" // singleflight piggybacks
 
 	// Remote proving, client side (proofrpc.Client + loader fallback).
-	MRemoteProofs    = "bcf_remote_proofs_total"    // obligations proven by the daemon
-	MRemoteFallbacks = "bcf_remote_fallbacks_total" // transport failures degraded to in-process
-	MRemoteRequests  = "bcf_remote_requests_total"  // RPC attempts, label: outcome=ok|transport|error
-	MRemoteRetries   = "bcf_remote_retries_total"   // attempts beyond the first
-	MRemoteSource    = "bcf_remote_source_total"    // label: src=solved|mem|disk|coalesced
-	MRemoteSeconds   = "bcf_remote_seconds"         // whole ProveBytes call incl. retries
+	MRemoteProofs       = "bcf_remote_proofs_total"             // obligations proven by the daemon
+	MRemoteFallbacks    = "bcf_remote_fallbacks_total"          // transport failures degraded to in-process
+	MRemoteRequests     = "bcf_remote_requests_total"           // RPC attempts, label: outcome=ok|transport|error
+	MRemoteRetries      = "bcf_remote_retries_total"            // attempts beyond the first
+	MRemoteSource       = "bcf_remote_source_total"             // label: src=solved|mem|disk|coalesced
+	MRemoteSeconds      = "bcf_remote_seconds"                  // whole ProveBytes call incl. retries
+	MRemoteBackpressure = "bcf_remote_backpressure_waits_total" // bounded waits behind fleet admission control
+
+	// Resilient proving fleet, client side (internal/prooffleet).
+	MFleetDispatches   = "fleet_dispatches_total"    // label: backend
+	MFleetFailovers    = "fleet_failovers_total"     // primary dead, key rehashed to a survivor
+	MFleetHedges       = "fleet_hedges_total"        // hedge requests launched
+	MFleetHedgeWins    = "fleet_hedge_wins_total"    // hedges that answered before the primary
+	MFleetBackpressure = "fleet_backpressure_total"  // admission-control rejections
+	MFleetByzantine    = "fleet_byzantine_total"     // undecodable/garbage proofs, label: backend
+	MFleetProbes       = "fleet_probes_total"        // label: backend, outcome=ok|fail
+	MFleetBreakerOpens = "fleet_breaker_opens_total" // label: backend
+	MFleetBreakerState = "fleet_breaker_state"       // gauge, label: backend (0 closed, 1 half-open, 2 open)
+	MFleetInflight     = "fleet_inflight"            // gauge: obligations inside admission
+	MFleetSeconds      = "fleet_prove_seconds"       // whole fleet ProveBytes call
 
 	// Remote proving, daemon side (internal/proofd).
 	MDaemonConns      = "proofd_conns_total"

@@ -46,15 +46,23 @@ type Options struct {
 	// MaxPayload overrides the per-frame payload budget
 	// (0 = proofrpc.MaxPayload).
 	MaxPayload int
+	// ChaosDelay, when positive, stalls every prove request by this much
+	// before it is served. A chaos-drill knob (bcfd -chaos-delay): a
+	// deliberately slow daemon in an otherwise healthy fleet exercises
+	// the client's hedging and health-scoring paths with real latency.
+	ChaosDelay time.Duration
 	// Obs and Trace, when non-nil, receive the daemon's metrics/spans.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
 }
 
-// Server serves the proofrpc protocol: one goroutine per connection,
-// singleflight coalescing of identical in-flight obligations, an
-// LRU-over-disk cache hierarchy in front of the solver, an inflight
-// semaphore for backpressure, and a graceful drain on Shutdown.
+// Server serves the proofrpc protocol: one reader goroutine per
+// connection fanning each request frame out to its own handler goroutine
+// (so one connection carries concurrent obligations and replies return
+// out of order, keyed by request ID), singleflight coalescing of
+// identical in-flight obligations, an LRU-over-disk cache hierarchy in
+// front of the solver, an inflight semaphore for backpressure, and a
+// graceful drain on Shutdown.
 type Server struct {
 	opts     Options
 	cache    *loader.ProofCache
@@ -62,10 +70,20 @@ type Server struct {
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]bool // conn -> busy (serving a request)
+	conns     map[*srvConn]struct{}
 	closed    bool
 
 	wg sync.WaitGroup
+}
+
+// srvConn is one accepted connection: a write mutex serializes reply
+// frames from concurrent handlers, and wg tracks the handlers themselves
+// so a drain can wait for their replies to hit the wire before the
+// socket closes.
+type srvConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	wg   sync.WaitGroup
 }
 
 // New returns an unstarted server.
@@ -85,7 +103,7 @@ func New(opts Options) *Server {
 		cache:     cache,
 		inflight:  make(chan struct{}, opts.MaxInflight),
 		listeners: map[net.Listener]struct{}{},
-		conns:     map[net.Conn]bool{},
+		conns:     map[*srvConn]struct{}{},
 	}
 }
 
@@ -120,35 +138,46 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		sc := &srvConn{conn: conn}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = false
+		s.conns[sc] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.opts.Obs.Counter(obs.MDaemonConns).Inc()
-		go s.serveConn(conn)
+		go s.serveConn(sc)
 	}
 }
 
-// Shutdown gracefully drains the server: listeners close, idle
-// connections are torn down, busy connections finish their current
-// request, and remaining stragglers are force-closed when ctx expires.
+// Shutdown gracefully drains the server: listeners close, no new
+// requests are admitted, in-flight requests finish and their replies
+// reach the wire, then the connections close. Stragglers are
+// force-closed when ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	for l := range s.listeners {
 		l.Close()
 	}
-	for conn, busy := range s.conns {
-		if !busy {
-			conn.Close() // wakes the blocked ReadFrame
-		}
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
 	}
 	s.mu.Unlock()
+
+	// Per connection: wait for its in-flight handlers (replies written),
+	// then close the socket, which also wakes its blocked reader. closed
+	// is already set, so no handler can start after the Wait returns.
+	for _, sc := range conns {
+		go func(sc *srvConn) {
+			sc.wg.Wait()
+			sc.conn.Close()
+		}(sc)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -160,8 +189,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
-		for conn := range s.conns {
-			conn.Close()
+		for sc := range s.conns {
+			sc.conn.Close()
 		}
 		s.mu.Unlock()
 		<-done
@@ -169,38 +198,44 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// setBusy flips a connection's busy flag; it reports false when the
-// server has closed underneath the connection (stop serving).
-func (s *Server) setBusy(conn net.Conn, busy bool) bool {
+// tryStart admits one request for handling; it reports false when the
+// server is draining (no new work). The handler slot it takes on the
+// connection's WaitGroup is released by the handler goroutine.
+func (s *Server) tryStart(sc *srvConn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.conns[conn]; !ok {
+	if s.closed {
 		return false
 	}
-	s.conns[conn] = busy
-	return !s.closed
+	sc.wg.Add(1)
+	return true
 }
 
-func (s *Server) dropConn(conn net.Conn) {
+func (s *Server) dropConn(sc *srvConn) {
 	s.mu.Lock()
-	delete(s.conns, conn)
+	delete(s.conns, sc)
 	s.mu.Unlock()
-	conn.Close()
+	sc.conn.Close()
 	s.wg.Done()
 }
 
-// serveConn handles one connection: read a frame, serve it, reply,
-// repeat. Requests on one connection are sequential by construction
-// (the client keeps one outstanding request per connection), so no
-// per-connection demultiplexing is needed.
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.dropConn(conn)
+// serveConn reads frames off one connection and fans each request out to
+// its own handler goroutine; replies are written under the connection's
+// write mutex, so one connection carries concurrent obligations with
+// out-of-order, request-ID-correlated replies (the MuxConn contract).
+// The reader exits on the first transport or protocol fault — the frame
+// decoder cannot resynchronize a byte stream after garbage — but waits
+// for in-flight handlers before closing the socket, so their replies are
+// not lost.
+func (s *Server) serveConn(sc *srvConn) {
+	defer func() {
+		sc.wg.Wait()
+		s.dropConn(sc)
+	}()
 	for {
-		f, err := proofrpc.ReadFrame(conn)
+		f, err := proofrpc.ReadFrame(sc.conn)
 		if err != nil {
-			// EOF, peer reset, or a malformed/oversized frame. The frame
-			// decoder cannot resynchronize a byte stream after garbage, so
-			// any decode failure drops the connection.
+			// EOF, peer reset, or a malformed/oversized frame.
 			if !isClosedErr(err) {
 				s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
 			}
@@ -208,27 +243,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if len(f.Payload) > s.opts.MaxPayload {
 			s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
-			s.reply(conn, f.ReqID, &proofrpc.Frame{
+			s.reply(sc, f.ReqID, &proofrpc.Frame{
 				Type: proofrpc.TError,
 				Payload: proofrpc.EncodeErrorPayload(uint32(bcferr.ClassResourceLimit),
 					fmt.Sprintf("payload %d bytes exceeds server limit %d", len(f.Payload), s.opts.MaxPayload)),
 			})
 			return
 		}
-		if !s.setBusy(conn, true) {
-			return // shutting down: don't start new work
+		if !s.tryStart(sc) {
+			return // draining: don't start new work
 		}
-		reply := s.handle(f)
-		ok := s.setBusy(conn, false)
-		if err := s.reply(conn, f.ReqID, reply); err != nil || !ok {
-			return
-		}
+		go func(f *proofrpc.Frame) {
+			defer sc.wg.Done()
+			s.reply(sc, f.ReqID, s.handle(f))
+		}(f)
 	}
 }
 
-func (s *Server) reply(conn net.Conn, reqID uint64, f *proofrpc.Frame) error {
+func (s *Server) reply(sc *srvConn, reqID uint64, f *proofrpc.Frame) error {
 	f.ReqID = reqID
-	return proofrpc.WriteFrame(conn, f)
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	return proofrpc.WriteFrame(sc.conn, f)
 }
 
 // isClosedErr distinguishes a peer going away (normal) from a peer
@@ -244,9 +280,18 @@ func (s *Server) handle(f *proofrpc.Frame) *proofrpc.Frame {
 	case proofrpc.TPing:
 		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "ping")).Inc()
 		return &proofrpc.Frame{Type: proofrpc.TPong}
+	case proofrpc.THealth:
+		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "health")).Inc()
+		return &proofrpc.Frame{Type: proofrpc.THealthOK,
+			Payload: proofrpc.EncodeHealthPayload(s.health())}
 	case proofrpc.TProve:
 		s.inflight <- struct{}{} // backpressure beyond MaxInflight
 		s.opts.Obs.Gauge(obs.MDaemonInflight).Add(1)
+		if s.opts.ChaosDelay > 0 {
+			// Stall inside the semaphore so the slowness is visible as
+			// inflight load in health snapshots, like a slow solve would be.
+			time.Sleep(s.opts.ChaosDelay)
+		}
 		defer func() {
 			s.opts.Obs.Gauge(obs.MDaemonInflight).Add(-1)
 			<-s.inflight
@@ -270,6 +315,19 @@ func (s *Server) handle(f *proofrpc.Frame) *proofrpc.Frame {
 			Payload: proofrpc.EncodeErrorPayload(uint32(bcferr.ClassProtocol),
 				fmt.Sprintf("unexpected request type %d", f.Type)),
 		}
+	}
+}
+
+// health snapshots the daemon's load for a THealthOK reply.
+func (s *Server) health() proofrpc.Health {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	return proofrpc.Health{
+		Inflight:    uint32(len(s.inflight)),
+		MaxInflight: uint32(s.opts.MaxInflight),
+		CacheSize:   uint32(s.cache.Snapshot().Size),
+		Draining:    draining,
 	}
 }
 

@@ -1,0 +1,84 @@
+package prooffleet
+
+import (
+	"sync"
+	"time"
+
+	"bcf/internal/bcferr"
+)
+
+// admission is the fleet client's admission controller: a token bucket
+// bounds the sustained dispatch rate and an inflight counter bounds
+// concurrency. Neither blocks — an obligation that cannot be admitted is
+// rejected immediately with bcferr.ErrBackpressure, and the *loader*
+// decides how to wait (a bounded queue with jittered retries), so the
+// queueing policy lives in exactly one place.
+type admission struct {
+	mu sync.Mutex
+
+	// Token bucket (rate <= 0 disables it).
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	// Inflight bound (maxInflight <= 0 disables it).
+	maxInflight int
+	inflight    int
+}
+
+func newAdmission(rate float64, burst int, maxInflight int, now time.Time) *admission {
+	b := float64(burst)
+	if rate > 0 && b <= 0 {
+		b = rate // default burst: one second of rate
+	}
+	return &admission{
+		rate:        rate,
+		burst:       b,
+		tokens:      b,
+		last:        now,
+		maxInflight: maxInflight,
+	}
+}
+
+// Admit takes one admission slot, or reports ErrBackpressure. Callers
+// that were admitted MUST call Release exactly once.
+func (a *admission) Admit(now time.Time) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.maxInflight > 0 && a.inflight >= a.maxInflight {
+		return bcferr.ErrBackpressure
+	}
+	if a.rate > 0 {
+		elapsed := now.Sub(a.last).Seconds()
+		if elapsed > 0 {
+			a.tokens += elapsed * a.rate
+			if a.tokens > a.burst {
+				a.tokens = a.burst
+			}
+			a.last = now
+		}
+		if a.tokens < 1 {
+			return bcferr.ErrBackpressure
+		}
+		a.tokens--
+	}
+	a.inflight++
+	return nil
+}
+
+// Release returns an admission slot.
+func (a *admission) Release() {
+	a.mu.Lock()
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	a.mu.Unlock()
+}
+
+// Inflight reports the obligations currently inside admission.
+func (a *admission) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}

@@ -1,0 +1,191 @@
+package prooffleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one backend.
+type BreakerState uint8
+
+// Breaker states. The numeric values are exported as the
+// fleet_breaker_state gauge.
+const (
+	// BreakerClosed: healthy, all traffic flows.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: cooling off finished; a probationary trickle of
+	// requests tests the backend before full traffic resumes.
+	BreakerHalfOpen
+	// BreakerOpen: the backend is presumed dead; requests are denied
+	// without touching the wire until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breakerConfig tunes one backend's circuit breaker.
+type breakerConfig struct {
+	// failures in a row trip the breaker Closed→Open.
+	failures int
+	// cooldown is how long the breaker stays Open before admitting the
+	// probationary trickle.
+	cooldown time.Duration
+	// probation is how many consecutive half-open successes close the
+	// breaker; any half-open failure reopens it.
+	probation int
+	// trickle bounds concurrently-outstanding probationary requests, so
+	// a recovering backend is not hit with the full queue at once.
+	trickle int
+}
+
+// breaker is a three-state circuit breaker (closed → open → half-open).
+// State transitions happen on the request path (Allow / Success /
+// Failure) and on health-probe outcomes, which report through the same
+// Success/Failure methods: an active ping that fails keeps the breaker
+// open exactly like a failed prove would.
+type breaker struct {
+	cfg breakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int       // closed: failures in a row
+	openedAt    time.Time // open: when the breaker tripped
+	probeOK     int       // half-open: successes so far
+	outstanding int       // half-open: trickle slots in use
+	opens       int       // lifetime count of Closed/HalfOpen→Open trips
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.failures <= 0 {
+		cfg.failures = 3
+	}
+	if cfg.cooldown <= 0 {
+		cfg.cooldown = 500 * time.Millisecond
+	}
+	if cfg.probation <= 0 {
+		cfg.probation = 2
+	}
+	if cfg.trickle <= 0 {
+		cfg.trickle = 1
+	}
+	return &breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may be dispatched to the backend now.
+// In the half-open state it hands out at most cfg.trickle probationary
+// slots; callers that got a slot MUST report Success or Failure so the
+// slot is returned.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		// Cooldown over: move to half-open and hand this caller the
+		// first probationary slot.
+		b.state = BreakerHalfOpen
+		b.probeOK = 0
+		b.outstanding = 1
+		return true
+	case BreakerHalfOpen:
+		if b.outstanding >= b.cfg.trickle {
+			return false
+		}
+		b.outstanding++
+		return true
+	}
+	return false
+}
+
+// Success reports a request (or probe) that completed cleanly.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails = 0
+	case BreakerHalfOpen:
+		if b.outstanding > 0 {
+			b.outstanding--
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.probation {
+			b.state = BreakerClosed
+			b.consecFails = 0
+		}
+	}
+}
+
+// Failure reports a transport-level failure against the backend.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.failures {
+			b.trip(now)
+		}
+	case BreakerHalfOpen:
+		// Any probationary failure reopens immediately: the backend is
+		// not back yet.
+		if b.outstanding > 0 {
+			b.outstanding--
+		}
+		b.trip(now)
+	case BreakerOpen:
+		// A failure while open (e.g. a probe raced the trip) just
+		// refreshes the cooldown clock.
+		b.openedAt = now
+	}
+}
+
+// Forgive returns an outstanding probationary slot without counting the
+// request as either outcome. Used when a dispatch is cancelled (a hedge
+// lost the race, or the caller gave up): the backend's health was never
+// actually observed, so neither punishing nor rewarding it is right.
+func (b *breaker) Forgive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.outstanding > 0 {
+		b.outstanding--
+	}
+}
+
+// trip moves to Open. Caller holds b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.consecFails = 0
+	b.probeOK = 0
+	b.outstanding = 0
+	b.opens++
+}
+
+// State reports the current state without advancing it.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports how many times the breaker has tripped open.
+func (b *breaker) Opens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,111 @@
+package prooffleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// healthTracker is the passive half of a backend's health signal: an
+// exponentially-weighted error rate over recent request outcomes. The
+// active half (ping probes) and this passive half both feed the same
+// circuit breaker; the tracker additionally exposes the smoothed rate
+// for observability and tests.
+type healthTracker struct {
+	mu sync.Mutex
+	// errRate is the EWMA of failures (1 = every recent request failed).
+	errRate float64
+	// alpha is the smoothing factor per observation.
+	alpha float64
+	// observations counts outcomes folded in.
+	observations int
+}
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{alpha: 0.2}
+}
+
+// Observe folds one request outcome into the error rate.
+func (h *healthTracker) Observe(failed bool) {
+	v := 0.0
+	if failed {
+		v = 1.0
+	}
+	h.mu.Lock()
+	h.errRate = (1-h.alpha)*h.errRate + h.alpha*v
+	h.observations++
+	h.mu.Unlock()
+}
+
+// ErrorRate reports the smoothed failure rate in [0, 1].
+func (h *healthTracker) ErrorRate() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.errRate
+}
+
+// latencyDigest is a bounded ring of recent successful-request latencies
+// from which hedge delays are derived. Percentile queries copy and sort
+// the (small) window; the prove path only appends, so the hot-path cost
+// is one lock and one store.
+type latencyDigest struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+const latencyWindow = 256
+
+func newLatencyDigest() *latencyDigest {
+	return &latencyDigest{samples: make([]time.Duration, latencyWindow)}
+}
+
+// Observe records one successful request latency.
+func (d *latencyDigest) Observe(v time.Duration) {
+	d.mu.Lock()
+	d.samples[d.next] = v
+	d.next++
+	if d.next == len(d.samples) {
+		d.next = 0
+		d.full = true
+	}
+	d.mu.Unlock()
+}
+
+// Count reports how many samples the window holds.
+func (d *latencyDigest) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.full {
+		return len(d.samples)
+	}
+	return d.next
+}
+
+// Percentile reports the p-th percentile (p in [0, 100]) of the window,
+// 0 when empty.
+func (d *latencyDigest) Percentile(p float64) time.Duration {
+	d.mu.Lock()
+	n := d.next
+	if d.full {
+		n = len(d.samples)
+	}
+	if n == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, d.samples[:n])
+	d.mu.Unlock()
+
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(p / 100 * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}

@@ -3,6 +3,7 @@ package proofrpc
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"strings"
 	"sync"
@@ -218,16 +219,24 @@ func (c *Client) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
 // failures. Reply interpretation (proof / counterexample / remote
 // error) happens inside each attempt so that a corrupt-but-readable
 // reply is retried like any other transport fault.
+//
+// The backoff is jittered (uniform over [base/2, base·1.5), base
+// doubling per retry) so that a fleet of clients retrying against a
+// recovering daemon does not stampede it in lockstep, and every sleep
+// races ctx.Done(): a cancelled load stops retrying immediately instead
+// of serving out the remainder of its schedule.
 func (c *Client) roundTrip(ctx context.Context, typ uint32, payload []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.opts.Obs.Counter(obs.MRemoteRetries).Inc()
-			backoff := c.opts.RetryBackoff << (attempt - 1)
+			backoff := jitter(c.opts.RetryBackoff << (attempt - 1))
+			timer := time.NewTimer(backoff)
 			select {
 			case <-ctx.Done():
+				timer.Stop()
 				return nil, unavailable("proofrpc: %v", ctx.Err())
-			case <-time.After(backoff):
+			case <-timer.C:
 			}
 		}
 		if err := ctx.Err(); err != nil {
@@ -269,17 +278,40 @@ func (c *Client) attempt(ctx context.Context, typ uint32, payload []byte) (reply
 		deadline = d
 	}
 	conn.SetDeadline(deadline)
+	// A context cancelled without a deadline (caller gave up, load
+	// aborted) must not leave this attempt blocked until RequestTimeout:
+	// expire the connection's deadline immediately so the pending read or
+	// write returns. stopWatchdog joins the goroutine, so after it returns
+	// nobody else touches the connection's deadline (the release path
+	// resets it before pooling).
+	watchdog := make(chan struct{})
+	watchdogDone := make(chan struct{})
+	go func() {
+		defer close(watchdogDone)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now())
+		case <-watchdog:
+		}
+	}()
+	stopWatchdog := func() {
+		close(watchdog)
+		<-watchdogDone
+	}
 
 	f := &Frame{Type: typ, ReqID: uint64(req), Payload: payload}
 	if err := WriteFrame(conn, f); err != nil {
+		stopWatchdog()
 		conn.Close()
 		return nil, unavailable("proofrpc: write: %v", err), true
 	}
 	rf, err := ReadFrame(conn)
 	if err != nil {
+		stopWatchdog()
 		conn.Close()
 		return nil, unavailable("proofrpc: read: %v", err), true
 	}
+	stopWatchdog()
 	body := rf.Payload
 	if c.opts.Fault != nil {
 		body = c.opts.Fault.RPCRecv(req, body)
@@ -297,21 +329,53 @@ func (c *Client) attempt(ctx context.Context, typ uint32, payload []byte) (reply
 	return out, err, false
 }
 
-// interpret maps a reply frame to the request's outcome.
+// jitter spreads d uniformly over [d/2, 3d/2) so retry schedules across
+// a fleet of clients decorrelate.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// interpret maps a reply frame to the request's outcome, counting proof
+// sources into the client's registry.
 func (c *Client) interpret(reqType, replyType uint32, body []byte) (out []byte, err error, transport bool) {
+	out, src, err, transport := InterpretReply(reqType, replyType, body)
+	if err == nil && !transport && replyType == TProofOK {
+		c.opts.Obs.Counter(obs.Label(obs.MRemoteSource, "src", SrcString(src))).Inc()
+	}
+	return out, err, transport
+}
+
+// InterpretReply maps a reply frame to the outcome of the request that
+// elicited it. transport=true marks failures of the wire (malformed or
+// mismatched replies, undecodable proof bytes) as opposed to
+// authoritative proving outcomes; transport errors match
+// bcferr.ErrRemoteUnavailable. src is the daemon-reported proof source
+// for TProofOK replies. Both the classic Client and the prooffleet
+// backends route replies through here, so a byzantine daemon is
+// classified identically no matter which transport carried its bytes.
+func InterpretReply(reqType, replyType uint32, body []byte) (out []byte, src byte, err error, transport bool) {
 	switch replyType {
 	case TPong:
 		if reqType != TPing {
-			return nil, unavailable("proofrpc: unexpected pong"), true
+			return nil, 0, unavailable("proofrpc: unexpected pong"), true
 		}
-		return nil, nil, false
+		return nil, 0, nil, false
+
+	case THealthOK:
+		if reqType != THealth {
+			return nil, 0, unavailable("proofrpc: unexpected health reply"), true
+		}
+		return append([]byte(nil), body...), 0, nil, false
 
 	case TProofOK:
 		if reqType != TProve {
-			return nil, unavailable("proofrpc: unexpected proof reply"), true
+			return nil, 0, unavailable("proofrpc: unexpected proof reply"), true
 		}
 		if len(body) < 1 {
-			return nil, unavailable("proofrpc: empty proof reply"), true
+			return nil, 0, unavailable("proofrpc: empty proof reply"), true
 		}
 		src, proofBytes := body[0], body[1:]
 		// Sanity-decode before handing the bytes to the kernel boundary:
@@ -319,27 +383,26 @@ func (c *Client) interpret(reqType, replyType uint32, body []byte) (out []byte, 
 		// fallback) instead of a guaranteed kernel-side rejection. The
 		// kernel checker remains the soundness gate either way.
 		if _, derr := bcfenc.DecodeProof(proofBytes); derr != nil {
-			return nil, unavailable("proofrpc: undecodable proof from daemon: %v", derr), true
+			return nil, src, unavailable("proofrpc: undecodable proof from daemon: %v", derr), true
 		}
-		c.opts.Obs.Counter(obs.Label(obs.MRemoteSource, "src", SrcString(src))).Inc()
-		return append([]byte(nil), proofBytes...), nil, false
+		return append([]byte(nil), proofBytes...), src, nil, false
 
 	case TCex:
 		cex, derr := DecodeCexPayload(body)
 		if derr != nil {
-			return nil, unavailable("proofrpc: bad cex payload: %v", derr), true
+			return nil, 0, unavailable("proofrpc: bad cex payload: %v", derr), true
 		}
-		return nil, bcferr.WithCounterexample(bcferr.New(bcferr.ClassUnsafe,
+		return nil, 0, bcferr.WithCounterexample(bcferr.New(bcferr.ClassUnsafe,
 			"proofrpc: condition violated (counterexample found remotely)"), cex), false
 
 	case TError:
 		class, msg, derr := DecodeErrorPayload(body)
 		if derr != nil {
-			return nil, unavailable("proofrpc: bad error payload: %v", derr), true
+			return nil, 0, unavailable("proofrpc: bad error payload: %v", derr), true
 		}
-		return nil, bcferr.New(bcferr.Class(class), "proofrpc: remote: %s", msg), false
+		return nil, 0, bcferr.New(bcferr.Class(class), "proofrpc: remote: %s", msg), false
 
 	default:
-		return nil, unavailable("proofrpc: unexpected reply type %d", replyType), true
+		return nil, 0, unavailable("proofrpc: unexpected reply type %d", replyType), true
 	}
 }

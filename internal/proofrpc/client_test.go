@@ -229,3 +229,66 @@ func TestClientClosed(t *testing.T) {
 		t.Fatalf("err after close = %v, want ErrRemoteUnavailable", err)
 	}
 }
+
+// TestClientCancelMidRetryBackoff is the regression test for the retry
+// loop honoring ctx.Done() between attempts: with a multi-second base
+// backoff and a server that always drops the connection, cancelling the
+// context during the first backoff sleep must end the call immediately —
+// not after the remaining retry schedule has been slept out.
+func TestClientCancelMidRetryBackoff(t *testing.T) {
+	var drops atomic.Int64
+	endpoint := fakeServer(t, func(f *Frame) *Frame {
+		drops.Add(1)
+		return nil // hang up without replying: transport fault, client retries
+	})
+	network, addr, err := ParseAddr(endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(ClientOptions{
+		Network: network, Addr: addr,
+		ConnectTimeout: time.Second,
+		RequestTimeout: time.Second,
+		RetryBackoff:   10 * time.Second, // would sleep ~5s+ before attempt 2
+		MaxRetries:     3,
+	})
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the first attempt fail and the backoff sleep begin.
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.ProveBytes(ctx, []byte("cond"))
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, bcferr.ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want ErrRemoteUnavailable", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled call took %v; retry backoff ignored ctx.Done()", elapsed)
+	}
+	if got := drops.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1 (cancel fired mid-backoff)", got)
+	}
+}
+
+// TestClientBackoffJitterSpread checks that the jittered backoff is not
+// a fixed point: two clients with the same base must not always sleep
+// the same schedule (anti-stampede).
+func TestClientBackoffJitterSpread(t *testing.T) {
+	base := 80 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		d := jitter(base)
+		if d < base/2 || d >= base/2+base {
+			t.Fatalf("jitter(%v) = %v outside [base/2, 1.5*base)", base, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("jitter produced only %d distinct values in 64 draws", len(seen))
+	}
+}

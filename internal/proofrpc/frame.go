@@ -45,8 +45,14 @@ const (
 	// TError answers a TProve that failed: a bcferr class word followed
 	// by the error message.
 	TError
+	// THealth asks the daemon for a health snapshot; fleet clients use it
+	// as the active probe feeding circuit breakers. Unlike TPing — a bare
+	// liveness round-trip — the reply carries load information.
+	THealth
+	// THealthOK answers a THealth: an EncodeHealthPayload snapshot.
+	THealthOK
 
-	maxFrameType = TError
+	maxFrameType = THealthOK
 )
 
 // Proof sources reported in the first payload byte of a TProofOK reply,
@@ -238,4 +244,51 @@ func DecodeErrorPayload(buf []byte) (class uint32, msg string, err error) {
 		return 0, "", fmt.Errorf("proofrpc: truncated error payload")
 	}
 	return binary.LittleEndian.Uint32(buf), string(buf[4:]), nil
+}
+
+// Health is the daemon load snapshot carried by a THealthOK reply. Fleet
+// clients fold it into their per-backend scoring: a draining daemon is
+// taken out of rotation before its socket ever refuses, and a saturated
+// one sheds hedges.
+type Health struct {
+	// Inflight is the number of obligations currently being proven.
+	Inflight uint32
+	// MaxInflight is the daemon's proving-concurrency bound.
+	MaxInflight uint32
+	// CacheSize is the number of proofs in the daemon's memory cache.
+	CacheSize uint32
+	// Draining reports that the daemon is shutting down: it will finish
+	// inflight work but new obligations should go elsewhere.
+	Draining bool
+}
+
+// healthPayloadLen is the fixed THealthOK payload size:
+// inflight u32 | max inflight u32 | cache size u32 | flags u32.
+const healthPayloadLen = 16
+
+// EncodeHealthPayload serializes a Health snapshot for a THealthOK frame.
+func EncodeHealthPayload(h Health) []byte {
+	buf := make([]byte, healthPayloadLen)
+	binary.LittleEndian.PutUint32(buf[0:], h.Inflight)
+	binary.LittleEndian.PutUint32(buf[4:], h.MaxInflight)
+	binary.LittleEndian.PutUint32(buf[8:], h.CacheSize)
+	var flags uint32
+	if h.Draining {
+		flags |= 1
+	}
+	binary.LittleEndian.PutUint32(buf[12:], flags)
+	return buf
+}
+
+// DecodeHealthPayload parses a THealthOK payload.
+func DecodeHealthPayload(buf []byte) (Health, error) {
+	if len(buf) != healthPayloadLen {
+		return Health{}, fmt.Errorf("proofrpc: health payload %d bytes, want %d", len(buf), healthPayloadLen)
+	}
+	return Health{
+		Inflight:    binary.LittleEndian.Uint32(buf[0:]),
+		MaxInflight: binary.LittleEndian.Uint32(buf[4:]),
+		CacheSize:   binary.LittleEndian.Uint32(buf[8:]),
+		Draining:    binary.LittleEndian.Uint32(buf[12:])&1 != 0,
+	}, nil
 }

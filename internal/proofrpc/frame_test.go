@@ -196,3 +196,26 @@ func TestParseAddr(t *testing.T) {
 		}
 	}
 }
+
+func TestHealthPayloadRoundTrip(t *testing.T) {
+	cases := []Health{
+		{},
+		{Inflight: 7, MaxInflight: 32, CacheSize: 4096},
+		{Inflight: 1, MaxInflight: 1, Draining: true},
+	}
+	for _, h := range cases {
+		got, err := DecodeHealthPayload(EncodeHealthPayload(h))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+	if _, err := DecodeHealthPayload([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted truncated health payload")
+	}
+	if _, err := DecodeHealthPayload(make([]byte, healthPayloadLen+1)); err == nil {
+		t.Fatal("accepted oversized health payload")
+	}
+}

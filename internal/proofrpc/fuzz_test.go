@@ -23,6 +23,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(seed(&Frame{Type: TProofOK, ReqID: 1, Payload: []byte{SrcMem, 0, 1, 2, 3}}))
 	f.Add(seed(&Frame{Type: TCex, ReqID: 2, Payload: EncodeCexPayload(map[uint32]uint64{1: 99})}))
 	f.Add(seed(&Frame{Type: TError, ReqID: 3, Payload: EncodeErrorPayload(2, "boom")}))
+	f.Add(seed(&Frame{Type: THealth, ReqID: 4}))
+	f.Add(seed(&Frame{Type: THealthOK, ReqID: 4,
+		Payload: EncodeHealthPayload(Health{Inflight: 3, MaxInflight: 16, CacheSize: 512})}))
+	f.Add(seed(&Frame{Type: THealthOK, ReqID: 5,
+		Payload: EncodeHealthPayload(Health{Draining: true})}))
+	// Multiplexed traffic: high out-of-order request IDs on prove frames.
+	f.Add(seed(&Frame{Type: TProve, ReqID: 1 << 40, Payload: []byte("mux condition")}))
+	f.Add(seed(&Frame{Type: TProofOK, ReqID: (1 << 40) + 1, Payload: []byte{SrcCoalesced, 9, 8, 7}}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x42}, HeaderLen))
 
