@@ -180,6 +180,14 @@ func WithInsnLimit(n int) Option {
 	return func(o *loader.Options) { o.Verifier.InsnLimit = n }
 }
 
+// WithParallelPaths explores pending branch paths with n concurrent
+// workers inside the verifier (n <= 1 keeps the sequential DFS, the
+// default). The accept/reject verdict and the reported error are
+// identical at any worker count; see DESIGN.md, "Parallel verification".
+func WithParallelPaths(n int) Option {
+	return func(o *loader.Options) { o.Verifier.ParallelPaths = n }
+}
+
 // WithDebug records a verifier log into the report.
 func WithDebug() Option {
 	return func(o *loader.Options) { o.Verifier.Debug = true }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"bcf/internal/corpus"
+	"bcf/internal/ebpf"
+	"bcf/internal/verifier"
+)
+
+// verifierBenchReport is the BENCH_parallel_verifier.json schema: the
+// wall-clock speedup of parallel path exploration over the sequential
+// DFS on a branch-heavy worst-case program, plus a determinism verdict.
+// The CI gate (job verifier-parallel) regenerates it on every push and
+// fails on determinism breaks or speedup regressions against the
+// committed artifact.
+type verifierBenchReport struct {
+	Schema     string `json:"schema"`
+	Provenance string `json:"provenance"`
+	GoVersion  string `json:"go_version"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	ParallelPaths int `json:"parallel_paths"`
+	Depth         int `json:"depth"`
+	Paths         int `json:"paths"`
+	ProgramInsns  int `json:"program_insns"`
+	InsnProcessed int `json:"insns_processed"`
+	Reps          int `json:"reps"`
+
+	WallMSP1 float64 `json:"wall_ms_p1"`
+	WallMSPN float64 `json:"wall_ms_pn"`
+	Speedup  float64 `json:"speedup"`
+
+	// Deterministic is true iff the accept verdict, and the full error
+	// identity of a faulty variant, were identical between ParallelPaths
+	// 1 and N across every repetition.
+	Deterministic bool `json:"deterministic"`
+}
+
+// timeVerify runs one verification and returns (duration, err, stats).
+func timeVerify(p *ebpf.Program, workers int) (time.Duration, error, verifier.Stats) {
+	v := verifier.New(p, verifier.Config{ParallelPaths: workers})
+	t0 := time.Now()
+	err := v.Verify()
+	return time.Since(t0), err, v.Stats()
+}
+
+// sameVerifierError reports whether two verification outcomes are
+// byte-identical: both nil, or structured errors with equal identity.
+func sameVerifierError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	ae, aok := a.(*verifier.Error)
+	be, bok := b.(*verifier.Error)
+	if !aok || !bok {
+		return a.Error() == b.Error()
+	}
+	return ae.InsnIdx == be.InsnIdx && ae.Kind == be.Kind && ae.Msg == be.Msg
+}
+
+// runVerifierBench measures the parallel-verifier speedup on the
+// ParallelStress worst case (2^depth mutually incomparable paths, so
+// pruning never helps and exploration work is fixed), checks result
+// determinism on both an accepting and a rejecting variant, and writes
+// the report to path.
+func runVerifierBench(path string, workers, depth, reps int, quiet bool) error {
+	const tail = 96
+	if reps < 1 {
+		reps = 1
+	}
+	accept := corpus.ParallelStress(depth, tail, 0)
+	reject := corpus.ParallelStress(depth, tail, 2)
+
+	deterministic := true
+	best := func(p *ebpf.Program, w int, want error) (time.Duration, verifier.Stats) {
+		minD := time.Duration(0)
+		var minSt verifier.Stats
+		for r := 0; r < reps; r++ {
+			d, err, st := timeVerify(p, w)
+			if !sameVerifierError(want, err) {
+				deterministic = false
+				if !quiet {
+					fmt.Fprintf(os.Stderr, "verifier bench: DETERMINISM BREAK at workers=%d: want %v, got %v\n", w, want, err)
+				}
+			}
+			if r == 0 || d < minD {
+				minD, minSt = d, st
+			}
+		}
+		return minD, minSt
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "verifier bench: depth=%d (%d paths), tail=%d, workers=%d, reps=%d\n",
+			depth, 1<<depth, tail, workers, reps)
+	}
+	d1, st1 := best(accept, 1, nil)
+	dn, _ := best(accept, workers, nil)
+
+	// Error-identity determinism on the rejecting variant, all reps.
+	_, rejErr, _ := timeVerify(reject, 1)
+	if rejErr == nil {
+		deterministic = false
+	}
+	best(reject, workers, rejErr)
+
+	rep := verifierBenchReport{
+		Schema:        "bcf_parallel_verifier_bench/v1",
+		Provenance:    "measured",
+		GoVersion:     runtime.Version(),
+		Cores:         runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ParallelPaths: workers,
+		Depth:         depth,
+		Paths:         1 << depth,
+		ProgramInsns:  len(accept.Insns),
+		InsnProcessed: st1.InsnProcessed,
+		Reps:          reps,
+		WallMSP1:      float64(d1.Microseconds()) / 1000,
+		WallMSPN:      float64(dn.Microseconds()) / 1000,
+		Speedup:       float64(d1) / float64(dn),
+		Deterministic: deterministic,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "verifier bench: p1 %.1fms, p%d %.1fms → %.2fx speedup on %d cores (deterministic=%v)\n",
+			rep.WallMSP1, workers, rep.WallMSPN, rep.Speedup, rep.Cores, deterministic)
+	}
+	return nil
+}

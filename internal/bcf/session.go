@@ -79,6 +79,12 @@ func (l SessionLimits) withDefaults() SessionLimits {
 // traffic, and a watchdog aborts sessions whose user space never resumes,
 // so the verification goroutine can never leak. A Session is not safe for
 // concurrent use by multiple goroutines (neither is a real load).
+//
+// The protocol is a single conversation: one outstanding condition, one
+// proof, strictly alternating. That stays true with
+// verifier.Config.ParallelPaths > 1 — the verifier serializes all
+// refinement requests behind an internal lock, so path workers never
+// emit concurrent conditions into the shared buffer.
 type Session struct {
 	prog *ebpf.Program
 	v    *verifier.Verifier

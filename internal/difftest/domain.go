@@ -3,6 +3,7 @@ package difftest
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"bcf/internal/ebpf"
 	"bcf/internal/verifier"
@@ -20,8 +21,12 @@ type ObsNode struct {
 
 // TreeObserver implements verifier.Observer by materializing the analysis
 // tree. The verifier threads the parent token through branch forks, so
-// the tree mirrors its DFS exactly.
+// the tree mirrors its DFS exactly. With ParallelPaths > 1 both sides of
+// a fork may call Step concurrently under the same parent, so appends
+// are serialized; child order then reflects scheduling, which is fine —
+// trace matching never depends on sibling order.
 type TreeObserver struct {
+	mu    sync.Mutex
 	Roots []*ObsNode
 	Nodes int
 }
@@ -30,6 +35,8 @@ type TreeObserver struct {
 // the instruction that follows it.
 func (o *TreeObserver) Step(parent any, pc int, st *verifier.VState) any {
 	n := &ObsNode{PC: pc, Regs: st.Regs}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.Nodes++
 	if parent == nil {
 		o.Roots = append(o.Roots, n)

@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/loader"
+	"bcf/internal/verifier"
+)
+
+// parallelVerifierConfig is baseVerifierConfig with parallel path
+// exploration switched on.
+func parallelVerifierConfig() verifier.Config {
+	cfg := baseVerifierConfig()
+	cfg.ParallelPaths = 4
+	return cfg
+}
+
+// TestOraclesParallelVerifier re-runs all three differential oracles
+// with parallel path exploration enabled: the domain oracle's observed
+// analysis tree, the BCF-enabled accept-implies-safe loader path, and
+// the checker adversary's refinement conversations must all behave
+// exactly as with the sequential DFS. Run under -race in CI, it also
+// pins the TreeObserver's concurrent Step contract and the verifier's
+// refine serialization.
+func TestOraclesParallelVerifier(t *testing.T) {
+	n := *seedBudget / 2
+	if n < 16 {
+		n = 16
+	}
+
+	// Oracle 1: domain soundness against the concurrently-built tree.
+	accepted := 0
+	for s := 0; s < n; s++ {
+		p := NewGen(int64(s)).Generate()
+		ok, v := CheckDomain(p, parallelVerifierConfig(), inputsPerSeed, int64(s))
+		if ok {
+			accepted++
+		}
+		if v != nil {
+			reportDomain(t, p, int64(s), v)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("parallel verifier accepted no generated program; the oracle is vacuous")
+	}
+
+	// Oracle 2: accept-implies-safe through the full BCF loader, with
+	// refinement requests issuing from concurrent path workers.
+	for s := 0; s < n; s++ {
+		p := NewGen(int64(s)).Generate()
+		opts := loader.Options{EnableBCF: true, Verifier: parallelVerifierConfig()}
+		if _, v := CheckAcceptSafe(p, opts, inputsPerSeed, int64(s)); v != nil {
+			t.Fatalf("generator seed %d: %v", s, v)
+		}
+	}
+
+	// Oracle 3: checker adversary over the handcrafted refinement
+	// fixtures (guaranteed protocol rounds).
+	rng := rand.New(rand.NewSource(42))
+	total := AdversaryStats{}
+	for _, fixed := range []*ebpf.Program{refineProg(), twoCondProg()} {
+		stats, viols := CheckAdversary(fixed, loader.Options{Verifier: parallelVerifierConfig()}, rng, nil)
+		for _, v := range viols {
+			t.Errorf("%s: %v", fixed.Name, v.String())
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		total.Rounds += stats.Rounds
+		total.Mutants += stats.Mutants
+	}
+	if total.Rounds == 0 || total.Mutants == 0 {
+		t.Fatalf("no protocol rounds (%d) or mutants (%d) exercised with the parallel verifier",
+			total.Rounds, total.Mutants)
+	}
+	t.Logf("parallel oracles: %d seeds, %d adversary rounds, %d mutants", n, total.Rounds, total.Mutants)
+}

@@ -8,9 +8,12 @@ import (
 
 // checkCondJmp analyzes a conditional jump: it statically resolves the
 // branch when the abstraction allows, otherwise forks the state, refines
-// both sides with the branch condition, and pushes the taken side.
-// It returns the next pc for the current walk.
-func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *pathNode, obsTok any, stack *[]branchItem) (int, error) {
+// both sides with the branch condition, and hands the taken side to push
+// (the walk's fork callback, which stamps the child's DFS order before
+// queuing it on the frontier). It returns the next pc for the current
+// walk. The pushed side gets a cloned state and its own pathNode, so the
+// two sides share nothing mutable even when walked by different workers.
+func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *pathNode, obsTok any, push func(branchItem)) (int, error) {
 	is32 := ins.Class() == ebpf.ClassJMP32
 	op := ins.JmpOp()
 	dst := &st.Regs[ins.Dst]
@@ -36,7 +39,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		takenNull := op == ebpf.JmpJEQ
 		markPtrOrNull(other, dst.ID, takenNull)
 		markPtrOrNull(st, dst.ID, !takenNull)
-		*stack = append(*stack, branchItem{st: other, pc: target,
+		push(branchItem{st: other, pc: target,
 			node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
 		node.taken = false
 		return pc + 1, nil
@@ -63,7 +66,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 	if dst.Type.IsPtr() || src.Type.IsPtr() {
 		if dst.Type.IsPtr() && srcReg != nil && srcReg.Type.IsPtr() {
 			other := st.clone()
-			*stack = append(*stack, branchItem{st: other, pc: target,
+			push(branchItem{st: other, pc: target,
 				node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
 			node.taken = false
 			return pc + 1, nil
@@ -102,7 +105,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 	if srcReg != nil {
 		syncLinked(st, fSrc.ID, fSrc)
 	}
-	*stack = append(*stack, branchItem{st: other, pc: target,
+	push(branchItem{st: other, pc: target,
 		node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
 	node.taken = false
 	return pc + 1, nil

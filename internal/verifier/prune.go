@@ -1,6 +1,8 @@
 package verifier
 
 import (
+	"sync"
+
 	"bcf/internal/ebpf"
 	"bcf/internal/tnum"
 )
@@ -10,41 +12,72 @@ import (
 // bounding memory like the kernel's state-list heuristics.
 const maxExploredPerInsn = 64
 
-// isPrunePoint reports whether pc is a jump target or post-branch
-// instruction, the positions where explored states are recorded.
-func (v *Verifier) isPrunePoint(pc int) bool {
-	if v.prunePoints == nil {
-		v.prunePoints = make([]bool, len(v.prog.Insns))
-		for i, ins := range v.prog.Insns {
-			if !ins.IsJump() {
-				continue
-			}
-			op := ins.JmpOp()
-			if op == ebpf.JmpCALL || op == ebpf.JmpEXIT {
-				continue
-			}
-			tgt := i + 1 + int(ins.Off)
-			if tgt >= 0 && tgt < len(v.prog.Insns) {
-				v.prunePoints[tgt] = true
-			}
-			if op != ebpf.JmpJA && i+1 < len(v.prog.Insns) {
-				v.prunePoints[i+1] = true
-			}
-		}
-	}
-	return v.prunePoints[pc]
+// exploredEntry is one recorded state plus the DFS-order coordinate of
+// the walk that recorded it; the coordinate restricts pruning visibility
+// under parallel exploration (see parallel.go).
+type exploredEntry struct {
+	st    *VState
+	order *pathOrder
 }
 
+// exploredShard holds the explored states of a single pc behind its own
+// lock, so concurrent subsumption checks at different instructions never
+// serialize the run.
+type exploredShard struct {
+	mu      sync.Mutex
+	entries []exploredEntry
+}
+
+// computePrunePoints marks every jump target and post-branch
+// instruction, the positions where explored states are recorded.
+func computePrunePoints(prog *ebpf.Program) []bool {
+	points := make([]bool, len(prog.Insns))
+	for i, ins := range prog.Insns {
+		if !ins.IsJump() {
+			continue
+		}
+		op := ins.JmpOp()
+		if op == ebpf.JmpCALL || op == ebpf.JmpEXIT {
+			continue
+		}
+		tgt := i + 1 + int(ins.Off)
+		if tgt >= 0 && tgt < len(prog.Insns) {
+			points[tgt] = true
+		}
+		if op != ebpf.JmpJA && i+1 < len(prog.Insns) {
+			points[i+1] = true
+		}
+	}
+	return points
+}
+
+// isPrunePoint reports whether pc is a position where explored states
+// are recorded. The bitmap is precomputed in New — it used to be built
+// lazily from inside the walk loop, a data race once paths walk
+// concurrently.
+func (v *Verifier) isPrunePoint(pc int) bool { return v.prunePoints[pc] }
+
 // pruned reports whether an already-explored state at pc subsumes st; if
-// not, st is recorded for future pruning.
-func (v *Verifier) pruned(pc int, st *VState) bool {
-	for _, old := range v.explored[pc] {
-		if statesSubsume(old, st) {
+// not, st is recorded for future pruning. Under parallel exploration an
+// entry is only eligible to prune a walk ordered after the walk that
+// recorded it — the visibility rule that keeps verdicts and reported
+// errors identical to the sequential DFS regardless of timing.
+func (v *Verifier) pruned(pc int, st *VState, order *pathOrder) bool {
+	par := v.cfg.ParallelPaths > 1
+	sh := &v.explored[pc]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := range sh.entries {
+		e := &sh.entries[i]
+		if par && !orderBefore(e.order, order) {
+			continue
+		}
+		if statesSubsume(e.st, st) {
 			return true
 		}
 	}
-	if len(v.explored[pc]) < maxExploredPerInsn {
-		v.explored[pc] = append(v.explored[pc], st.clone())
+	if len(sh.entries) < maxExploredPerInsn {
+		sh.entries = append(sh.entries, exploredEntry{st: st.clone(), order: order})
 	}
 	return false
 }

@@ -354,6 +354,15 @@ type VState struct {
 }
 
 // clone deep-copies the state (arrays copy by value).
+//
+// Memory-safety contract for parallel path exploration: VState holds
+// only fixed-size arrays of plain-value structs — no slices, maps or
+// pointers — so the value copy is a complete deep copy and a cloned
+// state shares nothing mutable with its origin. Branch forks and
+// explored-table recordings rely on this to hand states across worker
+// goroutines without further synchronization; any field added to
+// RegState or StackSlot must preserve it (or extend clone to copy the
+// referent).
 func (s *VState) clone() *VState {
 	c := *s
 	return &c

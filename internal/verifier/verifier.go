@@ -3,6 +3,8 @@ package verifier
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bcf/internal/ebpf"
@@ -180,6 +182,15 @@ type Config struct {
 	// Trace, when non-nil, records a span per verification run and per
 	// explored path, plus prune instants.
 	Trace *obs.Tracer
+	// ParallelPaths is the number of workers that explore pending branch
+	// paths concurrently; values <= 1 select the sequential DFS (the
+	// default). The accept/reject verdict and the reported Error are
+	// deterministic at any worker count — the verifier reports the error
+	// the sequential DFS would have hit first (see DESIGN.md, "Parallel
+	// verification"). Exploration statistics (paths explored, states
+	// pruned) may legitimately differ from the sequential run. When > 1,
+	// the Observer (if any) must tolerate concurrent Step calls.
+	ParallelPaths int
 }
 
 // DefaultInsnLimit mirrors the kernel's BPF_COMPLEXITY_LIMIT_INSNS.
@@ -188,16 +199,45 @@ const DefaultInsnLimit = 1_000_000
 // Verifier analyzes one program. A Verifier is single-use: create a new
 // one (or a new load session) for every Verify call.
 type Verifier struct {
-	prog        *ebpf.Program
-	cfg         Config
-	stats       Stats
-	log         []string
-	explored    map[int][]*VState
-	prunePoints []bool
-	idGen       uint32
+	prog *ebpf.Program
+	cfg  Config
 
-	// refineAttempts guards against a Refiner that makes no progress.
-	refineAttempts map[int]int
+	// Counters are shared by every path worker when ParallelPaths > 1,
+	// so they live as atomics; Stats() materializes a snapshot.
+	insnProcessed  atomic.Int64
+	pathsExplored  atomic.Int64
+	statesPruned   atomic.Int64
+	peakFrontier   atomic.Int64
+	refinements    atomic.Int64
+	refineAttempts atomic.Int64
+
+	logMu sync.Mutex
+	log   []string
+
+	// explored is the pruning table, sharded per pc so concurrent
+	// subsumption checks at different instructions never contend.
+	explored []exploredShard
+	// prunePoints is precomputed in New; walkers only ever read it.
+	prunePoints []bool
+	idGen       atomic.Uint32
+
+	// budgetErr is the single instruction-budget rejection. Under
+	// parallel exploration the budget trips at a timing-dependent pc, so
+	// the error must not carry one; it is also an identity sentinel that
+	// lets workers tell a budget stop apart from a real path error.
+	budgetErr *Error
+	budgetHit atomic.Bool
+
+	// best is the winning candidate error so far: the one the sequential
+	// DFS would have reached first (minimal pathOrder).
+	best atomic.Pointer[candidate]
+
+	// refineMu serializes Refiner calls across path workers: the BCF
+	// session speaks a strictly alternating condition/proof conversation
+	// with the loader, and the refiner's bookkeeping is unsynchronized.
+	refineMu sync.Mutex
+	// refineSiteHits guards against a Refiner that makes no progress.
+	refineSiteHits map[int]int
 }
 
 // New prepares a verifier for prog.
@@ -205,29 +245,63 @@ func New(prog *ebpf.Program, cfg Config) *Verifier {
 	if cfg.InsnLimit == 0 {
 		cfg.InsnLimit = DefaultInsnLimit
 	}
-	return &Verifier{
+	v := &Verifier{
 		prog:           prog,
 		cfg:            cfg,
-		explored:       map[int][]*VState{},
-		refineAttempts: map[int]int{},
+		explored:       make([]exploredShard, len(prog.Insns)),
+		refineSiteHits: map[int]int{},
+		budgetErr: &Error{InsnIdx: -1, Kind: CheckOther,
+			Msg: fmt.Sprintf("BPF program is too large. Processed %d insn", cfg.InsnLimit)},
 	}
+	// Precomputed at construction: isPrunePoint used to build this
+	// lazily from inside the walk loop, a data race once paths walk
+	// concurrently.
+	v.prunePoints = computePrunePoints(prog)
+	return v
 }
 
 // Stats returns the counters of the last Verify run.
-func (v *Verifier) Stats() Stats { return v.stats }
-
-// Log returns the verifier log (Debug mode only).
-func (v *Verifier) Log() []string { return v.log }
-
-func (v *Verifier) logf(format string, args ...any) {
-	if v.cfg.Debug {
-		v.log = append(v.log, fmt.Sprintf(format, args...))
+func (v *Verifier) Stats() Stats {
+	return Stats{
+		InsnProcessed:  int(v.insnProcessed.Load()),
+		PathsExplored:  int(v.pathsExplored.Load()),
+		StatesPruned:   int(v.statesPruned.Load()),
+		PeakStackDepth: int(v.peakFrontier.Load()),
+		Refinements:    int(v.refinements.Load()),
+		RefineAttempts: int(v.refineAttempts.Load()),
 	}
 }
 
-func (v *Verifier) newID() uint32 {
-	v.idGen++
-	return v.idGen
+// Log returns the verifier log (Debug mode only).
+func (v *Verifier) Log() []string {
+	v.logMu.Lock()
+	defer v.logMu.Unlock()
+	return v.log
+}
+
+func (v *Verifier) logf(format string, args ...any) {
+	if !v.cfg.Debug {
+		return
+	}
+	line := fmt.Sprintf(format, args...)
+	v.logMu.Lock()
+	v.log = append(v.log, line)
+	v.logMu.Unlock()
+}
+
+func (v *Verifier) newID() uint32 { return v.idGen.Add(1) }
+
+// chargeInsn consumes one unit of the global instruction budget. The
+// counter doubles as the InsnProcessed statistic: a failed charge is
+// rolled back, so the budget is a hard cap and the statistic never
+// exceeds InsnLimit at any ParallelPaths.
+func (v *Verifier) chargeInsn() bool {
+	if v.insnProcessed.Add(1) > int64(v.cfg.InsnLimit) {
+		v.insnProcessed.Add(-1)
+		v.budgetHit.Store(true)
+		return false
+	}
+	return true
 }
 
 // pathDone converts the infeasible-path sentinel into a clean path end.
@@ -239,10 +313,11 @@ func pathDone(err error) error {
 }
 
 type branchItem struct {
-	st   *VState
-	pc   int
-	node *pathNode
-	obs  any // observer token of the forking instruction
+	st    *VState
+	pc    int
+	node  *pathNode
+	obs   any        // observer token of the forking instruction
+	order *pathOrder // DFS-order coordinate (see parallel.go)
 }
 
 // Verify runs the analysis and returns nil if the program is safe.
@@ -255,10 +330,14 @@ func (v *Verifier) Verify() error {
 	err := v.verify()
 	sp.End()
 	if r := v.cfg.Obs; r != nil {
+		st := v.Stats()
 		r.StageHistogram(obs.MVerifySeconds).Since(t0)
-		r.Counter(obs.MInsnsProcessed).Add(int64(v.stats.InsnProcessed))
-		r.Counter(obs.MPathsExplored).Add(int64(v.stats.PathsExplored))
-		r.Counter(obs.MStatesPruned).Add(int64(v.stats.StatesPruned))
+		r.Counter(obs.MInsnsProcessed).Add(int64(st.InsnProcessed))
+		r.Counter(obs.MPathsExplored).Add(int64(st.PathsExplored))
+		r.Counter(obs.MStatesPruned).Add(int64(st.StatesPruned))
+		if v.cfg.ParallelPaths > 1 {
+			r.Gauge(obs.MVerifierWorkers).Set(int64(v.cfg.ParallelPaths))
+		}
 	}
 	return err
 }
@@ -267,22 +346,27 @@ func (v *Verifier) verify() error {
 	if err := v.prog.Validate(); err != nil {
 		return &Error{InsnIdx: 0, Kind: CheckOther, Msg: err.Error()}
 	}
-	stack := []branchItem{{st: entryState(), pc: 0, node: nil}}
+	root := branchItem{st: entryState(), pc: 0, node: nil, order: &pathOrder{}}
+	if v.cfg.ParallelPaths > 1 {
+		return v.verifyParallel(root)
+	}
+	stack := []branchItem{root}
+	push := func(it branchItem) { stack = append(stack, it) }
 	for len(stack) > 0 {
-		if len(stack) > v.stats.PeakStackDepth {
-			v.stats.PeakStackDepth = len(stack)
+		if d := int64(len(stack)); d > v.peakFrontier.Load() {
+			v.peakFrontier.Store(d)
 		}
 		item := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		v.stats.PathsExplored++
+		v.pathsExplored.Add(1)
 		var err error
 		if v.cfg.Trace != nil {
 			psp := v.cfg.Trace.StartArgs(obs.CatVerifier, "path",
 				map[string]any{"pc": item.pc})
-			err = v.walk(item, &stack)
+			err = v.walk(item, push)
 			psp.End()
 		} else {
-			err = v.walk(item, &stack)
+			err = v.walk(item, push)
 		}
 		if err != nil {
 			return err
@@ -291,15 +375,22 @@ func (v *Verifier) verify() error {
 	return nil
 }
 
-// walk analyzes one path until exit, prune or error, pushing the untaken
-// sides of branches onto the stack.
-func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
+// walk analyzes one path until exit, prune or error, handing the untaken
+// sides of branches to push. Each pushed child is stamped with a
+// pathOrder extending this walk's, so results stay in sequential DFS
+// order however the frontier schedules them.
+func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 	st, pc, node, obsTok := item.st, item.pc, item.node, item.obs
+	par := v.cfg.ParallelPaths > 1
+	childSeq := int32(0)
+	fork := func(it branchItem) {
+		childSeq++
+		it.order = &pathOrder{parent: item.order, depth: item.order.depth + 1, seq: childSeq}
+		push(it)
+	}
 	for {
-		v.stats.InsnProcessed++
-		if v.stats.InsnProcessed > v.cfg.InsnLimit {
-			return &Error{InsnIdx: pc, Kind: CheckOther,
-				Msg: fmt.Sprintf("BPF program is too large. Processed %d insn", v.cfg.InsnLimit)}
+		if !v.chargeInsn() {
+			return v.budgetErr
 		}
 		if pc < 0 || pc >= len(v.prog.Insns) {
 			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "fell off the end of the program"}
@@ -318,8 +409,14 @@ func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
 		}
 		// Pruning at jump targets.
 		if !v.cfg.NoPruning && v.isPrunePoint(pc) {
-			if v.pruned(pc, st) {
-				v.stats.StatesPruned++
+			if par && v.outranked(item.order) {
+				// A candidate error ordered before this path exists; the
+				// sequential DFS would have stopped before walking further
+				// here, so nothing this path does can matter.
+				return nil
+			}
+			if v.pruned(pc, st, item.order) {
+				v.statesPruned.Add(1)
 				v.logf("%d: pruned", pc)
 				v.cfg.Trace.Instant(obs.CatVerifier, "prune", nil)
 				return nil
@@ -385,7 +482,7 @@ func (v *Verifier) walk(item branchItem, stack *[]branchItem) error {
 				pc++
 				continue
 			}
-			next, err := v.checkCondJmp(st, pc, ins, node, obsTok, stack)
+			next, err := v.checkCondJmp(st, pc, ins, node, obsTok, fork)
 			if err != nil {
 				return err
 			}
@@ -596,12 +693,17 @@ func (v *Verifier) refine(st *VState, pc int, regno ebpf.Reg, kind CheckKind,
 	if v.cfg.Refiner == nil {
 		return orig
 	}
+	// One refinement conversation at a time: the BCF session's
+	// condition/proof channel protocol is single-conversation, and the
+	// refiner's own accounting is unsynchronized. Path workers queue here.
+	v.refineMu.Lock()
+	defer v.refineMu.Unlock()
 	// Loops legitimately re-refine the same instruction on every
 	// iteration (§6.3: up to 16k refinements per program), so there is no
 	// per-site cap; termination is ensured by the progress check below
 	// and by the global instruction budget.
-	v.refineAttempts[pc]++
-	v.stats.RefineAttempts++
+	v.refineSiteHits[pc]++
+	v.refineAttempts.Add(1)
 	req := &RefineRequest{
 		Prog:    v.prog,
 		State:   st,
@@ -625,7 +727,7 @@ func (v *Verifier) refine(st *VState, pc int, regno ebpf.Reg, kind CheckKind,
 		return orig
 	}
 	if res.Pruned {
-		v.stats.Refinements++
+		v.refinements.Add(1)
 		v.logf("%d: path proven infeasible, pruned", pc)
 		return errInfeasiblePath
 	}
@@ -636,7 +738,7 @@ func (v *Verifier) refine(st *VState, pc int, regno ebpf.Reg, kind CheckKind,
 		// No progress; avoid looping forever.
 		return orig
 	}
-	v.stats.Refinements++
+	v.refinements.Add(1)
 	v.logf("%d: refined R%d to [%d, %d]", pc, regno, res.Lo, res.Hi)
 	return nil
 }
