@@ -134,7 +134,7 @@ func (r *Refiner) refine(req *verifier.RefineRequest) (*verifier.RefineResult, e
 		if err := r.delegate(cond, tk, req, start); err != nil {
 			return nil, err
 		}
-		return &verifier.RefineResult{Pruned: true}, nil
+		return &verifier.RefineResult{Pruned: true, TrackStart: start}, nil
 	}
 
 	// 3. The target expression: a scalar's value, or the variable part of
@@ -172,7 +172,7 @@ func (r *Refiner) refine(req *verifier.RefineRequest) (*verifier.RefineResult, e
 	if err := r.delegate(cond, tk, req, start); err != nil {
 		return nil, err
 	}
-	return &verifier.RefineResult{Lo: req.WantLo, Hi: req.WantHi}, nil
+	return &verifier.RefineResult{Lo: req.WantLo, Hi: req.WantHi, TrackStart: start}, nil
 }
 
 // delegate ships the condition to user space and validates the returned

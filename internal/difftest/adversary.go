@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bcf/internal/bcf"
 	"bcf/internal/bcfenc"
 	"bcf/internal/ebpf"
 	"bcf/internal/expr"
@@ -37,7 +38,7 @@ func (v *AdversaryViolation) String() string {
 type AdversaryStats struct {
 	Rounds  int // (condition, proof) pairs captured
 	Mutants int // mutants submitted to the checker
-	Skipped int // mutants whose re-encoding was identical to the original
+	Skipped int // semantic no-ops: identical re-encoding, or still a valid proof
 }
 
 // capturedRound is one kernel→user condition plus the user→kernel proof
@@ -75,9 +76,11 @@ func (c *captureHook) Proof(round int, b []byte) ([]byte, bool) {
 // BCF enabled, capture every (condition, proof) round the protocol
 // carries, then (a) re-check each original proof — the checker must
 // accept it — and (b) submit systematic mutations of it — the checker
-// must reject every one. Mutants whose wire encoding is identical to the
-// original (semantic no-ops) and mutants that fail to encode or decode
-// (they can never reach the checker) are skipped.
+// must reject every mutant that the reference checker rejects. Mutants
+// whose wire encoding is identical to the original, mutants that fail to
+// encode or decode (they can never reach the checker), and mutants that
+// happen to still be valid proofs (accepting them is correct) are
+// skipped.
 func CheckAdversary(p *ebpf.Program, opts loader.Options, rng *rand.Rand, check CheckFn) (AdversaryStats, []AdversaryViolation) {
 	var stats AdversaryStats
 	var viols []AdversaryViolation
@@ -95,10 +98,26 @@ func CheckAdversary(p *ebpf.Program, opts loader.Options, rng *rand.Rand, check 
 		cond *expr.Expr
 		p    *proof.Proof
 	}
+	// Rounds whose byte streams exceed the session limits can never be
+	// accepted by the kernel side — the session refuses the bytes before
+	// the checker ever runs — so mutating them proves nothing and can be
+	// arbitrarily expensive (a budget-blown prover emits proofs orders of
+	// magnitude over the cap).
+	lim := opts.Session
+	if lim.MaxCondBytes == 0 {
+		lim.MaxCondBytes = bcf.DefaultSessionLimits.MaxCondBytes
+	}
+	if lim.MaxProofBytes == 0 {
+		lim.MaxProofBytes = bcf.DefaultSessionLimits.MaxProofBytes
+	}
+
 	var rounds []round
 	for i := range hook.rounds {
 		r := &hook.rounds[i]
 		if r.cond == nil || r.proof == nil {
+			continue
+		}
+		if len(r.cond) > lim.MaxCondBytes || len(r.proof) > lim.MaxProofBytes {
 			continue
 		}
 		c, err := bcfenc.DecodeCondition(r.cond)
@@ -142,9 +161,19 @@ func CheckAdversary(p *ebpf.Program, opts loader.Options, rng *rand.Rand, check 
 			if err != nil {
 				continue // the kernel decoder already rejects it
 			}
-			if check(r.cond, pm) == nil {
-				viols = append(viols, AdversaryViolation{Round: r.idx, Kind: "mutant-accepted", Mutant: m.desc})
+			if check(r.cond, pm) != nil {
+				continue // rejected, as a mutant should be
 			}
+			// The checker recomputes every conclusion, so a mutant can
+			// remain a valid proof (a rotated premise hitting a duplicate
+			// derivation, an edit to a step nothing depends on). Accepting
+			// those is correct; the checker under test is convicted only
+			// when it accepts a proof the reference checker rejects.
+			if proof.Check(r.cond, pm) == nil {
+				stats.Skipped++
+				continue
+			}
+			viols = append(viols, AdversaryViolation{Round: r.idx, Kind: "mutant-accepted", Mutant: m.desc})
 		}
 	}
 	return stats, viols

@@ -1,0 +1,111 @@
+package difftest
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bcf/internal/corpus"
+	"bcf/internal/faultinject"
+	"bcf/internal/loader"
+	"bcf/internal/proofd"
+	"bcf/internal/proofrpc"
+)
+
+// startDaemon runs an in-process bcfd on a Unix socket and returns a
+// connected proofrpc client with the given fault hook armed.
+func startDaemon(t *testing.T, hook proofrpc.FaultHook) *proofrpc.Client {
+	t.Helper()
+	s := proofd.New(proofd.Options{})
+	sock := filepath.Join(t.TempDir(), "bcfd.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		<-done
+	})
+	c, err := proofrpc.Dial("unix:"+sock, proofrpc.ClientOptions{Fault: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestCorpusReplayParallelAndFaultyRemote replays every regression
+// program through all three oracles with parallel path exploration
+// (ParallelPaths=4), and through the accept-implies-safe oracle again
+// with proving routed to a remote daemon whose RPC path drops, stalls
+// and corrupts replies (faultinject). Verdicts must match the
+// sequential in-process path everywhere: parallelism changes only
+// wall-clock, and remote transport faults degrade to local fallback,
+// never to a different verdict.
+func TestCorpusReplayParallelAndFaultyRemote(t *testing.T) {
+	// One injector for the whole sweep: drop the first RPC send, stall
+	// the second reply, corrupt the third — then repeat nothing (later
+	// requests run clean), so the client exercises both its failure and
+	// recovery paths.
+	inj := faultinject.New(99).
+		Arm(faultinject.RPCDrop, 0).
+		Arm(faultinject.RPCDelay, 1).
+		Arm(faultinject.RPCCorrupt, 2).
+		SetDelay(time.Millisecond)
+	remote := startDaemon(t, inj)
+
+	const seed = 1234
+	for _, reg := range corpus.MustRegressions() {
+		reg := reg
+		t.Run(reg.Name, func(t *testing.T) {
+			// In-process sequential baseline.
+			baseAccept, v := CheckDomain(reg.Prog, baseVerifierConfig(), inputsPerSeed, seed)
+			if v != nil {
+				t.Fatalf("sequential domain oracle: %v", v)
+			}
+			safeAccept, av := CheckAcceptSafe(reg.Prog, loader.Options{EnableBCF: true, Verifier: baseVerifierConfig()}, inputsPerSeed, seed)
+			if av != nil {
+				t.Fatalf("sequential accept-safe oracle: %v", av)
+			}
+			if wantAccept := reg.Expect != "reject"; safeAccept != wantAccept {
+				t.Fatalf("BCF loader accept=%v, corpus expects %q", safeAccept, reg.Expect)
+			}
+
+			// The same oracles at ParallelPaths=4.
+			pAccept, v := CheckDomain(reg.Prog, parallelVerifierConfig(), inputsPerSeed, seed)
+			if v != nil {
+				t.Fatalf("parallel domain oracle: %v", v)
+			}
+			if pAccept != baseAccept {
+				t.Fatalf("domain verdict flipped under ParallelPaths=4: %v -> %v", baseAccept, pAccept)
+			}
+			pSafe, av := CheckAcceptSafe(reg.Prog, loader.Options{EnableBCF: true, Verifier: parallelVerifierConfig()}, inputsPerSeed, seed)
+			if av != nil {
+				t.Fatalf("parallel accept-safe oracle: %v", av)
+			}
+			if pSafe != safeAccept {
+				t.Fatalf("accept-safe verdict flipped under ParallelPaths=4: %v -> %v", safeAccept, pSafe)
+			}
+
+			// Accept-implies-safe with remote proving over the faulty RPC
+			// path: transport faults may cost round trips, never verdicts.
+			rOpts := loader.Options{EnableBCF: true, Verifier: baseVerifierConfig(), Remote: remote}
+			rSafe, av := CheckAcceptSafe(reg.Prog, rOpts, inputsPerSeed, seed)
+			if av != nil {
+				t.Fatalf("remote accept-safe oracle: %v", av)
+			}
+			if rSafe != safeAccept {
+				t.Fatalf("accept-safe verdict flipped with faulty remote prover: %v -> %v", safeAccept, rSafe)
+			}
+		})
+	}
+	if !inj.FiredAny() {
+		t.Error("no RPC fault fired; the faulty-remote leg of this test is vacuous")
+	}
+}

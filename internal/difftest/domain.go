@@ -83,6 +83,25 @@ func (v *DomainViolation) String() string {
 	}
 }
 
+// Tee fans one observer callback out to two observers, threading a
+// token pair so each sees its own consistent analysis tree. It lets a
+// caller-supplied observer (e.g. the fuzz campaign's coverage bitmap)
+// ride along with an oracle's internal TreeObserver.
+func Tee(a, b verifier.Observer) verifier.Observer { return &teeObserver{a: a, b: b} }
+
+type teeObserver struct{ a, b verifier.Observer }
+
+type teeToken struct{ a, b any }
+
+func (t *teeObserver) Step(parent any, pc int, st *verifier.VState) any {
+	var pa, pb any
+	if parent != nil {
+		p := parent.(*teeToken)
+		pa, pb = p.a, p.b
+	}
+	return &teeToken{a: t.a.Step(pa, pc, st), b: t.b.Step(pb, pc, st)}
+}
+
 // CheckDomain runs the domain-soundness oracle on one program: verify
 // with pruning disabled and an observer attached, then interpret the
 // program on `inputs` randomized (ctx, maps) samples and require every
@@ -90,11 +109,18 @@ func (v *DomainViolation) String() string {
 // the corresponding point of some explored path. Returns whether the
 // verifier accepted the program (rejected programs are vacuously sound)
 // and the first violation found, if any.
+//
+// A caller-supplied cfg.Observer is not displaced: it is teed with the
+// oracle's internal TreeObserver and sees the same analysis tree.
 func CheckDomain(p *ebpf.Program, cfg verifier.Config, inputs int, seed int64) (accepted bool, viol *DomainViolation) {
 	obs := &TreeObserver{}
 	cfg.NoPruning = true
 	cfg.Refiner = nil
-	cfg.Observer = obs
+	if cfg.Observer != nil {
+		cfg.Observer = Tee(cfg.Observer, obs)
+	} else {
+		cfg.Observer = obs
+	}
 	if cfg.InsnLimit == 0 {
 		cfg.InsnLimit = 200_000
 	}

@@ -38,7 +38,13 @@ type Gen struct {
 }
 
 // NewGen returns a generator for the given seed. Equal seeds generate
-// equal programs.
+// equal programs — on any machine, at any GOMAXPROCS, from any number of
+// concurrent generators. The whole campaign determinism story rests on
+// this, so generation must draw entropy ONLY from g.rng in program
+// order: never iterate a map (the `live` set is looked up by key, and
+// candidate registers come from the fixed scalarRegs slice), never
+// consult time, goroutine identity or global state. gen_repro_test.go
+// pins the exact generated sequence for fixed seeds.
 func NewGen(seed int64) *Gen {
 	return &Gen{rng: rand.New(rand.NewSource(seed)), MaxBody: 22}
 }

@@ -1,0 +1,119 @@
+package difftest
+
+import (
+	"bytes"
+	"testing"
+
+	"bcf/internal/ebpf"
+)
+
+func encInsns(p *ebpf.Program) []byte { return ebpf.EncodeProgram(p.Insns) }
+
+// TestMinimizeAlreadyMinimal: when no deletion or simplification keeps
+// the predicate true, the input comes back unchanged (and the input
+// program itself is never mutated in place).
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	p := &ebpf.Program{
+		Name: "minimal",
+		Type: ebpf.ProgTracepoint,
+		Insns: []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R0, 0),
+			ebpf.Exit(),
+		},
+	}
+	before := encInsns(p)
+	calls := 0
+	// Only the exact two-instruction shape satisfies the predicate, so
+	// every candidate is rejected.
+	got := Minimize(p, func(q *ebpf.Program) bool {
+		calls++
+		return len(q.Insns) == 2 && q.Insns[0].Imm == 0
+	}, 100)
+	if !bytes.Equal(encInsns(got), before) {
+		t.Fatalf("already-minimal program changed:\n%s", got.Disassemble())
+	}
+	if !bytes.Equal(encInsns(p), before) {
+		t.Fatal("Minimize mutated its input program in place")
+	}
+	if calls == 0 {
+		t.Fatal("predicate never consulted; the pass is vacuous")
+	}
+}
+
+// TestMinimizeFlippingPred: a predicate whose verdict flips while
+// minimization is in flight (modeling a flaky oracle) must still yield a
+// Validate-clean program that the predicate accepted at the time — never
+// a candidate it rejected, and never a structurally broken program.
+func TestMinimizeFlippingPred(t *testing.T) {
+	p := NewGen(5).Generate()
+	flip := 0
+	var accepted [][]byte
+	got := Minimize(p, func(q *ebpf.Program) bool {
+		flip++
+		if flip%3 == 0 { // every third verdict lies
+			return false
+		}
+		accepted = append(accepted, encInsns(q))
+		return true
+	}, 200)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("result of flaky minimization fails Validate: %v", err)
+	}
+	raw := encInsns(got)
+	if bytes.Equal(raw, encInsns(p)) {
+		return // legal outcome: nothing was ever accepted
+	}
+	for _, a := range accepted {
+		if bytes.Equal(raw, a) {
+			return
+		}
+	}
+	t.Fatal("minimizer returned a program the predicate never accepted")
+}
+
+// TestMinimizeDeterministic: equal inputs and an equal (pure) predicate
+// give a byte-identical result, however often it runs. Failure dedup
+// keys hash the minimized program, so nondeterminism here would split
+// one bug into many reproducers.
+func TestMinimizeDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := NewGen(seed).Generate()
+		pred := func(q *ebpf.Program) bool {
+			// Arbitrary but pure: keeps programs with at least 3 ALU64 ops.
+			n := 0
+			for _, ins := range q.Insns {
+				if ins.Class() == ebpf.ClassALU64 {
+					n++
+				}
+			}
+			return n >= 3
+		}
+		if !pred(p) {
+			continue
+		}
+		a := encInsns(Minimize(p, pred, 500))
+		b := encInsns(Minimize(p, pred, 500))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two identical minimizations diverged", seed)
+		}
+	}
+}
+
+// TestMinimizeBudget: the predicate is consulted at most budget times,
+// and a zero budget returns the input untouched.
+func TestMinimizeBudget(t *testing.T) {
+	p := NewGen(7).Generate()
+	for _, budget := range []int{0, 1, 17} {
+		calls := 0
+		got := Minimize(p, func(q *ebpf.Program) bool {
+			calls++
+			return true
+		}, budget)
+		if calls > budget {
+			t.Fatalf("budget %d: predicate consulted %d times", budget, calls)
+		}
+		if budget == 0 && !bytes.Equal(encInsns(got), encInsns(p)) {
+			t.Fatal("zero budget still changed the program")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package fuzzcamp
+
+import (
+	"testing"
+
+	"bcf/internal/difftest"
+	"bcf/internal/verifier"
+)
+
+func TestBitmapSetCountOr(t *testing.T) {
+	var a Bitmap
+	if !a.Set(5) {
+		t.Fatal("first Set(5) reported the bit as already set")
+	}
+	if a.Set(5) {
+		t.Fatal("second Set(5) reported a newly set bit")
+	}
+	// Indexes reduce mod BitmapBits, so huge hashes alias predictably.
+	if a.Set(5 + BitmapBits) {
+		t.Fatal("Set(5+BitmapBits) must alias bit 5")
+	}
+	a.Set(64)
+	a.Set(BitmapBits - 1)
+	if got := a.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+
+	var b Bitmap
+	b.Set(64)
+	b.Set(100)
+	if !b.HasNew(&a) {
+		t.Fatal("HasNew missed bit 100")
+	}
+	if gained := a.Or(&b); gained != 1 {
+		t.Fatalf("Or gained %d bits, want 1 (only bit 100 is new)", gained)
+	}
+	if b.HasNew(&a) {
+		t.Fatal("HasNew true after merging b into a")
+	}
+}
+
+func TestBitmapWireRoundTrip(t *testing.T) {
+	var a Bitmap
+	for _, h := range []uint64{0, 1, 63, 64, 1000, BitmapBits - 1, 0xdeadbeef} {
+		a.Set(h)
+	}
+	buf := a.AppendTo([]byte{0xff}) // leading byte must survive untouched
+	if buf[0] != 0xff {
+		t.Fatal("AppendTo clobbered existing bytes")
+	}
+	if len(buf) != 1+BitmapWireLen {
+		t.Fatalf("wire length %d, want %d", len(buf)-1, BitmapWireLen)
+	}
+	got, n, err := DecodeBitmap(buf[1:])
+	if err != nil || n != BitmapWireLen {
+		t.Fatalf("DecodeBitmap: n=%d err=%v", n, err)
+	}
+	if *got != a {
+		t.Fatal("bitmap changed across the wire round trip")
+	}
+	if _, _, err := DecodeBitmap(buf[1 : 1+BitmapWireLen-1]); err == nil {
+		t.Fatal("DecodeBitmap accepted a truncated buffer")
+	}
+}
+
+// TestCovObserverDeterministic pins the campaign's core feedback
+// property: running the sequential verifier twice over the same program
+// yields bit-identical coverage, and the signal is not vacuous.
+func TestCovObserverDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := difftest.NewGen(seed).Generate()
+		collect := func() Bitmap {
+			var bm Bitmap
+			cfg := verifier.Config{Observer: NewCovObserver(&bm)}
+			verifier.New(p, cfg).Verify() // verdict irrelevant; coverage is
+			return bm
+		}
+		first := collect()
+		if first.Count() == 0 {
+			t.Fatalf("seed %d: empty coverage bitmap", seed)
+		}
+		if second := collect(); second != first {
+			t.Fatalf("seed %d: coverage differs across identical runs", seed)
+		}
+	}
+}
+
+// TestCovObserverDistinguishesPrograms guards against a degenerate hash:
+// different programs must (at least sometimes) produce different bitmaps.
+func TestCovObserverDistinguishesPrograms(t *testing.T) {
+	run := func(seed int64) Bitmap {
+		var bm Bitmap
+		p := difftest.NewGen(seed).Generate()
+		verifier.New(p, verifier.Config{Observer: NewCovObserver(&bm)}).Verify()
+		return bm
+	}
+	if run(1) == run(2) {
+		t.Fatal("two different generator programs produced identical coverage")
+	}
+}

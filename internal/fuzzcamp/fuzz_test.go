@@ -1,0 +1,47 @@
+package fuzzcamp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bcf/internal/difftest"
+	"bcf/internal/ebpf"
+	"bcf/internal/verifier"
+)
+
+// FuzzMutator drives the campaign's mutation operators from the native
+// fuzzer: the generator seed picks the base program (and a donor), the
+// mutation seed the operator draws. Every mutant must pass Validate,
+// round-trip the kernel wire encoding byte-identically, and never panic
+// the verifier — no recover here; a panic fails the target.
+func FuzzMutator(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s, s*17+3)
+	}
+	f.Fuzz(func(t *testing.T, genSeed, mutSeed int64) {
+		p := difftest.NewGen(genSeed).Generate()
+		donors := []*ebpf.Program{difftest.NewGen(genSeed + 1).Generate()}
+		m := NewMutator(rand.New(rand.NewSource(mutSeed)))
+		for round := 0; round < 4; round++ {
+			q := m.Mutate(p, donors)
+			if q == nil {
+				continue
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatalf("mutant fails Validate: %v\n%s", err, q.Disassemble())
+			}
+			raw := ebpf.EncodeProgram(q.Insns)
+			insns, err := ebpf.DecodeProgram(raw)
+			if err != nil {
+				t.Fatalf("mutant does not decode: %v", err)
+			}
+			if !bytes.Equal(ebpf.EncodeProgram(insns), raw) {
+				t.Fatal("mutant encode/decode round trip not byte-identical")
+			}
+			var bm Bitmap
+			verifier.New(q, verifier.Config{Observer: NewCovObserver(&bm)}).Verify()
+			p = q // stack mutations so the fuzzer walks deeper shapes
+		}
+	})
+}

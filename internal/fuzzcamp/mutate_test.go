@@ -1,0 +1,130 @@
+package fuzzcamp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bcf/internal/difftest"
+	"bcf/internal/ebpf"
+)
+
+// TestMutateWellFormed sweeps many (program, rng) pairs and pins the
+// mutator's contract: every non-nil result passes Validate, stays within
+// the slot budget, round-trips the kernel wire encoding, and never
+// mutates its input in place.
+func TestMutateWellFormed(t *testing.T) {
+	applied := 0
+	for seed := int64(0); seed < 100; seed++ {
+		p := difftest.NewGen(seed).Generate()
+		before := ebpf.EncodeProgram(p.Insns)
+		donors := []*ebpf.Program{
+			difftest.NewGen(seed + 1000).Generate(),
+			difftest.NewGen(seed + 2000).Generate(),
+		}
+		m := NewMutator(rand.New(rand.NewSource(seed)))
+		for round := 0; round < 8; round++ {
+			q := m.Mutate(p, donors)
+			if q == nil {
+				continue
+			}
+			applied++
+			if err := q.Validate(); err != nil {
+				t.Fatalf("seed %d round %d: mutant fails Validate: %v\n%s", seed, round, err, q.Disassemble())
+			}
+			if len(q.Insns) > maxProgSlots {
+				t.Fatalf("seed %d round %d: mutant has %d slots (max %d)", seed, round, len(q.Insns), maxProgSlots)
+			}
+			raw := ebpf.EncodeProgram(q.Insns)
+			insns, err := ebpf.DecodeProgram(raw)
+			if err != nil {
+				t.Fatalf("seed %d round %d: mutant does not decode: %v", seed, round, err)
+			}
+			if !bytes.Equal(ebpf.EncodeProgram(insns), raw) {
+				t.Fatalf("seed %d round %d: encode/decode round trip not byte-identical", seed, round)
+			}
+		}
+		if !bytes.Equal(ebpf.EncodeProgram(p.Insns), before) {
+			t.Fatalf("seed %d: Mutate modified its input program", seed)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no mutation applied across the whole sweep; the mutator is vacuous")
+	}
+	t.Logf("mutations applied: %d", applied)
+}
+
+// TestMutateDeterministic pins that a mutation is a pure function of
+// (rng seed, input, donors) — the property worker-count determinism and
+// dedup keys rest on.
+func TestMutateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := difftest.NewGen(seed).Generate()
+		donors := []*ebpf.Program{difftest.NewGen(seed + 7).Generate()}
+		run := func() [][]byte {
+			m := NewMutator(rand.New(rand.NewSource(seed * 31)))
+			var outs [][]byte
+			for i := 0; i < 6; i++ {
+				q := m.Mutate(p, donors)
+				if q == nil {
+					outs = append(outs, nil)
+					continue
+				}
+				outs = append(outs, ebpf.EncodeProgram(q.Insns))
+			}
+			return outs
+		}
+		a, b := run(), run()
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("seed %d: mutation %d differs between identical runs", seed, i)
+			}
+		}
+	}
+}
+
+// TestInsertInsnsRetargetsJumps pins the jump-retargeting invariant
+// directly: inserting a block before a jump's target stretches the
+// offset so control flow is unchanged.
+func TestInsertInsnsRetargetsJumps(t *testing.T) {
+	// 0: if r0 == 0 goto +2 (-> 3)
+	// 1: r0 += 1
+	// 2: r0 += 2
+	// 3: exit
+	p := &ebpf.Program{
+		Name: "jmp",
+		Type: ebpf.ProgTracepoint,
+		Insns: []ebpf.Instruction{
+			ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 2),
+			ebpf.Alu64Imm(ebpf.AluADD, ebpf.R0, 1),
+			ebpf.Alu64Imm(ebpf.AluADD, ebpf.R0, 2),
+			ebpf.Exit(),
+		},
+	}
+	block := []ebpf.Instruction{ebpf.Mov64Imm(ebpf.R1, 9)}
+
+	// Insert inside the jumped-over range: the offset must grow by 1.
+	q := insertInsns(p, 2, block)
+	if q == nil {
+		t.Fatal("insertInsns returned nil")
+	}
+	if got := q.Insns[0].Off; got != 3 {
+		t.Fatalf("jump offset after mid-range insert = %d, want 3", got)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert exactly at the target: the jump must now land after the
+	// block (offset grows), keeping the original successor relationship.
+	q = insertInsns(p, 3, block)
+	if got := q.Insns[0].Off; got != 3 {
+		t.Fatalf("jump offset after at-target insert = %d, want 3", got)
+	}
+
+	// Insert after everything the jump spans: offset unchanged.
+	q = insertInsns(p, 4, block)
+	if got := q.Insns[0].Off; got != 2 {
+		t.Fatalf("jump offset after tail insert = %d, want 2", got)
+	}
+}

@@ -1,0 +1,80 @@
+package fuzzcamp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bcf/internal/ebpf"
+	"bcf/internal/loader"
+)
+
+// verdictFor classifies a program under the honest (unsabotaged)
+// verifier for a reproducer's `expect=` directive, mirroring the
+// regression corpus semantics: accept (baseline suffices), accept-bcf
+// (only refinement accepts), reject (both reject).
+func verdictFor(p *ebpf.Program) (verdict string) {
+	// Crash reproducers may panic the honest verifier too; a program the
+	// verifier cannot finish judging loads as rejected.
+	defer func() {
+		if recover() != nil {
+			verdict = "reject"
+		}
+	}()
+	if loader.Load(p, loader.Options{}).Accepted {
+		return "accept"
+	}
+	if loader.Load(p, loader.Options{EnableBCF: true}).Accepted {
+		return "accept-bcf"
+	}
+	return "reject"
+}
+
+// FormatReproducer renders a minimized failure as a .bpfasm file in the
+// internal/corpus/regressions format: `;;` directives, a `; ` triage
+// header, then the disassembly (relative jump targets, so the text
+// reassembles byte-identically).
+func FormatReproducer(r *Reproducer) string {
+	var b strings.Builder
+	p := r.Prog
+	fmt.Fprintf(&b, ";; prog name=%s expect=%s\n", reproName(r), verdictFor(p))
+	for _, m := range p.Maps {
+		fmt.Fprintf(&b, ";; map name=%s key=%d value=%d entries=%d\n",
+			m.Name, m.KeySize, m.ValueSize, m.MaxEntries)
+	}
+	fmt.Fprintf(&b, "; Promoted by the fuzz campaign: %s oracle failure, found in\n", r.Oracle)
+	fmt.Fprintf(&b, "; round %d, minimized to %d instructions. Replay:\n", r.Round, r.Insns)
+	fmt.Fprintf(&b, ";   bcfdiff -seed %d  (or the difftest oracles on this file)\n", r.ExecSeed)
+	fmt.Fprintf(&b, "; %s\n", strings.ReplaceAll(r.Msg, "\n", " "))
+	for _, ins := range p.Insns {
+		if ins.IsPlaceholder() {
+			continue
+		}
+		fmt.Fprintf(&b, "\t%s\n", ins.String())
+	}
+	return b.String()
+}
+
+// reproName is the reproducer's program name and file stem:
+// fuzz-<oracle>-<hash>, unique per dedup key.
+func reproName(r *Reproducer) string {
+	hash := r.Key
+	if i := strings.LastIndexByte(hash, ':'); i >= 0 {
+		hash = hash[i+1:]
+	}
+	return fmt.Sprintf("fuzz-%s-%s", r.Oracle, hash)
+}
+
+// WriteReproducer writes the formatted reproducer into dir (created if
+// missing) and returns its path.
+func WriteReproducer(dir string, r *Reproducer) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, reproName(r)+".bpfasm")
+	if err := os.WriteFile(path, []byte(FormatReproducer(r)), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

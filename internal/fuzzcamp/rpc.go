@@ -1,0 +1,294 @@
+package fuzzcamp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bcf/internal/obs"
+	"bcf/internal/proofrpc"
+)
+
+// defaultChunk is how many items one worker pull hands out. Small
+// enough that a slow worker cannot stall a round behind a big private
+// backlog, large enough to amortize the frame round trip.
+const defaultChunk = 4
+
+// Manager drives one Campaign over proofrpc-framed worker connections.
+// Workers pull batches (TFuzzPull → TFuzzBatch) and push results
+// (TFuzzResult → next TFuzzBatch), so the steady state is one round
+// trip per batch. The manager keeps all campaign state: it builds each
+// round, hands out chunks, holds the round barrier until every item
+// reported, then absorbs results in item order — the same deterministic
+// core Campaign.Run uses, so worker count and scheduling never change
+// the outcome. Items checked out to a connection that dies are
+// re-queued for the surviving workers.
+type Manager struct {
+	c     *Campaign
+	chunk int
+	start time.Time
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	round     *Round
+	results   []*ExecResult
+	next      int   // cursor into round.Items
+	retry     []int // re-queued indexes from dead connections
+	collected int
+	finished  bool
+	workers   int
+	done      chan struct{}
+}
+
+// NewManager returns a manager for the campaign; chunk <= 0 uses the
+// default batch-per-pull size.
+func NewManager(c *Campaign, chunk int) *Manager {
+	if chunk <= 0 {
+		chunk = defaultChunk
+	}
+	m := &Manager{c: c, chunk: chunk, start: time.Now(), done: make(chan struct{})}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Serve accepts worker connections until the campaign finishes or the
+// listener closes. It returns nil once the campaign is done.
+func (m *Manager) Serve(ln net.Listener) error {
+	go func() {
+		<-m.done
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			select {
+			case <-m.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs the manager side of one worker connection until the
+// campaign finishes or the connection errors.
+func (m *Manager) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	m.addWorker(1)
+	defer m.addWorker(-1)
+	var owned []int
+	defer func() { m.release(owned) }()
+	for {
+		f, err := proofrpc.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case proofrpc.TFuzzPull:
+		case proofrpc.TFuzzResult:
+			br, err := DecodeBatchResult(f.Payload)
+			if err != nil {
+				return err
+			}
+			m.handleResult(br, &owned)
+		default:
+			return fmt.Errorf("fuzzcamp: unexpected frame type %d from worker", f.Type)
+		}
+		batch := m.nextBatch(&owned)
+		reply := &proofrpc.Frame{Type: proofrpc.TFuzzBatch, ReqID: f.ReqID, Payload: EncodeBatch(batch)}
+		if err := proofrpc.WriteFrame(conn, reply); err != nil {
+			return err
+		}
+		if batch.Done {
+			return nil
+		}
+	}
+}
+
+// Stop finishes the campaign early (listener shutdown, signal). Workers
+// receive a done batch on their next pull.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	m.finishLocked()
+	m.mu.Unlock()
+}
+
+// Done is closed when the campaign has finished.
+func (m *Manager) Done() <-chan struct{} { return m.done }
+
+// Stats snapshots the campaign outcome; call after Done.
+func (m *Manager) Stats(workers int) *Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Stats(workers, time.Since(m.start))
+}
+
+func (m *Manager) addWorker(d int) {
+	m.mu.Lock()
+	m.workers += d
+	m.c.opt.Obs.Gauge(obs.MFuzzWorkers).Set(int64(m.workers))
+	m.mu.Unlock()
+}
+
+// nextBatch blocks until work is available or the campaign finishes.
+// Handed-out item indexes are appended to *owned for crash re-queuing.
+func (m *Manager) nextBatch(owned *[]int) *Batch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.finished {
+			return &Batch{Done: true}
+		}
+		if m.round == nil {
+			if m.c.Finished() {
+				m.finishLocked()
+				continue
+			}
+			m.round = m.c.BuildRound()
+			m.results = make([]*ExecResult, len(m.round.Items))
+			m.next, m.retry, m.collected = 0, nil, 0
+		}
+		idxs := m.popLocked()
+		if len(idxs) > 0 {
+			b := &Batch{Round: m.round.N}
+			for _, i := range idxs {
+				b.Items = append(b.Items, m.round.Items[i])
+			}
+			*owned = append(*owned, idxs...)
+			return b
+		}
+		if m.collected == len(m.round.Items) {
+			// Round barrier: everything reported; merge in item order and
+			// move on.
+			m.c.AbsorbRound(m.round, m.results)
+			m.round = nil
+			continue
+		}
+		m.cond.Wait()
+	}
+}
+
+// popLocked checks out up to chunk item indexes, re-queued ones first.
+func (m *Manager) popLocked() []int {
+	var idxs []int
+	for len(idxs) < m.chunk && len(m.retry) > 0 {
+		idxs = append(idxs, m.retry[0])
+		m.retry = m.retry[1:]
+	}
+	for len(idxs) < m.chunk && m.next < len(m.round.Items) {
+		idxs = append(idxs, m.next)
+		m.next++
+	}
+	return idxs
+}
+
+// handleResult stores a worker's results and releases its checkouts.
+func (m *Manager) handleResult(br *BatchResult, owned *[]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.round != nil && br.Round == m.round.N {
+		for i, id := range br.IDs {
+			if int(id) < len(m.results) && m.results[id] == nil {
+				m.results[id] = br.Results[i]
+				m.collected++
+			}
+		}
+	}
+	still := (*owned)[:0]
+	for _, idx := range *owned {
+		returned := false
+		for _, id := range br.IDs {
+			if int(id) == idx {
+				returned = true
+				break
+			}
+		}
+		if !returned {
+			still = append(still, idx)
+		}
+	}
+	*owned = still
+	m.cond.Broadcast()
+}
+
+// release re-queues a dead connection's unreported items.
+func (m *Manager) release(owned []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.round != nil {
+		for _, i := range owned {
+			if i < len(m.results) && m.results[i] == nil {
+				m.retry = append(m.retry, i)
+			}
+		}
+	}
+	m.cond.Broadcast()
+}
+
+func (m *Manager) finishLocked() {
+	if !m.finished {
+		m.finished = true
+		close(m.done)
+	}
+	m.cond.Broadcast()
+}
+
+// RunWorker is the worker side of the fan-out: pull a batch, execute
+// its items through the oracles, push the results, repeat until the
+// manager sends the done marker. opt must match the manager's campaign
+// settings (sabotage, inputs, insn limit); the per-item adversary flag
+// travels in the batch itself.
+func RunWorker(ctx context.Context, conn net.Conn, opt ExecOptions) error {
+	defer conn.Close()
+	var reqID uint64
+	send := func(typ uint32, payload []byte) error {
+		reqID++
+		return proofrpc.WriteFrame(conn, &proofrpc.Frame{Type: typ, ReqID: reqID, Payload: payload})
+	}
+	if err := send(proofrpc.TFuzzPull, nil); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := proofrpc.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		if f.Type != proofrpc.TFuzzBatch {
+			return fmt.Errorf("fuzzcamp: unexpected frame type %d from manager", f.Type)
+		}
+		b, err := DecodeBatch(f.Payload)
+		if err != nil {
+			return err
+		}
+		if b.Done {
+			return nil
+		}
+		br := &BatchResult{Round: b.Round}
+		for i := range b.Items {
+			it := &b.Items[i]
+			br.IDs = append(br.IDs, it.ID)
+			br.Results = append(br.Results, Execute(it.Prog, it.ExecSeed, it.Adversary, opt))
+		}
+		if err := send(proofrpc.TFuzzResult, EncodeBatchResult(br)); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package fuzzcamp
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bcf/internal/proofrpc"
+)
+
+// TestWireRoundTrip pins the batch/result payload encodings.
+func TestWireRoundTrip(t *testing.T) {
+	c := New(Options{Seed: 5, Execs: 8, Batch: 8})
+	r := c.BuildRound()
+	b := &Batch{Round: r.N, Items: r.Items}
+
+	got, err := DecodeBatch(EncodeBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Done != b.Done || got.Round != b.Round || len(got.Items) != len(b.Items) {
+		t.Fatalf("batch header changed: %+v vs %+v", got, b)
+	}
+	for i := range b.Items {
+		w, g := &b.Items[i], &got.Items[i]
+		if g.ID != w.ID || g.ExecSeed != w.ExecSeed || g.Adversary != w.Adversary {
+			t.Fatalf("item %d metadata changed", i)
+		}
+		if progHash(g.Prog) != progHash(w.Prog) || g.Prog.Name != w.Prog.Name {
+			t.Fatalf("item %d program changed across the wire", i)
+		}
+	}
+
+	// The done marker carries no items.
+	done, err := DecodeBatch(EncodeBatch(&Batch{Done: true}))
+	if err != nil || !done.Done || len(done.Items) != 0 {
+		t.Fatalf("done marker round trip: %+v err=%v", done, err)
+	}
+
+	// Results, including a failure message.
+	br := &BatchResult{Round: 3, IDs: []uint32{1, 0}}
+	res1 := &ExecResult{Accepted: true}
+	res1.Cov.Set(42)
+	res2 := &ExecResult{Failures: []Failure{{OracleDomain, -7, "containment broke"}}}
+	br.Results = []*ExecResult{res1, res2}
+	gotR, err := DecodeBatchResult(EncodeBatchResult(br))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Round != 3 || len(gotR.Results) != 2 || gotR.IDs[0] != 1 || gotR.IDs[1] != 0 {
+		t.Fatalf("result header changed: %+v", gotR)
+	}
+	if !gotR.Results[0].Accepted || gotR.Results[0].Cov != res1.Cov {
+		t.Fatal("result 0 changed across the wire")
+	}
+	f := gotR.Results[1].Failures
+	if len(f) != 1 || f[0] != res2.Failures[0] {
+		t.Fatalf("failure changed across the wire: %+v", f)
+	}
+
+	// Trailing garbage must be rejected, matching proofrpc's strictness.
+	if _, err := DecodeBatch(append(EncodeBatch(b), 0)); err == nil {
+		t.Fatal("DecodeBatch accepted trailing bytes")
+	}
+	if _, err := DecodeBatchResult(append(EncodeBatchResult(br), 0)); err == nil {
+		t.Fatal("DecodeBatchResult accepted trailing bytes")
+	}
+}
+
+// startWorkers wires n in-process workers to the manager over net.Pipe,
+// the same transport cmd/bcffuzz uses.
+func startWorkers(t *testing.T, mgr *Manager, n int) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		mside, wside := net.Pipe()
+		go mgr.ServeConn(mside)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			RunWorker(context.Background(), wside, ExecOptions{})
+		}()
+	}
+	return &wg
+}
+
+// TestManagerMatchesLocalRun is the distribution soundness check: the
+// manager/worker fan-out over proofrpc frames must produce exactly the
+// results of Campaign.Run's local pool.
+func TestManagerMatchesLocalRun(t *testing.T) {
+	opt := Options{Seed: 9, Execs: 96, Batch: 32}
+
+	local := normalize(runCampaign(t, opt))
+
+	mgr := NewManager(New(opt), 0)
+	wg := startWorkers(t, mgr, 3)
+	select {
+	case <-mgr.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("manager did not finish")
+	}
+	wg.Wait()
+	remote := normalize(mgr.Stats(3))
+
+	if !statsEqual(local, remote) {
+		t.Fatalf("fan-out results differ from the local pool:\n local: %+v\n fan-out: %+v", local, remote)
+	}
+}
+
+// TestManagerRequeuesDeadWorker kills a worker that checked out items
+// without reporting them; the survivors must pick the orphans up and the
+// campaign must still complete its exact budget.
+func TestManagerRequeuesDeadWorker(t *testing.T) {
+	opt := Options{Seed: 13, Execs: 32, Batch: 32}
+	mgr := NewManager(New(opt), 4)
+
+	// The doomed worker: one pull, then the connection dies.
+	mside, wside := net.Pipe()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		mgr.ServeConn(mside)
+	}()
+	if err := proofrpc.WriteFrame(wside, &proofrpc.Frame{Type: proofrpc.TFuzzPull, ReqID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := proofrpc.ReadFrame(wside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBatch(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Done || len(b.Items) == 0 {
+		t.Fatalf("expected a work batch, got %+v", b)
+	}
+	wside.Close()
+	<-served // manager saw the death and re-queued the checkouts
+
+	wg := startWorkers(t, mgr, 2)
+	select {
+	case <-mgr.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign stalled after worker death: orphaned items were not re-queued")
+	}
+	wg.Wait()
+
+	stats := mgr.Stats(2)
+	if stats.Execs != 32 {
+		t.Fatalf("execs = %d, want the full 32 budget despite the dead worker", stats.Execs)
+	}
+
+	// And the outcome still matches a local run: re-queuing cannot change
+	// results, only who executes them.
+	local := normalize(runCampaign(t, opt))
+	if got := normalize(stats); !statsEqual(local, got) {
+		t.Fatalf("results after worker death differ from the local pool:\n local: %+v\n fan-out: %+v", local, got)
+	}
+}

@@ -1,0 +1,227 @@
+package fuzzcamp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bcf/internal/ebpf"
+)
+
+// Wire encodings for the manager/worker fan-out. The payloads ride
+// inside proofrpc frames (TFuzzPull/TFuzzBatch/TFuzzResult), inheriting
+// its framing discipline: CRC, size caps, strict decoding. Like the rest
+// of the protocol, nothing here is trusted for soundness — workers only
+// report coverage and failures; the manager re-minimizes and re-checks
+// every failure through the in-process oracles.
+
+// Batch is one TFuzzBatch payload: work for one worker pull, or the
+// campaign-done marker.
+type Batch struct {
+	Done  bool
+	Round int
+	Items []WorkItem
+}
+
+// BatchResult is one TFuzzResult payload: the worker's results for the
+// items of one batch, by item ID.
+type BatchResult struct {
+	Round   int
+	IDs     []uint32
+	Results []*ExecResult
+}
+
+func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("fuzzcamp: truncated payload at byte %d (+%d)", r.off, n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// appendProg serializes a program: type, name, map geometry and the
+// kernel wire encoding of the instructions.
+func appendProg(dst []byte, p *ebpf.Program) []byte {
+	dst = append(dst, byte(p.Type))
+	dst = appendU16(dst, uint16(len(p.Name)))
+	dst = append(dst, p.Name...)
+	dst = append(dst, byte(len(p.Maps)))
+	for _, m := range p.Maps {
+		dst = appendU16(dst, uint16(len(m.Name)))
+		dst = append(dst, m.Name...)
+		dst = append(dst, byte(m.Type))
+		dst = appendU32(dst, m.KeySize)
+		dst = appendU32(dst, m.ValueSize)
+		dst = appendU32(dst, m.MaxEntries)
+	}
+	raw := ebpf.EncodeProgram(p.Insns)
+	dst = appendU32(dst, uint32(len(raw)))
+	return append(dst, raw...)
+}
+
+func (r *wireReader) prog() *ebpf.Program {
+	p := &ebpf.Program{Type: ebpf.ProgType(r.u8())}
+	p.Name = string(r.take(int(r.u16())))
+	nMaps := int(r.u8())
+	for i := 0; i < nMaps && r.err == nil; i++ {
+		m := &ebpf.MapSpec{}
+		m.Name = string(r.take(int(r.u16())))
+		m.Type = ebpf.MapType(r.u8())
+		m.KeySize = r.u32()
+		m.ValueSize = r.u32()
+		m.MaxEntries = r.u32()
+		p.Maps = append(p.Maps, m)
+	}
+	raw := r.take(int(r.u32()))
+	if r.err != nil {
+		return nil
+	}
+	insns, err := ebpf.DecodeProgram(raw)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	p.Insns = insns
+	return p
+}
+
+// EncodeBatch serializes a TFuzzBatch payload.
+func EncodeBatch(b *Batch) []byte {
+	dst := make([]byte, 0, 256)
+	var done byte
+	if b.Done {
+		done = 1
+	}
+	dst = append(dst, done)
+	dst = appendU32(dst, uint32(b.Round))
+	dst = appendU16(dst, uint16(len(b.Items)))
+	for i := range b.Items {
+		it := &b.Items[i]
+		dst = appendU32(dst, it.ID)
+		dst = appendU64(dst, uint64(it.ExecSeed))
+		var adv byte
+		if it.Adversary {
+			adv = 1
+		}
+		dst = append(dst, adv)
+		dst = appendProg(dst, it.Prog)
+	}
+	return dst
+}
+
+// DecodeBatch parses a TFuzzBatch payload.
+func DecodeBatch(buf []byte) (*Batch, error) {
+	r := &wireReader{buf: buf}
+	b := &Batch{Done: r.u8() != 0, Round: int(r.u32())}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		it := WorkItem{ID: r.u32(), ExecSeed: int64(r.u64()), Adversary: r.u8() != 0}
+		it.Prog = r.prog()
+		b.Items = append(b.Items, it)
+	}
+	if r.err == nil && r.off != len(buf) {
+		r.err = fmt.Errorf("fuzzcamp: %d trailing bytes in batch payload", len(buf)-r.off)
+	}
+	return b, r.err
+}
+
+// EncodeBatchResult serializes a TFuzzResult payload. Programs are not
+// echoed back — the manager still holds the round's items by ID.
+func EncodeBatchResult(br *BatchResult) []byte {
+	dst := make([]byte, 0, 64+len(br.Results)*(BitmapWireLen+16))
+	dst = appendU32(dst, uint32(br.Round))
+	dst = appendU16(dst, uint16(len(br.Results)))
+	for i, res := range br.Results {
+		dst = appendU32(dst, br.IDs[i])
+		var flags byte
+		if res.Accepted {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = res.Cov.AppendTo(dst)
+		dst = appendU16(dst, uint16(len(res.Failures)))
+		for _, f := range res.Failures {
+			dst = append(dst, byte(f.Oracle))
+			dst = appendU64(dst, uint64(f.ExecSeed))
+			dst = appendU32(dst, uint32(len(f.Msg)))
+			dst = append(dst, f.Msg...)
+		}
+	}
+	return dst
+}
+
+// DecodeBatchResult parses a TFuzzResult payload.
+func DecodeBatchResult(buf []byte) (*BatchResult, error) {
+	r := &wireReader{buf: buf}
+	br := &BatchResult{Round: int(r.u32())}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		br.IDs = append(br.IDs, r.u32())
+		res := &ExecResult{Accepted: r.u8()&1 != 0}
+		if raw := r.take(BitmapWireLen); raw != nil {
+			bm, _, err := DecodeBitmap(raw)
+			if err != nil {
+				r.err = err
+				break
+			}
+			res.Cov = *bm
+		}
+		nf := int(r.u16())
+		for j := 0; j < nf && r.err == nil; j++ {
+			f := Failure{Oracle: Oracle(r.u8()), ExecSeed: int64(r.u64())}
+			f.Msg = string(r.take(int(r.u32())))
+			res.Failures = append(res.Failures, f)
+		}
+		br.Results = append(br.Results, res)
+	}
+	if r.err == nil && r.off != len(buf) {
+		r.err = fmt.Errorf("fuzzcamp: %d trailing bytes in result payload", len(buf)-r.off)
+	}
+	return br, r.err
+}

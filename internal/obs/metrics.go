@@ -78,6 +78,16 @@ const (
 
 	// Fault injection (chaos runs). Label: point.
 	MFaultsInjected = "faultinject_fired_total"
+
+	// Coverage-guided soundness campaign (internal/fuzzcamp).
+	MFuzzExecs          = "fuzzcamp_execs_total"           // programs run through the oracles
+	MFuzzRounds         = "fuzzcamp_rounds_total"          // completed campaign rounds
+	MFuzzExecsPerSec    = "fuzzcamp_execs_per_sec"         // gauge: throughput of the last stats flush
+	MFuzzCoverageBits   = "fuzzcamp_coverage_bits"         // gauge: set bits in the global decision bitmap
+	MFuzzCorpusSize     = "fuzzcamp_corpus_size"           // gauge: inputs kept for growing coverage
+	MFuzzUniqueFailures = "fuzzcamp_unique_failures_total" // deduplicated oracle violations
+	MFuzzFailuresSeen   = "fuzzcamp_failures_seen_total"   // raw oracle violations before dedup, label: oracle
+	MFuzzWorkers        = "fuzzcamp_workers"               // gauge: workers attached to the manager
 )
 
 // Span categories of the trace taxonomy (DESIGN.md "Observability").

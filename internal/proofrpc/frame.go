@@ -51,8 +51,20 @@ const (
 	THealth
 	// THealthOK answers a THealth: an EncodeHealthPayload snapshot.
 	THealthOK
+	// TFuzzPull asks the fuzz-campaign manager for a batch of work
+	// (internal/fuzzcamp). The payload is empty; the manager answers with
+	// a TFuzzBatch.
+	TFuzzPull
+	// TFuzzBatch carries a batch of campaign work items (or a done
+	// marker) from the manager to a worker. It answers both TFuzzPull and
+	// TFuzzResult, so a worker's steady state is one round trip per
+	// batch: push results, pull the next batch.
+	TFuzzBatch
+	// TFuzzResult carries per-item coverage bitmaps and oracle failures
+	// from a worker back to the manager.
+	TFuzzResult
 
-	maxFrameType = THealthOK
+	maxFrameType = TFuzzResult
 )
 
 // Proof sources reported in the first payload byte of a TProofOK reply,

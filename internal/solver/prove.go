@@ -41,6 +41,14 @@ type Options struct {
 	// MaxConflicts bounds the SAT search (0 = default budget). Exceeding
 	// it returns an error, modeling the paper's rare solver timeouts.
 	MaxConflicts int64
+	// MaxClauses rejects a condition whose bit-blasted CNF exceeds this
+	// many clauses before any search starts (0 = unlimited). Unlike a
+	// wall-clock deadline this budget is deterministic across machines:
+	// the same condition is accepted or rejected everywhere, which
+	// fuzzing campaigns rely on for worker-count-independent results. A
+	// conflict budget alone does not bound a pathological condition —
+	// per-conflict cost and solver memory scale with the CNF.
+	MaxClauses int
 	// Obs and Trace, when non-nil, receive per-tier latency histograms,
 	// outcome counters and prove/tier spans. Nil costs only a nil check.
 	Obs   *obs.Registry
@@ -214,6 +222,11 @@ func bitblastProve(ctx context.Context, cond *expr.Expr, opts Options) (out *Out
 	cnf, err := bitblast.Encode(notCond)
 	if err != nil {
 		return nil, fmt.Errorf("solver: %w", err)
+	}
+	if opts.MaxClauses > 0 && len(cnf.Clauses) > opts.MaxClauses {
+		return nil, bcferr.New(bcferr.ClassResourceLimit,
+			"solver: bit-blasted CNF has %d clauses (budget %d)",
+			len(cnf.Clauses), opts.MaxClauses)
 	}
 	s := sat.New(cnf.NVars, true)
 	s.MaxConflicts = opts.MaxConflicts

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bcf/internal/bcferr"
 	"bcf/internal/expr"
 	"bcf/internal/proof"
 )
@@ -214,5 +215,28 @@ func TestMalformedCondition(t *testing.T) {
 	}
 	if _, err := Prove(nil, nil, Options{}); err == nil {
 		t.Fatal("expected error for nil condition")
+	}
+}
+
+// TestMaxClausesBudget: a condition whose bit-blasted CNF exceeds the
+// clause budget is rejected with ClassResourceLimit before any SAT
+// search, and the decision depends only on the condition — the same
+// input fails identically everywhere, which the fuzzing campaign's
+// worker-count determinism relies on.
+func TestMaxClausesBudget(t *testing.T) {
+	x := expr.Var(0, 64)
+	// Multiplication bit-blasts into thousands of clauses; force the
+	// bitblast tier so the rewrite tier can't shortcut it.
+	cond := expr.Ule(expr.Mul(x, x), expr.Const(^uint64(0), 64))
+	opts := Options{DisableRewriteTier: true, MaxClauses: 8}
+	if _, err := Prove(nil, cond, opts); err == nil {
+		t.Fatal("expected clause-budget error")
+	} else if bcferr.ClassOf(err) != bcferr.ClassResourceLimit {
+		t.Fatalf("wrong error class: %v", err)
+	}
+	// The same condition proves fine with the budget lifted.
+	out := proveAndCheck(t, cond, Options{DisableRewriteTier: true})
+	if !out.Proven {
+		t.Fatal("condition should be valid")
 	}
 }

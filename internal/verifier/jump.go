@@ -40,7 +40,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		markPtrOrNull(other, dst.ID, takenNull)
 		markPtrOrNull(st, dst.ID, !takenNull)
 		push(branchItem{st: other, pc: target,
-			node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
+			node: &pathNode{parent: node.parent, idx: int32(pc), taken: true, entry: node.entry}, obs: obsTok})
 		node.taken = false
 		return pc + 1, nil
 	}
@@ -67,7 +67,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		if dst.Type.IsPtr() && srcReg != nil && srcReg.Type.IsPtr() {
 			other := st.clone()
 			push(branchItem{st: other, pc: target,
-				node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
+				node: &pathNode{parent: node.parent, idx: int32(pc), taken: true, entry: node.entry}, obs: obsTok})
 			node.taken = false
 			return pc + 1, nil
 		}
@@ -106,7 +106,7 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		syncLinked(st, fSrc.ID, fSrc)
 	}
 	push(branchItem{st: other, pc: target,
-		node: &pathNode{parent: node.parent, idx: int32(pc), taken: true}, obs: obsTok})
+		node: &pathNode{parent: node.parent, idx: int32(pc), taken: true, entry: node.entry}, obs: obsTok})
 	node.taken = false
 	return pc + 1, nil
 }

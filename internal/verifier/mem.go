@@ -232,9 +232,14 @@ func (v *Verifier) writeStack(st *VState, reg *RegState, off int16, size int, sr
 	}
 	fixed := int64(reg.Off) + int64(off) + int64(reg.Var.Value)
 	s0, s1 := slotRange(fixed, size)
+	// The bounds check normally guarantees s0..s1 lie in the frame, but
+	// state modeling must stay total even when it did not (a sabotaged or
+	// buggy check): clamp instead of indexing out of range.
 	if size == 8 && fixed%8 == 0 && src != nil {
 		// Register-sized aligned spill: preserve the full abstract state.
-		st.Stack[s0] = StackSlot{Kind: SlotSpill, Spill: *src}
+		if s0 >= 0 && s0 < NumStackSlots {
+			st.Stack[s0] = StackSlot{Kind: SlotSpill, Spill: *src}
+		}
 		return
 	}
 	kind := SlotMisc
@@ -243,11 +248,22 @@ func (v *Verifier) writeStack(st *VState, reg *RegState, off int16, size int, sr
 	} else if src != nil && src.IsConst() && src.ConstVal() == 0 {
 		kind = SlotZero
 	}
-	for i := s0; i <= s1; i++ {
+	lo := ebpf.StackSize + int(fixed)
+	for i := max(s0, 0); i <= s1 && i < NumStackSlots; i++ {
 		if st.Stack[i].Kind == SlotZero && kind == SlotZero {
 			continue
 		}
-		st.Stack[i] = StackSlot{Kind: kind}
+		k := kind
+		if k == SlotZero && (lo > i*8 || lo+size < (i+1)*8) {
+			// A zero store that covers only part of this slot: the
+			// uncovered bytes keep their previous (non-zero-tracked)
+			// contents, so the slot as a whole is not known zero. Marking
+			// it zero anyway once let a u32 zero store erase the upper
+			// half of a live u64 spill and claim the whole slot was zero
+			// (fuzz-domain regression).
+			k = SlotMisc
+		}
+		st.Stack[i] = StackSlot{Kind: k}
 	}
 }
 
@@ -259,7 +275,12 @@ func (v *Verifier) readStack(st *VState, reg *RegState, off int16, size int) Reg
 	}
 	fixed := int64(reg.Off) + int64(off) + int64(reg.Var.Value)
 	s0, s1 := slotRange(fixed, size)
+	// Stay total past the frame edge (see writeStack): out-of-range slots
+	// read as untracked data.
 	if size == 8 && fixed%8 == 0 {
+		if s0 < 0 || s0 >= NumStackSlots {
+			return loadedScalar(size)
+		}
 		slot := st.Stack[s0]
 		switch slot.Kind {
 		case SlotSpill:
@@ -272,7 +293,7 @@ func (v *Verifier) readStack(st *VState, reg *RegState, off int16, size int) Reg
 	// Sub-register read: if all covered slots are zero, the result is 0.
 	allZero := true
 	for i := s0; i <= s1; i++ {
-		if st.Stack[i].Kind != SlotZero {
+		if i < 0 || i >= NumStackSlots || st.Stack[i].Kind != SlotZero {
 			allZero = false
 		}
 	}

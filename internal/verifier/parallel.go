@@ -3,6 +3,7 @@ package verifier
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bcf/internal/obs"
 )
@@ -37,6 +38,21 @@ type pathOrder struct {
 	parent *pathOrder
 	depth  int32
 	seq    int32
+	// open counts the unfinished walks in this coordinate's subtree: 1
+	// for its own walk while running, plus one per direct child whose
+	// subtree is still open. Zero means every descendant has finished —
+	// the point at which this walk's pruning-table entries become
+	// visible to walks outside the subtree (see pruned). Maintained only
+	// under parallel exploration.
+	open atomic.Int32
+}
+
+// orderFinish retires one walk: its own count drops, and each subtree
+// that thereby closes propagates the close to its parent.
+func orderFinish(o *pathOrder) {
+	for o != nil && o.open.Add(-1) == 0 {
+		o = o.parent
+	}
 }
 
 // orderBefore reports whether the sequential DFS explores a no later
@@ -182,6 +198,7 @@ const verifierWorkerTIDBase = 10
 func (v *Verifier) verifyParallel(root branchItem) error {
 	workers := v.cfg.ParallelPaths
 	f := newFrontier(workers)
+	root.order.open.Store(1)
 	f.push(0, root)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -221,7 +238,9 @@ func (v *Verifier) pathWorker(f *frontier, w int) {
 		}
 		if v.outranked(item.order) {
 			// The sequential DFS would have stopped on an earlier error
-			// before popping this item: drop it unexplored.
+			// before popping this item: drop it unexplored (it forked no
+			// children, so retiring it closes its subtree).
+			orderFinish(item.order)
 			f.done()
 			continue
 		}
@@ -238,6 +257,7 @@ func (v *Verifier) pathWorker(f *frontier, w int) {
 		if err != nil && err != v.budgetErr {
 			v.recordCandidate(err, item.order)
 		}
+		orderFinish(item.order)
 		f.done()
 	}
 }

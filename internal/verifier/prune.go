@@ -2,6 +2,7 @@ package verifier
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bcf/internal/ebpf"
 	"bcf/internal/tnum"
@@ -14,10 +15,14 @@ const maxExploredPerInsn = 64
 
 // exploredEntry is one recorded state plus the DFS-order coordinate of
 // the walk that recorded it; the coordinate restricts pruning visibility
-// under parallel exploration (see parallel.go).
+// under parallel exploration (see parallel.go). dead is set when a later
+// path-conditional refinement retracts the entry (retractEntries): its
+// "explored without error" claim then holds only under branch
+// constraints a pruned state need not share.
 type exploredEntry struct {
 	st    *VState
 	order *pathOrder
+	dead  *atomic.Bool
 }
 
 // exploredShard holds the explored states of a single pc behind its own
@@ -58,28 +63,46 @@ func computePrunePoints(prog *ebpf.Program) []bool {
 func (v *Verifier) isPrunePoint(pc int) bool { return v.prunePoints[pc] }
 
 // pruned reports whether an already-explored state at pc subsumes st; if
-// not, st is recorded for future pruning. Under parallel exploration an
+// not, st is recorded for future pruning and the entry's liveness flag
+// is returned for retraction bookkeeping. Under parallel exploration an
 // entry is only eligible to prune a walk ordered after the walk that
 // recorded it — the visibility rule that keeps verdicts and reported
-// errors identical to the sequential DFS regardless of timing.
-func (v *Verifier) pruned(pc int, st *VState, order *pathOrder) bool {
+// errors identical to the sequential DFS regardless of timing — and,
+// except for the recording walk itself, only once the recorder's whole
+// subtree has finished. The subtree gate makes the dead flag race-free:
+// a retraction can only come from a walk whose history passes through
+// the entry (a subtree member), so once the subtree is closed any
+// retraction has already landed. The recorder may keep pruning against
+// its own entries mid-flight (loop revisits): its history shares every
+// branch a later refinement could condition on.
+func (v *Verifier) pruned(pc int, st *VState, order *pathOrder) (bool, *atomic.Bool) {
 	par := v.cfg.ParallelPaths > 1
 	sh := &v.explored[pc]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := range sh.entries {
 		e := &sh.entries[i]
-		if par && !orderBefore(e.order, order) {
+		if e.dead.Load() {
 			continue
 		}
+		if par {
+			if !orderBefore(e.order, order) {
+				continue
+			}
+			if e.order != order && e.order.open.Load() != 0 {
+				continue
+			}
+		}
 		if statesSubsume(e.st, st) {
-			return true
+			return true, nil
 		}
 	}
-	if len(sh.entries) < maxExploredPerInsn {
-		sh.entries = append(sh.entries, exploredEntry{st: st.clone(), order: order})
+	if len(sh.entries) >= maxExploredPerInsn {
+		return false, nil
 	}
-	return false
+	dead := new(atomic.Bool)
+	sh.entries = append(sh.entries, exploredEntry{st: st.clone(), order: order, dead: dead})
+	return false, dead
 }
 
 // idMap tracks the correspondence of register identities between an old

@@ -1,0 +1,132 @@
+package verifier
+
+import (
+	"fmt"
+	"testing"
+
+	"bcf/internal/ebpf"
+)
+
+// Regression tests for the two soundness bugs the fuzz campaign found at
+// seed 202 (corpus twins: spill-partial-zero.bpfasm and
+// refine-prune-retract.bpfasm).
+
+// A u32 zero store over the upper half of a slot holding a u64 spill
+// must not mark the slot known-zero: the spill's low word survives, so
+// the fill yields untracked bytes and the wild pointer offset below is
+// rejected. Before the fix the fill read abstract const 0 and the
+// access was accepted while concrete executions faulted.
+func TestPartialZeroStoreOverSpill(t *testing.T) {
+	p := mapProg(lookupPrologue+`
+	r6 = r0
+	r7 = *(u64 *)(r6 +0)
+	*(u64 *)(r10 -8) = r7
+	*(u32 *)(r10 -4) = 0
+	r9 = *(u64 *)(r10 -8)
+	r1 = r6
+	r1 += r9
+	r0 = *(u32 *)(r1 +0)
+`+lookupEpilogue, testMap16)
+	mustReject(t, p, "min value is negative")
+}
+
+// Control: a full-slot u64 zero store over the spill legitimately makes
+// the slot zero, the fill is const 0, and the access verifies.
+func TestFullZeroStoreOverSpill(t *testing.T) {
+	p := mapProg(lookupPrologue+`
+	r6 = r0
+	r7 = *(u64 *)(r6 +0)
+	*(u64 *)(r10 -8) = r7
+	*(u64 *)(r10 -8) = 0
+	r9 = *(u64 *)(r10 -8)
+	r1 = r6
+	r1 += r9
+	r0 = *(u32 *)(r1 +0)
+`+lookupEpilogue, testMap16)
+	mustAccept(t, p)
+}
+
+// Control: a partial zero store over an already-zero slot keeps it zero.
+func TestPartialZeroStoreOverZeroSlot(t *testing.T) {
+	p := mapProg(lookupPrologue+`
+	r6 = r0
+	*(u64 *)(r10 -8) = 0
+	*(u32 *)(r10 -4) = 0
+	r9 = *(u64 *)(r10 -8)
+	r1 = r6
+	r1 += r9
+	r0 = *(u32 *)(r1 +0)
+`+lookupEpilogue, testMap16)
+	mustAccept(t, p)
+}
+
+// anchorRefiner grants the first refinement as "path infeasible" with a
+// configurable track anchor and fails every later request, so the
+// test's verdict is decided by whether the pruning entries recorded by
+// the first path survive for the second.
+type anchorRefiner struct {
+	anchor func(pathLen int) int
+	calls  int
+}
+
+func (r *anchorRefiner) Refine(req *RefineRequest) (*RefineResult, error) {
+	r.calls++
+	if r.calls > 1 {
+		return nil, fmt.Errorf("no more proofs")
+	}
+	return &RefineResult{Pruned: true, TrackStart: r.anchor(len(req.Path))}, nil
+}
+
+// refinePruneProg forks two histories at a `goto +0` no-op branch that
+// converge with identical register states (r8 &= 0 and r0 = 0 erase the
+// JSET knowledge — r8 and r0 share an ID, so the branch refined both),
+// then fails a bounds check on both. The first path's "infeasibility"
+// proof must not let the explored-state table prune the second path
+// past the check when the proof's track reaches back across the
+// recorded entries.
+func refinePruneProg() *ebpf.Program {
+	return mapProg(lookupPrologue+`
+	r6 = r0
+	call 7
+	r8 = r0
+	if r8 & -6 goto +0
+	r0 = 0
+	r8 &= 0
+	if r8 <= 45 goto +1
+	r9 = 1
+	r1 = r6
+	r1 += r8
+	r0 = *(u32 *)(r1 +16)
+`+lookupEpilogue, testMap16)
+}
+
+// Track anchored at the path start: every entry the first path recorded
+// is inside the track and must be retracted, so the second path reaches
+// the failed check itself, its refinement fails, and the program is
+// rejected. Before the fix the second path was pruned and the program
+// accepted despite a concrete out-of-bounds read.
+func TestRefinementRetractsTrackEntries(t *testing.T) {
+	ref := &anchorRefiner{anchor: func(int) int { return 0 }}
+	v := New(refinePruneProg(), Config{Refiner: ref})
+	if err := v.Verify(); err == nil {
+		t.Fatalf("expected rejection: second path must not be pruned by a path-conditionally refined entry")
+	}
+	if ref.calls < 2 {
+		t.Fatalf("refiner called %d times, want 2: the second path never reached the check", ref.calls)
+	}
+}
+
+// Track anchored at the failing access itself: the proof covers any
+// execution reaching that instruction, entries before the anchor remain
+// valid, and the identical-state second path may legitimately prune.
+// Pins that retraction does not overreach.
+func TestRefinementKeepsPreTrackEntries(t *testing.T) {
+	ref := &anchorRefiner{anchor: func(pathLen int) int { return pathLen - 1 }}
+	v := New(refinePruneProg(), Config{Refiner: ref})
+	if err := v.Verify(); err != nil {
+		t.Fatalf("expected accept (second path pruned by a still-valid entry), got: %v", err)
+	}
+	if ref.calls != 1 {
+		t.Fatalf("refiner called %d times, want 1", ref.calls)
+	}
+}

@@ -72,6 +72,11 @@ type pathNode struct {
 	parent *pathNode
 	idx    int32
 	taken  bool // meaningful for conditional jumps
+	// entry points at the liveness flag of the pruning-table entry
+	// recorded just before this instruction was analyzed (nil when none
+	// was). A later path-conditional refinement retracts the entries
+	// inside its track by setting the flags (see retractEntries).
+	entry *atomic.Bool
 }
 
 // PathStep is one element of the reconstructed analysis path handed to
@@ -113,14 +118,43 @@ type RefineRequest struct {
 // RefineResult carries the proven bounds to adopt. When Pruned is set the
 // refiner instead proved the current path's constraints unsatisfiable:
 // the verifier abandons the (infeasible) path rather than refining.
+//
+// TrackStart is the index into RefineRequest.Path of the first
+// instruction the proof's symbolic track covers. The proof is valid for
+// any execution that traverses Path[TrackStart:] — its variables are
+// fresh at the anchor — but says nothing about executions that reach a
+// mid-track instruction by a different route. The verifier uses it to
+// retract the pruning-table entries the refinement invalidates; the zero
+// value (anchor at the path start) is maximally conservative.
 type RefineResult struct {
-	Lo, Hi uint64
-	Pruned bool
+	Lo, Hi     uint64
+	Pruned     bool
+	TrackStart int
 }
 
 // errInfeasiblePath is the sentinel used internally when BCF proves the
 // current analysis path unreachable; the walk treats it as path end.
 var errInfeasiblePath = &Error{Kind: CheckNone, Msg: "path proven infeasible"}
+
+// retractEntries kills the pruning-table entries recorded along the
+// current path at positions after a refinement's track anchor. A granted
+// refinement proves its condition only for executions traversing
+// Path[anchor:], so an entry inside the track — whose continuation was
+// vindicated by that proof — must not prune a state that reaches the
+// same pc along a different history: the proof does not cover it, and
+// pruning there once accepted a program with a concrete out-of-bounds
+// read (fuzz-accept-safe regression). Entries at or before the anchor
+// stay: the track's variables are fresh at the anchor, so the proof
+// covers every execution their subtrees admit. node sits at position
+// pathLen-1; flags are shared with forked siblings, and setting one is
+// idempotent, so re-sweeping after a second refinement is harmless.
+func retractEntries(node *pathNode, pathLen, anchor int) {
+	for p, pos := node, pathLen-1; p != nil && pos > anchor; p, pos = p.parent, pos-1 {
+		if p.entry != nil {
+			p.entry.Store(true)
+		}
+	}
+}
 
 // Refiner is the hook through which proof-guided abstraction refinement is
 // plugged into the verifier (implemented by internal/bcf). A nil Refiner
@@ -386,6 +420,12 @@ func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 	fork := func(it branchItem) {
 		childSeq++
 		it.order = &pathOrder{parent: item.order, depth: item.order.depth + 1, seq: childSeq}
+		if par {
+			// Subtree accounting for prune-entry eligibility (see
+			// pruned): the child's subtree opens under this walk's.
+			it.order.open.Store(1)
+			item.order.open.Add(1)
+		}
 		push(it)
 	}
 	for {
@@ -408,6 +448,7 @@ func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 			}
 		}
 		// Pruning at jump targets.
+		var entryDead *atomic.Bool
 		if !v.cfg.NoPruning && v.isPrunePoint(pc) {
 			if par && v.outranked(item.order) {
 				// A candidate error ordered before this path exists; the
@@ -415,7 +456,9 @@ func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 				// here, so nothing this path does can matter.
 				return nil
 			}
-			if v.pruned(pc, st, item.order) {
+			var hit bool
+			hit, entryDead = v.pruned(pc, st, item.order)
+			if hit {
 				v.statesPruned.Add(1)
 				v.logf("%d: pruned", pc)
 				v.cfg.Trace.Instant(obs.CatVerifier, "prune", nil)
@@ -423,7 +466,7 @@ func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 			}
 		}
 		v.logf("%d: %s", pc, ins.String())
-		node = &pathNode{parent: node, idx: int32(pc)}
+		node = &pathNode{parent: node, idx: int32(pc), entry: entryDead}
 		if v.cfg.Observer != nil {
 			obsTok = v.cfg.Observer.Step(obsTok, pc, st)
 		}
@@ -715,6 +758,13 @@ func (v *Verifier) refine(st *VState, pc int, regno ebpf.Reg, kind CheckKind,
 		WantHi:  wantHi,
 	}
 	res, err := v.cfg.Refiner.Refine(req)
+	if err == nil {
+		// The grant is conditional on the branches inside the proof's
+		// track: this path's earlier "explored without error" claims no
+		// longer transfer to states that arrive mid-track by a different
+		// route. Retract those pruning entries before using the result.
+		retractEntries(node, len(req.Path), res.TrackStart)
+	}
 	if err != nil {
 		v.logf("%d: refinement failed: %v", pc, err)
 		// Surface the refinement failure as the cause of the original
