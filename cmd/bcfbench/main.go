@@ -35,15 +35,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	rpprof "runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"bcf/internal/corpus"
@@ -144,30 +146,72 @@ func main() {
 
 	// Telemetry is opt-in: with none of the observability flags set, the
 	// registry and tracer stay nil and every instrumented path pays only
-	// a nil check (the <2% throughput bound of the design).
+	// a nil check (the <2% throughput bound of the design). Enabling any
+	// of them also arms the flight recorder, dumped on SIGQUIT and served
+	// at /debug/journal.
 	var reg *obs.Registry
 	var tracer *obs.Tracer
 	if *metrics || *traceFile != "" || *listen != "" {
 		reg = obs.NewRegistry()
+		reg.SetJournal(obs.NewJournal(0))
+		quitSig := make(chan os.Signal, 1)
+		signal.Notify(quitSig, syscall.SIGQUIT)
+		go func() {
+			for range quitSig {
+				fmt.Fprintln(os.Stderr, "bcfbench: SIGQUIT: flight recorder")
+				reg.Journal().Dump(os.Stderr)
+			}
+		}()
 	}
 	if *traceFile != "" {
-		tracer = obs.NewTracer()
+		tracer = obs.NewTracer().WithProcess(os.Getpid(), "bcfbench")
 	}
+
+	// A single -remote endpoint keeps the plain proofrpc client; a
+	// comma-separated list builds a prooffleet with rendezvous routing,
+	// breakers and hedging. Both propagate the tracer's context on the
+	// wire so the daemons record their spans under this run's trace ID.
+	var remoteProver loader.RemoteProver
+	var fleet *prooffleet.Fleet
+	var client *proofrpc.Client
+	if *remote != "" {
+		if endpoints := splitEndpoints(*remote); len(endpoints) > 1 {
+			f, err := prooffleet.New(prooffleet.Options{
+				Endpoints:  endpoints,
+				HedgeDelay: *hedge,
+				Obs:        reg,
+				Trace:      tracer,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			fleet = f
+			remoteProver = f
+		} else {
+			c, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg, Trace: tracer})
+			if err != nil {
+				fatal(err)
+			}
+			defer c.Close()
+			client = c
+			remoteProver = c
+		}
+	}
+
 	if *listen != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		var fleetStats func() any
+		if fleet != nil {
+			fleetStats = func() any { return fleet.Stats() }
+		}
+		mux := obs.DebugMux(reg, fleetStats)
 		go func() {
 			if err := http.ListenAndServe(*listen, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "bcfbench: listen:", err)
 			}
 		}()
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on %s\n", *listen)
+			fmt.Fprintf(os.Stderr, "serving /metrics, /debug/journal and /debug/pprof on %s\n", *listen)
 		}
 	}
 	if *cpuProfile != "" {
@@ -182,34 +226,6 @@ func main() {
 			rpprof.StopCPUProfile()
 			f.Close()
 		}()
-	}
-
-	// A single -remote endpoint keeps the plain proofrpc client; a
-	// comma-separated list builds a prooffleet with rendezvous routing,
-	// breakers and hedging.
-	var remoteProver loader.RemoteProver
-	var fleet *prooffleet.Fleet
-	if *remote != "" {
-		if endpoints := splitEndpoints(*remote); len(endpoints) > 1 {
-			f, err := prooffleet.New(prooffleet.Options{
-				Endpoints:  endpoints,
-				HedgeDelay: *hedge,
-				Obs:        reg,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			fleet = f
-			remoteProver = f
-		} else {
-			client, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg})
-			if err != nil {
-				fatal(err)
-			}
-			defer client.Close()
-			remoteProver = client
-		}
 	}
 
 	var ev *eval.Evaluation
@@ -279,6 +295,25 @@ func main() {
 			}
 		}
 		if *traceFile != "" {
+			// Pull the spans each daemon recorded under this run's trace ID
+			// and merge them — clock-offset corrected — so the single output
+			// file shows client and daemon timelines stitched together.
+			if remoteProver != nil {
+				sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				var serr error
+				switch {
+				case fleet != nil:
+					serr = fleet.Stitch(sctx)
+				case client != nil:
+					serr = client.StitchSpans(sctx)
+				}
+				cancel()
+				if serr != nil {
+					fmt.Fprintln(os.Stderr, "bcfbench: span stitch:", serr)
+				} else if !*quiet {
+					fmt.Fprintln(os.Stderr, "stitched daemon spans into the trace")
+				}
+			}
 			if err := tracer.WriteFile(*traceFile); err != nil {
 				fmt.Fprintln(os.Stderr, "bcfbench: trace:", err)
 				os.Exit(1)

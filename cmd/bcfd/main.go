@@ -37,7 +37,10 @@ func main() {
 	listen := flag.String("listen", "", "serve the proving protocol on this TCP address (e.g. :9190)")
 	unixSock := flag.String("unix", "", "serve the proving protocol on this Unix socket path")
 	cacheDir := flag.String("cache-dir", "", "content-addressed disk proof store (empty = memory only)")
-	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) on this address")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/journal and /debug/pprof on this address")
+	traceFile := flag.String("tracefile", "", "write the daemon's own Perfetto trace here on exit")
+	traceCap := flag.Int("trace-cap", 0, "span ring capacity for ship-spans-back (0 = default)")
+	journalSize := flag.Int("journal-size", 0, "flight-recorder ring entries (0 = default)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently-proving requests (0 = 2×GOMAXPROCS)")
 	cacheCap := flag.Int("cache-cap", 0, "in-memory proof cache entries (0 = default)")
 	proveTimeout := flag.Duration("prove-timeout", 0, "per-obligation solver deadline (0 = none)")
@@ -53,6 +56,13 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	journal := obs.NewJournal(*journalSize)
+	reg.SetJournal(journal)
+	// The tracer is always on: clients that propagate a trace context ask
+	// the daemon to retain its spans (ship-spans-back), so the ring must
+	// exist before the first traced request arrives. Bounded, so an
+	// untraced long-lived daemon pays one fixed allocation.
+	tracer := obs.NewTracerCap(*traceCap).WithProcess(os.Getpid(), "bcfd")
 	opts := proofd.Options{
 		Solver:       solver.Options{MaxConflicts: *maxConflicts},
 		ProveTimeout: *proveTimeout,
@@ -60,6 +70,7 @@ func main() {
 		MaxInflight:  *maxInflight,
 		ChaosDelay:   *chaosDelay,
 		Obs:          reg,
+		Trace:        tracer,
 	}
 	if *cacheDir != "" {
 		store, err := proofd.OpenStore(*cacheDir, reg)
@@ -94,15 +105,14 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
+		mux := obs.DebugMux(reg, nil)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "bcfd: http:", err)
 			}
 		}()
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "bcfd: /metrics on %s\n", *httpAddr)
+			fmt.Fprintf(os.Stderr, "bcfd: /metrics and /debug/journal on %s\n", *httpAddr)
 		}
 	}
 
@@ -110,6 +120,17 @@ func main() {
 	for _, l := range listeners {
 		go func(l net.Listener) { errs <- srv.Serve(l) }(l)
 	}
+
+	// SIGQUIT dumps the flight recorder without exiting (black-box
+	// inspection of a live daemon); SIGINT/SIGTERM drain gracefully.
+	quitSig := make(chan os.Signal, 1)
+	signal.Notify(quitSig, syscall.SIGQUIT)
+	go func() {
+		for range quitSig {
+			fmt.Fprintf(os.Stderr, "bcfd: SIGQUIT: flight recorder (%d events recorded)\n", journal.Seq())
+			journal.Dump(os.Stderr)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -130,6 +151,13 @@ func main() {
 	}
 	if *unixSock != "" {
 		os.Remove(*unixSock)
+	}
+	if *traceFile != "" {
+		if err := tracer.WriteFile(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "bcfd: tracefile:", err)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "bcfd: trace written to %s\n", *traceFile)
+		}
 	}
 	if !*quiet {
 		snap := srv.Cache().Snapshot()

@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"bcf"
+	"bcf/internal/obs"
 	"bcf/internal/proofrpc"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	stats := flag.Bool("stats", false, "dump the telemetry metrics snapshot as JSON after the verdict")
 	remote := flag.String("remote", "", "prove via a bcfd daemon at this address (unix:/path or host:port)")
 	remoteOnly := flag.Bool("remote-only", false, "with -remote: fail instead of falling back to the in-process solver")
+	listen := flag.String("listen", "", "serve /metrics, /debug/journal and /debug/pprof on this address while verifying")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bcfverify [flags] prog.s")
@@ -76,9 +79,17 @@ func main() {
 		opts = append(opts, bcf.WithParallelPaths(*parallelPaths))
 	}
 	var reg *bcf.Registry
-	if *stats {
+	if *stats || *listen != "" {
 		reg = bcf.NewRegistry()
+		reg.SetJournal(obs.NewJournal(0))
 		opts = append(opts, bcf.WithTelemetry(reg, nil))
+	}
+	if *listen != "" {
+		go func() {
+			if err := http.ListenAndServe(*listen, obs.DebugMux(reg, nil)); err != nil {
+				fmt.Fprintln(os.Stderr, "bcfverify: listen:", err)
+			}
+		}()
 	}
 	if *remote != "" {
 		client, err := proofrpc.Dial(*remote, proofrpc.ClientOptions{Obs: reg})

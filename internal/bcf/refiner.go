@@ -78,15 +78,24 @@ func (r *Refiner) Refine(req *verifier.RefineRequest) (*verifier.RefineResult, e
 		})
 	}
 	r.Obs.Counter(obs.MRefineRequests).Inc()
+	round := len(r.stats.Requests)
 	res, err := r.refine(req)
 	if err != nil {
 		r.stats.Failed++
 		r.Obs.Counter(obs.MRefinementsFailed).Inc()
+		if j := r.Obs.Journal(); j != nil {
+			j.Recordf(obs.JKindRefine, "refiner", int64(round),
+				"round %d: %s at insn %d failed: %v", round, req.Kind, req.InsnIdx, err)
+		}
 		sp.End()
 		return nil, err
 	}
 	r.stats.Granted++
 	r.Obs.Counter(obs.MRefinementsGranted).Inc()
+	if j := r.Obs.Journal(); j != nil {
+		j.Recordf(obs.JKindRefine, "refiner", int64(round),
+			"round %d: %s at insn %d granted", round, req.Kind, req.InsnIdx)
+	}
 	sp.End()
 	return res, nil
 }

@@ -307,6 +307,10 @@ func (c *Campaign) recordFailure(p *ebpf.Program, f Failure) {
 	c.repros[key] = rep
 	c.order = append(c.order, key)
 	c.opt.Obs.Counter(obs.MFuzzUniqueFailures).Inc()
+	if j := c.opt.Obs.Journal(); j != nil {
+		j.Recordf(obs.JKindFuzz, "fuzzcamp", int64(c.round),
+			"%s oracle verdict (round %d, %d insns): %s", f.Oracle, c.round, rep.Insns, f.Msg)
+	}
 }
 
 // failurePred re-runs only the failing oracle with the failure's exec

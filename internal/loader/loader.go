@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"time"
 
 	"bcf/internal/bcf"
@@ -218,6 +219,17 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 		}
 		reg.Counter(obs.Labels(obs.MLoadFailures,
 			"class", res.ErrClass.String(), "origin", origin)).Inc()
+		// Record every failed load; dump the recorder only for abnormal
+		// failures (protocol breaches, timeouts, exhausted budgets) — an
+		// ordinary safety rejection is a verdict, not a black-box event,
+		// and evals reject programs by the hundred.
+		if j := reg.Journal(); j != nil {
+			j.Recordf(obs.JKindLoadFail, "loader", int64(res.Rounds),
+				"load failed (%s): %v", res.ErrClass, res.Err)
+			if res.ErrClass != bcferr.ClassUnsafe {
+				j.Dump(os.Stderr)
+			}
+		}
 	}
 	if !opts.EnableBCF {
 		v := verifier.New(prog, vcfg)
@@ -237,6 +249,9 @@ func Load(prog *ebpf.Program, opts Options) *Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Seed the context with the load span so downstream RPC spans (the
+	// remote prover client) nest under this load in the trace timeline.
+	ctx = obs.ContextWithSpan(ctx, lsp.Context())
 	if opts.LoadTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.LoadTimeout)
@@ -372,6 +387,10 @@ func proveUncached(ctx context.Context, condBytes []byte, opts Options, res *Res
 		default:
 			res.RemoteFallbacks++
 			opts.Obs.Counter(obs.MRemoteFallbacks).Inc()
+			if j := opts.Obs.Journal(); j != nil {
+				j.Recordf(obs.JKindFallback, "loader", int64(res.RemoteFallbacks),
+					"remote transport failure, degrading to local solver: %v", rerr)
+			}
 		}
 	}
 	return proveLocal(ctx, condBytes, opts, res)
@@ -412,6 +431,10 @@ func remoteProve(ctx context.Context, condBytes []byte, opts Options, res *Resul
 		res.RemoteBackpressure++
 		opts.Obs.Counter(obs.MRemoteBackpressure).Inc()
 		d := wait/2 + rand.N(wait)
+		if j := opts.Obs.Journal(); j != nil {
+			j.Recordf(obs.JKindBackpress, "loader", d.Microseconds(),
+				"fleet saturated, queuing obligation for %v", d)
+		}
 		timer := time.NewTimer(d)
 		select {
 		case <-ctx.Done():

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the standard debug surface every serving process in
+// this repository exposes on its -listen/-http endpoint:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/journal  flight-recorder dump (JSON)
+//	/debug/fleet    per-backend fleet snapshot (404 when no fleet)
+//	/debug/pprof/*  the usual pprof handlers
+//
+// fleetStats, when non-nil, is called per request and its result
+// rendered as JSON — prooffleet.Fleet.Stats() fits directly. The
+// journal is read through reg.Journal() at request time, so attaching
+// one later (or never) is fine.
+func DebugMux(reg *Registry, fleetStats func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Journal().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		if fleetStats == nil {
+			http.Error(w, "no fleet attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fleetStats())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

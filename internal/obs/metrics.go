@@ -79,6 +79,9 @@ const (
 	// Fault injection (chaos runs). Label: point.
 	MFaultsInjected = "faultinject_fired_total"
 
+	// Telemetry self-observation.
+	MLabelsDropped = "obs_labels_dropped_total" // label combinations folded into {other="true"} by the cardinality cap
+
 	// Coverage-guided soundness campaign (internal/fuzzcamp).
 	MFuzzExecs          = "fuzzcamp_execs_total"           // programs run through the oracles
 	MFuzzRounds         = "fuzzcamp_rounds_total"          // completed campaign rounds

@@ -140,24 +140,103 @@ func (h *Histogram) Since(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
 }
 
+// DefaultMaxLabelSeries bounds how many distinct labeled series one
+// metric family may hold before new label combinations fold into a
+// single overflow series. Per-backend fleet labels (endpoints come and
+// go under churn) are the motivating unbounded source.
+const DefaultMaxLabelSeries = 256
+
 // Registry holds named metrics. Handles are created on first use and
 // stable thereafter, so instrumented code can resolve them once and keep
 // only the (possibly nil) pointer on the hot path. The nil Registry
 // hands out nil handles. Safe for concurrent use.
+//
+// Labeled series are capped per family: once a family holds
+// maxLabelSeries distinct label combinations, further combinations fold
+// into `family{other="true"}` and obs_labels_dropped_total counts the
+// folds. Unlabeled metrics are never capped.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	maxLabelSeries int
+	familySeries   map[string]int // labeled-series count per family
+
+	journal atomic.Pointer[Journal]
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:       map[string]*Counter{},
+		gauges:         map[string]*Gauge{},
+		histograms:     map[string]*Histogram{},
+		maxLabelSeries: DefaultMaxLabelSeries,
+		familySeries:   map[string]int{},
 	}
+}
+
+// SetMaxLabelSeries adjusts the per-family labeled-series cap (0 or
+// negative disables the cap). Nil-safe.
+func (r *Registry) SetMaxLabelSeries(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.maxLabelSeries = n
+	r.mu.Unlock()
+}
+
+// SetJournal attaches a flight-recorder journal so instrumented layers
+// that already hold the registry can reach it without extra plumbing.
+// Nil-safe.
+func (r *Registry) SetJournal(j *Journal) {
+	if r == nil {
+		return
+	}
+	r.journal.Store(j)
+}
+
+// Journal returns the attached flight recorder (nil when none, nil
+// registry included) — callers must tolerate nil, which the nil
+// *Journal methods do.
+func (r *Registry) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.journal.Load()
+}
+
+// overflowSeries is the label suffix folded series share.
+const overflowSeries = `{other="true"}`
+
+// admit applies the label-cardinality cap to a series name. Called with
+// r.mu held; exists reports whether the series is already registered.
+// Returns the (possibly folded) name to register under.
+func (r *Registry) admit(name string, exists bool) string {
+	if exists || r.maxLabelSeries <= 0 {
+		return name
+	}
+	i := strings.IndexByte(name, '{')
+	if i < 0 || name[i:] == overflowSeries {
+		return name // unlabeled or already the overflow series: never capped
+	}
+	fam := name[:i]
+	if r.familySeries[fam] >= r.maxLabelSeries {
+		// Fold into the overflow series and count the drop. The dropped
+		// counter is created directly (unlabeled, never folds itself).
+		dc, ok := r.counters[MLabelsDropped]
+		if !ok {
+			dc = &Counter{}
+			r.counters[MLabelsDropped] = dc
+		}
+		dc.Inc()
+		return fam + overflowSeries
+	}
+	r.familySeries[fam]++
+	return name
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -169,8 +248,11 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		name = r.admit(name, false)
+		if c, ok = r.counters[name]; !ok {
+			c = &Counter{}
+			r.counters[name] = c
+		}
 	}
 	return c
 }
@@ -184,8 +266,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		name = r.admit(name, false)
+		if g, ok = r.gauges[name]; !ok {
+			g = &Gauge{}
+			r.gauges[name] = g
+		}
 	}
 	return g
 }
@@ -201,11 +286,14 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		if len(bounds) == 0 {
-			bounds = LatencyBuckets
+		name = r.admit(name, false)
+		if h, ok = r.histograms[name]; !ok {
+			if len(bounds) == 0 {
+				bounds = LatencyBuckets
+			}
+			h = newHistogram(bounds)
+			r.histograms[name] = h
 		}
-		h = newHistogram(bounds)
-		r.histograms[name] = h
 	}
 	return h
 }

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceContextValidity(t *testing.T) {
+	if (TraceContext{}).Valid() {
+		t.Fatal("zero context must be invalid")
+	}
+	if !(TraceContext{TraceLo: 1}).Valid() || !(TraceContext{TraceHi: 1}).Valid() {
+		t.Fatal("nonzero trace ID must be valid")
+	}
+	tc := TraceContext{TraceHi: 0xabc, TraceLo: 0xdef}
+	if got := tc.TraceIDString(); got != "0000000000000abc0000000000000def" {
+		t.Fatalf("TraceIDString = %q", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	base := context.Background()
+	if got := SpanFromContext(base); got.Valid() {
+		t.Fatal("empty context must yield zero TraceContext")
+	}
+	tc := TraceContext{TraceHi: 1, TraceLo: 2, Span: 3}
+	ctx := ContextWithSpan(base, tc)
+	if got := SpanFromContext(ctx); got != tc {
+		t.Fatalf("round trip = %+v, want %+v", got, tc)
+	}
+	if ContextWithSpan(base, TraceContext{}) != base {
+		t.Fatal("invalid context should not wrap")
+	}
+}
+
+// collect unmarshals the tracer's JSON output.
+func collect(t *testing.T, tr *Tracer) []TraceEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	return tf.TraceEvents
+}
+
+// spanByName finds the first complete event with the given name.
+func spanByName(t *testing.T, evs []TraceEvent, name string) TraceEvent {
+	t.Helper()
+	for _, e := range evs {
+		if e.Ph == "X" && e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no span named %q in %d events", name, len(evs))
+	return TraceEvent{}
+}
+
+func TestSpanIdentityArgs(t *testing.T) {
+	tr := NewTracer()
+	hi, lo := tr.TraceID()
+	if hi == 0 && lo == 0 {
+		t.Fatal("tracer must mint a nonzero trace ID")
+	}
+	parent := tr.Start(CatLoad, "load")
+	child := tr.StartUnder(parent.Context(), CatRPC, "remote-prove")
+	child.End()
+	parent.End()
+
+	evs := collect(t, tr)
+	pe := spanByName(t, evs, "load")
+	ce := spanByName(t, evs, "remote-prove")
+	want := TraceContext{TraceHi: hi, TraceLo: lo}.TraceIDString()
+	if pe.Args["trace_id"] != want || ce.Args["trace_id"] != want {
+		t.Fatalf("trace ids: parent=%v child=%v want %v", pe.Args["trace_id"], ce.Args["trace_id"], want)
+	}
+	if pe.Args["span_id"] == nil || pe.Args["span_id"] == ce.Args["span_id"] {
+		t.Fatalf("span ids must be distinct and present: %v vs %v", pe.Args["span_id"], ce.Args["span_id"])
+	}
+	if ce.Args["parent_span_id"] != pe.Args["span_id"] {
+		t.Fatalf("child parent_span_id = %v, want %v", ce.Args["parent_span_id"], pe.Args["span_id"])
+	}
+	if _, ok := pe.Args["parent_span_id"]; ok {
+		t.Fatal("root span must not carry parent_span_id")
+	}
+}
+
+func TestWithParentRecordsUnderRemoteTrace(t *testing.T) {
+	client := NewTracer()
+	rpc := client.Start(CatRPC, "remote-prove")
+	tc := rpc.Context()
+
+	daemon := NewTracer() // its own (different) trace ID
+	h := daemon.WithParent(tc)
+	sp := h.StartArgs(CatProve, "proofd-prove", map[string]any{"src": "disk"})
+	inner := h.StartUnder(sp.Context(), CatProve, "disk-lookup")
+	inner.End()
+	sp.End()
+	rpc.End()
+
+	evs := collect(t, daemon)
+	de := spanByName(t, evs, "proofd-prove")
+	if de.Args["trace_id"] != tc.TraceIDString() {
+		t.Fatalf("daemon span trace_id = %v, want caller's %v", de.Args["trace_id"], tc.TraceIDString())
+	}
+	if de.Args["parent_span_id"] != spanIDString(tc.Span) {
+		t.Fatalf("daemon span parent = %v, want caller span %v", de.Args["parent_span_id"], spanIDString(tc.Span))
+	}
+	ie := spanByName(t, evs, "disk-lookup")
+	if ie.Args["parent_span_id"] != de.Args["span_id"] {
+		t.Fatal("inner daemon span must nest under the daemon request span")
+	}
+
+	// Instants on a parented handle carry the trace identity too.
+	h.Instant(CatProve, "mem-hit", nil)
+	evs = collect(t, daemon)
+	for _, e := range evs {
+		if e.Ph == "i" && e.Name == "mem-hit" {
+			if e.Args["trace_id"] != tc.TraceIDString() {
+				t.Fatal("instant missing remote trace id")
+			}
+			return
+		}
+	}
+	t.Fatal("instant not recorded")
+}
+
+func TestExportAndMerge(t *testing.T) {
+	client := NewTracer()
+	hi, lo := client.TraceID()
+	rpc := client.Start(CatRPC, "remote-prove")
+
+	daemon := NewTracer()
+	h := daemon.WithParent(rpc.Context())
+	sp := h.Start(CatProve, "proofd-prove")
+	sp.End()
+	// A span on the daemon's own trace must not export.
+	own := daemon.Start(CatProve, "unrelated")
+	own.End()
+	rpc.End()
+
+	ex := daemon.Export(hi, lo)
+	if len(ex.Events) != 1 || ex.Events[0].Name != "proofd-prove" {
+		t.Fatalf("export = %+v, want exactly the caller-trace span", ex.Events)
+	}
+	if ex.StartUnixNano == 0 {
+		t.Fatal("export must carry the sink epoch")
+	}
+
+	// JSON round trip (the wire form inside TSpansOK).
+	blob, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExportedTrace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	client.Merge(back, 1000, "bcfd:test", 0)
+	evs := collect(t, client)
+	de := spanByName(t, evs, "proofd-prove")
+	if de.PID != 1000 {
+		t.Fatalf("merged span pid = %d, want 1000", de.PID)
+	}
+	re := spanByName(t, evs, "remote-prove")
+	if de.Args["parent_span_id"] != re.Args["span_id"] {
+		t.Fatal("merged daemon span lost its parent link")
+	}
+	// Process-name metadata for the merged pid.
+	var named bool
+	for _, e := range evs {
+		if e.Ph == "M" && e.PID == 1000 && e.Name == "process_name" {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatal("merge must label the remote process track")
+	}
+
+	// Nil client merge must not panic; nil daemon export is empty.
+	var nilT *Tracer
+	nilT.Merge(back, 1, "x", 0)
+	if got := nilT.Export(hi, lo); len(got.Events) != 0 {
+		t.Fatal("nil export must be empty")
+	}
+}
+
+func TestMergeClockOffset(t *testing.T) {
+	client := NewTracer()
+	hi, lo := client.TraceID()
+	ex := ExportedTrace{
+		StartUnixNano: time.Now().Add(2 * time.Second).UnixNano(), // daemon clock 2s ahead
+		Events: []TraceEvent{{
+			Name: "proofd-prove", Ph: "X", TS: 100, Dur: 50, PID: 0, TID: 0,
+			Args: map[string]any{"trace_id": TraceContext{TraceHi: hi, TraceLo: lo}.TraceIDString()},
+		}},
+	}
+	client.Merge(ex, 1000, "bcfd", 2*time.Second)
+	evs := collect(t, client)
+	de := spanByName(t, evs, "proofd-prove")
+	// With the offset corrected the event should land near the client
+	// epoch (within a second of µs 0..1e6), not 2 seconds in the future.
+	if de.TS < -1e6 || de.TS > 1e6 {
+		t.Fatalf("offset-corrected TS = %v µs, want near zero", de.TS)
+	}
+}
+
+func TestTracerCapRing(t *testing.T) {
+	tr := NewTracerCap(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant(CatProve, "tick", nil)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := collect(t, tr)
+	if len(evs) != 4 {
+		t.Fatalf("wrote %d events, want 4", len(evs))
+	}
+	// Oldest-first ordering survives the ring.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatal("ring emitted events out of order")
+		}
+	}
+}
+
+func TestSpanContextCrossesGoroutines(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start(CatLoad, "load")
+	ctx := ContextWithSpan(context.Background(), sp.Context())
+	done := make(chan TraceContext, 1)
+	go func() { done <- SpanFromContext(ctx) }()
+	if got := <-done; got != sp.Context() {
+		t.Fatalf("context did not survive goroutine hop: %+v", got)
+	}
+	sp.End()
+}

@@ -2,10 +2,12 @@ package proofd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -255,6 +257,19 @@ func (s *Server) serveConn(sc *srvConn) {
 		}
 		go func(f *proofrpc.Frame) {
 			defer sc.wg.Done()
+			// A handler panic would otherwise kill the process silently;
+			// dump the flight recorder first so the post-mortem has the
+			// last N events, then let the crash proceed.
+			defer func() {
+				if r := recover(); r != nil {
+					if j := s.opts.Obs.Journal(); j != nil {
+						j.Recordf(obs.JKindPanic, "proofd", int64(f.Type),
+							"panic handling %s: %v", proofrpc.TypeString(f.Type), r)
+						j.Dump(os.Stderr)
+					}
+					panic(r)
+				}
+			}()
 			s.reply(sc, f.ReqID, s.handle(f))
 		}(f)
 	}
@@ -279,11 +294,26 @@ func (s *Server) handle(f *proofrpc.Frame) *proofrpc.Frame {
 	switch f.Type {
 	case proofrpc.TPing:
 		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "ping")).Inc()
-		return &proofrpc.Frame{Type: proofrpc.TPong}
+		// The pong carries the daemon's wall clock so clients can estimate
+		// the clock offset for span stitching.
+		return &proofrpc.Frame{Type: proofrpc.TPong,
+			Payload: proofrpc.EncodePongPayload(time.Now().UnixNano())}
 	case proofrpc.THealth:
 		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "health")).Inc()
 		return &proofrpc.Frame{Type: proofrpc.THealthOK,
 			Payload: proofrpc.EncodeHealthPayload(s.health())}
+	case proofrpc.TSpans:
+		s.opts.Obs.Counter(obs.Label(obs.MDaemonRequests, "type", "spans")).Inc()
+		hi, lo, err := proofrpc.DecodeSpansRequest(f.Payload)
+		if err != nil {
+			s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
+			return s.errorReply(bcferr.Wrap(bcferr.ClassProtocol, err))
+		}
+		blob, err := json.Marshal(s.opts.Trace.Export(hi, lo))
+		if err != nil {
+			return s.errorReply(bcferr.Wrap(bcferr.ClassProtocol, err))
+		}
+		return &proofrpc.Frame{Type: proofrpc.TSpansOK, Payload: blob}
 	case proofrpc.TProve:
 		s.inflight <- struct{}{} // backpressure beyond MaxInflight
 		s.opts.Obs.Gauge(obs.MDaemonInflight).Add(1)
@@ -301,19 +331,27 @@ func (s *Server) handle(f *proofrpc.Frame) *proofrpc.Frame {
 		if s.opts.Obs != nil {
 			t0 = time.Now()
 		}
-		sp := s.opts.Trace.Start(obs.CatRPC, "proofd-prove")
-		reply := s.prove(f.Payload)
-		sp.End()
+		// When the frame carries the caller's trace context, the daemon's
+		// spans record under the caller's trace ID with the caller's RPC
+		// span as parent — a later TSpans fetch stitches the two timelines.
+		tr := s.opts.Trace.WithParent(f.Trace)
+		sp := tr.Start(obs.CatRPC, "proofd-prove")
+		reply, src := s.prove(f.Payload, tr.WithParent(sp.Context()))
+		sp.EndArgs(map[string]any{"src": proofrpc.SrcString(src)})
 		if s.opts.Obs != nil {
 			s.opts.Obs.StageHistogram(obs.MDaemonSeconds).Since(t0)
 		}
 		return reply
 	default:
 		s.opts.Obs.Counter(obs.MDaemonRejects).Inc()
+		if j := s.opts.Obs.Journal(); j != nil {
+			j.Recordf(obs.JKindRPC, "proofd", int64(f.Type),
+				"unexpected request type %s", proofrpc.TypeString(f.Type))
+		}
 		return &proofrpc.Frame{
 			Type: proofrpc.TError,
 			Payload: proofrpc.EncodeErrorPayload(uint32(bcferr.ClassProtocol),
-				fmt.Sprintf("unexpected request type %d", f.Type)),
+				fmt.Sprintf("unexpected request type %s", proofrpc.TypeString(f.Type))),
 		}
 	}
 }
@@ -332,18 +370,24 @@ func (s *Server) health() proofrpc.Health {
 }
 
 // prove resolves one obligation through the cache hierarchy:
-// memory LRU → singleflight coalescing → disk store → solver.
-func (s *Server) prove(cond []byte) *proofrpc.Frame {
+// memory LRU → singleflight coalescing → disk store → solver. tr, when
+// tracing, parents the per-tier spans under the request span.
+func (s *Server) prove(cond []byte, tr *obs.Tracer) (*proofrpc.Frame, byte) {
 	src := proofrpc.SrcSolved
 	proofBytes, hit, shared, err := s.cache.GetOrCompute(cond, func() ([]byte, error) {
 		key := CacheKey(cond)
 		if s.opts.Store != nil {
-			if p, ok := s.opts.Store.Get(key); ok {
+			dsp := tr.Start(obs.CatProve, "disk-lookup")
+			p, ok := s.opts.Store.Get(key)
+			dsp.EndArgs(map[string]any{"hit": ok})
+			if ok {
 				src = proofrpc.SrcDisk
 				return p, nil
 			}
 		}
+		ssp := tr.Start(obs.CatProve, "solve")
 		p, err := s.solve(cond)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -359,10 +403,10 @@ func (s *Server) prove(cond []byte) *proofrpc.Frame {
 		src = proofrpc.SrcCoalesced
 	}
 	if err != nil {
-		return s.errorReply(err)
+		return s.errorReply(err), src
 	}
 	s.opts.Obs.Counter(obs.Label(obs.MDaemonReplies, "source", proofrpc.SrcString(src))).Inc()
-	return &proofrpc.Frame{Type: proofrpc.TProofOK, Payload: append([]byte{src}, proofBytes...)}
+	return &proofrpc.Frame{Type: proofrpc.TProofOK, Payload: append([]byte{src}, proofBytes...)}, src
 }
 
 // solve runs the solver on a cache-missing obligation.

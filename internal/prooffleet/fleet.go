@@ -149,8 +149,25 @@ type backend struct {
 	draining   atomic.Bool
 	dispatches atomic.Int64
 
+	// lastBreakerState is the breaker state last seen by noteBreaker, so
+	// transitions (not steady states) reach the flight recorder.
+	lastBreakerState atomic.Int32
+
 	mu   sync.Mutex
 	conn *proofrpc.MuxConn
+}
+
+// noteBreaker journals a breaker state transition the moment it is
+// observed (the breaker itself has no callback hook; every path that
+// feeds it passes through here right after).
+func (f *Fleet) noteBreaker(b *backend) {
+	st := int32(b.breaker.State())
+	if prev := b.lastBreakerState.Swap(st); prev != st {
+		if j := f.opts.Obs.Journal(); j != nil {
+			j.Recordf(obs.JKindBreaker, "fleet", int64(st),
+				"backend %s: %s -> %s", b.id, BreakerState(prev).String(), BreakerState(st).String())
+		}
+	}
 }
 
 // New builds a fleet client over the given backends. It does not dial
@@ -334,9 +351,13 @@ func (f *Fleet) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
 	if f.opts.Obs != nil {
 		t0 = time.Now()
 	}
-	sp := f.opts.Trace.Start(obs.CatRPC, "fleet-prove")
-	out, err := f.dispatch(ctx, cond)
-	sp.End()
+	sp := f.opts.Trace.StartUnder(obs.SpanFromContext(ctx), obs.CatRPC, "fleet-prove")
+	out, err := f.dispatch(ctx, cond, sp.Context())
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	sp.EndArgs(map[string]any{"outcome": outcome})
 	if f.opts.Obs != nil {
 		f.opts.Obs.StageHistogram(obs.MFleetSeconds).Since(t0)
 	}
@@ -358,7 +379,7 @@ type outcome struct {
 // (proofs, counterexamples, remote solver errors) end the dispatch
 // immediately; exhausting every backend reports
 // bcferr.ErrRemoteUnavailable so the loader falls back in process.
-func (f *Fleet) dispatch(ctx context.Context, cond []byte) ([]byte, error) {
+func (f *Fleet) dispatch(ctx context.Context, cond []byte, tc obs.TraceContext) ([]byte, error) {
 	ranked := f.rank(cond)
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // releases the hedge loser
@@ -370,11 +391,15 @@ func (f *Fleet) dispatch(ctx context.Context, cond []byte) ([]byte, error) {
 			b := ranked[next]
 			next++
 			if !b.breaker.Allow(time.Now()) {
+				// Breaker rejections are instants, not spans: nothing ran,
+				// but the trace should show the road not taken.
+				f.opts.Trace.WithParent(tc).Instant(obs.CatRPC, "breaker-reject",
+					map[string]any{"backend": b.id})
 				continue
 			}
 			launched++
 			go func(b *backend) {
-				proof, err, transport := f.proveOn(cctx, b, cond)
+				proof, err, transport := f.proveOn(cctx, b, cond, hedge, tc)
 				results <- outcome{proof, err, transport, hedge}
 			}(b)
 			return true
@@ -411,6 +436,10 @@ func (f *Fleet) dispatch(ctx context.Context, cond []byte) ([]byte, error) {
 				if o.hedge {
 					f.hedgeWins.Add(1)
 					f.opts.Obs.Counter(obs.MFleetHedgeWins).Inc()
+					f.opts.Trace.WithParent(tc).Instant(obs.CatRPC, "hedge-win", nil)
+					if j := f.opts.Obs.Journal(); j != nil {
+						j.Record(obs.JKindHedge, "fleet", "hedge beat primary", 1)
+					}
 				}
 				return o.proof, nil
 			case !o.transport:
@@ -433,15 +462,32 @@ func (f *Fleet) dispatch(ctx context.Context, cond []byte) ([]byte, error) {
 // proveOn runs one obligation against one backend, recording breaker,
 // health and latency signals. transport=true marks wire failures (the
 // dispatch loop fails over); a cancelled context is *forgiven* — a
-// hedge loser is not evidence the backend is unhealthy.
-func (f *Fleet) proveOn(ctx context.Context, b *backend, cond []byte) (proof []byte, err error, transport bool) {
+// hedge loser is not evidence the backend is unhealthy. Each attempt is
+// its own child span under the fleet-prove span (tc), so a hedged
+// dispatch shows as sibling spans — the one that ends outcome=proof
+// won, a loser ends outcome=cancelled. The span ends inside this
+// function because a losing attempt may still be running after dispatch
+// has returned the winner.
+func (f *Fleet) proveOn(ctx context.Context, b *backend, cond []byte, hedge bool, tc obs.TraceContext) (proof []byte, err error, transport bool) {
 	seq := int(f.seq.Add(1) - 1)
 	b.dispatches.Add(1)
 	f.dispatches.Add(1)
 	f.opts.Obs.Counter(obs.Label(obs.MFleetDispatches, "backend", b.id)).Inc()
 
+	sp := f.opts.Trace.StartUnder(tc, obs.CatRPC, "backend-prove")
+	outcome := "transport"
+	defer func() {
+		sp.EndArgs(map[string]any{"backend": b.id, "hedge": hedge, "outcome": outcome})
+	}()
+	// The wire carries this attempt's span, so the daemon's tier spans
+	// nest under the exact backend attempt that caused them.
+	wtc := sp.Context()
+	wtc.Flags |= obs.FlagShipSpans
+
 	fail := func(err error) ([]byte, error, bool) {
+		defer f.noteBreaker(b)
 		if ctx.Err() != nil {
+			outcome = "cancelled"
 			b.breaker.Forgive()
 			return nil, unavailable("prooffleet: %v", ctx.Err()), true
 		}
@@ -463,7 +509,7 @@ func (f *Fleet) proveOn(ctx context.Context, b *backend, cond []byte) (proof []b
 	defer rcancel()
 
 	start := time.Now()
-	rf, derr := conn.Do(rctx, proofrpc.TProve, cond)
+	rf, derr := conn.DoTraced(rctx, proofrpc.TProve, cond, wtc)
 	if derr != nil {
 		return fail(unavailable("prooffleet: backend %s: %v", b.id, derr))
 	}
@@ -473,7 +519,9 @@ func (f *Fleet) proveOn(ctx context.Context, b *backend, cond []byte) (proof []b
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
+				outcome = "cancelled"
 				b.breaker.Forgive()
+				f.noteBreaker(b)
 				return nil, unavailable("prooffleet: %v", ctx.Err()), true
 			}
 		}
@@ -492,16 +540,57 @@ func (f *Fleet) proveOn(ctx context.Context, b *backend, cond []byte) (proof []b
 	if ierr != nil {
 		// Authoritative remote outcome (counterexample, classified solver
 		// error): the wire and the backend behaved.
+		outcome = "error"
 		b.breaker.Success()
 		b.health.Observe(false)
+		f.noteBreaker(b)
 		return nil, ierr, false
 	}
 	elapsed := time.Since(start)
+	outcome = "proof"
 	b.breaker.Success()
 	b.health.Observe(false)
+	f.noteBreaker(b)
 	f.lat.Observe(elapsed)
 	f.opts.Obs.Counter(obs.Label(obs.MRemoteSource, "src", proofrpc.SrcString(src))).Inc()
 	return out, nil, false
+}
+
+// Stitch pulls every backend's spans for this fleet's trace and merges
+// them into the fleet tracer, one process track per backend (pids
+// 1000, 1001, …) with clock offsets estimated per backend from a
+// stamped ping. Call it once after a traced run, before writing the
+// trace file. A no-op without a tracer; per-backend failures are
+// skipped (a dead backend should not cost the rest of the stitch).
+func (f *Fleet) Stitch(ctx context.Context) error {
+	if f.opts.Trace == nil {
+		return nil
+	}
+	hi, lo := f.opts.Trace.TraceID()
+	var firstErr error
+	for i, b := range f.backends {
+		conn, err := b.muxConn(f.opts.ConnectTimeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		var offset time.Duration
+		t0 := time.Now()
+		if nano, rtt, perr := conn.PingTime(ctx); perr == nil && nano != 0 {
+			offset = time.Duration(nano - t0.Add(rtt/2).UnixNano())
+		}
+		ex, err := conn.FetchSpans(ctx, hi, lo)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		f.opts.Trace.Merge(ex, int64(1000+i), "bcfd:"+b.id, offset)
+	}
+	return firstErr
 }
 
 // muxConn returns the backend's live multiplexed connection, redialing
@@ -573,6 +662,7 @@ func (f *Fleet) probe(b *backend) {
 }
 
 func (f *Fleet) exportBreakerState(b *backend) {
+	f.noteBreaker(b)
 	if f.opts.Obs == nil {
 		return
 	}

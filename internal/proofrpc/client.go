@@ -2,6 +2,7 @@ package proofrpc
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"net"
@@ -191,21 +192,64 @@ func (c *Client) release(conn net.Conn) {
 
 // Ping round-trips a liveness frame.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.roundTrip(ctx, TPing, nil)
+	_, err := c.roundTrip(ctx, TPing, nil, obs.TraceContext{})
 	return err
+}
+
+// ClockOffset estimates the daemon↔client clock difference from one
+// TPing round trip: the daemon stamps its wall clock into the TPong and
+// the client assumes the stamp was taken mid-flight, so
+// offset ≈ daemonNano − (sendNano + RTT/2). Used to place shipped-back
+// daemon spans on the client timeline. A daemon that does not stamp its
+// pongs yields offset 0.
+func (c *Client) ClockOffset(ctx context.Context) (offset time.Duration, rtt time.Duration, err error) {
+	t0 := time.Now()
+	body, err := c.roundTrip(ctx, TPing, nil, obs.TraceContext{})
+	rtt = time.Since(t0)
+	if err != nil {
+		return 0, rtt, err
+	}
+	nano, err := DecodePongPayload(body)
+	if err != nil || nano == 0 {
+		return 0, rtt, err
+	}
+	mid := t0.Add(rtt / 2).UnixNano()
+	return time.Duration(nano - mid), rtt, nil
+}
+
+// traceContext builds the trace context a request frame should carry:
+// the caller's span from ctx when one was propagated (the loader seeds
+// it with the load span), else a fresh root span reference is not
+// invented — an untraced client sends untraced frames. The ship-spans
+// flag rides whenever the client records a trace, so the daemon keeps
+// the matching spans for a later Stitch.
+func (c *Client) traceContext(ctx context.Context, sp obs.Span) obs.TraceContext {
+	if c.opts.Trace == nil {
+		return obs.TraceContext{}
+	}
+	tc := sp.Context()
+	tc.Flags |= obs.FlagShipSpans
+	return tc
 }
 
 // ProveBytes ships one encoded condition to the daemon and returns the
 // encoded proof. It implements loader.RemoteProver; see the Client doc
-// for the error contract.
+// for the error contract. When the client has a tracer, the RPC span
+// nests under any span context propagated via obs.ContextWithSpan and
+// the frame carries the span's trace context so the daemon's cache-tier
+// spans land in the same trace.
 func (c *Client) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
 	var t0 time.Time
 	if c.opts.Obs != nil {
 		t0 = time.Now()
 	}
-	sp := c.opts.Trace.Start(obs.CatRPC, "remote-prove")
-	reply, err := c.roundTrip(ctx, TProve, cond)
-	sp.End()
+	sp := c.opts.Trace.StartUnder(obs.SpanFromContext(ctx), obs.CatRPC, "remote-prove")
+	reply, err := c.roundTrip(ctx, TProve, cond, c.traceContext(ctx, sp))
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	sp.EndArgs(map[string]any{"outcome": outcome})
 	if c.opts.Obs != nil {
 		c.opts.Obs.StageHistogram(obs.MRemoteSeconds).Since(t0)
 	}
@@ -213,6 +257,42 @@ func (c *Client) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
 		return nil, err
 	}
 	return reply, nil
+}
+
+// FetchSpans asks the daemon for the spans it recorded under the given
+// trace ID (ship-spans-back mode).
+func (c *Client) FetchSpans(ctx context.Context, hi, lo uint64) (obs.ExportedTrace, error) {
+	var ex obs.ExportedTrace
+	body, err := c.roundTrip(ctx, TSpans, EncodeSpansRequest(hi, lo), obs.TraceContext{})
+	if err != nil {
+		return ex, err
+	}
+	if err := json.Unmarshal(body, &ex); err != nil {
+		return ex, unavailable("proofrpc: bad %s payload: %v", TypeString(TSpansOK), err)
+	}
+	return ex, nil
+}
+
+// StitchSpans pulls the daemon's spans for this client's trace and
+// merges them into the client tracer under their own process track
+// (pid 1000), with timestamps corrected by a ClockOffset estimate — so
+// one WriteFile after a traced run yields a single Perfetto file
+// showing both sides of every RPC. A no-op without a tracer.
+func (c *Client) StitchSpans(ctx context.Context) error {
+	if c.opts.Trace == nil {
+		return nil
+	}
+	offset, _, err := c.ClockOffset(ctx)
+	if err != nil {
+		return err
+	}
+	hi, lo := c.opts.Trace.TraceID()
+	ex, err := c.FetchSpans(ctx, hi, lo)
+	if err != nil {
+		return err
+	}
+	c.opts.Trace.Merge(ex, 1000, "bcfd:"+c.opts.Addr, offset)
+	return nil
 }
 
 // roundTrip performs one request with retry-with-backoff on transport
@@ -225,7 +305,7 @@ func (c *Client) ProveBytes(ctx context.Context, cond []byte) ([]byte, error) {
 // recovering daemon does not stampede it in lockstep, and every sleep
 // races ctx.Done(): a cancelled load stops retrying immediately instead
 // of serving out the remainder of its schedule.
-func (c *Client) roundTrip(ctx context.Context, typ uint32, payload []byte) ([]byte, error) {
+func (c *Client) roundTrip(ctx context.Context, typ uint32, payload []byte, tc obs.TraceContext) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -242,7 +322,7 @@ func (c *Client) roundTrip(ctx context.Context, typ uint32, payload []byte) ([]b
 		if err := ctx.Err(); err != nil {
 			return nil, unavailable("proofrpc: %v", err)
 		}
-		reply, err, transport := c.attempt(ctx, typ, payload)
+		reply, err, transport := c.attempt(ctx, typ, payload, tc)
 		switch {
 		case err == nil:
 			c.opts.Obs.Counter(obs.Label(obs.MRemoteRequests, "outcome", "ok")).Inc()
@@ -262,7 +342,7 @@ func (c *Client) roundTrip(ctx context.Context, typ uint32, payload []byte) ([]b
 
 // attempt runs one request on one connection. transport=true marks
 // failures of the wire, not of the prover.
-func (c *Client) attempt(ctx context.Context, typ uint32, payload []byte) (reply []byte, err error, transport bool) {
+func (c *Client) attempt(ctx context.Context, typ uint32, payload []byte, tc obs.TraceContext) (reply []byte, err error, transport bool) {
 	req := int(c.reqSeq.Add(1) - 1)
 	if c.opts.Fault != nil {
 		if ferr := c.opts.Fault.RPCSend(req); ferr != nil {
@@ -299,7 +379,7 @@ func (c *Client) attempt(ctx context.Context, typ uint32, payload []byte) (reply
 		<-watchdogDone
 	}
 
-	f := &Frame{Type: typ, ReqID: uint64(req), Payload: payload}
+	f := &Frame{Type: typ, ReqID: uint64(req), Payload: payload, Trace: tc}
 	if err := WriteFrame(conn, f); err != nil {
 		stopWatchdog()
 		conn.Close()
@@ -360,19 +440,27 @@ func InterpretReply(reqType, replyType uint32, body []byte) (out []byte, src byt
 	switch replyType {
 	case TPong:
 		if reqType != TPing {
-			return nil, 0, unavailable("proofrpc: unexpected pong"), true
+			return nil, 0, unavailable("proofrpc: unexpected %s reply to %s", TypeString(replyType), TypeString(reqType)), true
 		}
-		return nil, 0, nil, false
+		// The pong body (daemon wall clock, possibly empty) flows back so
+		// ClockOffset can read it; Ping discards it.
+		return append([]byte(nil), body...), 0, nil, false
 
 	case THealthOK:
 		if reqType != THealth {
-			return nil, 0, unavailable("proofrpc: unexpected health reply"), true
+			return nil, 0, unavailable("proofrpc: unexpected %s reply to %s", TypeString(replyType), TypeString(reqType)), true
+		}
+		return append([]byte(nil), body...), 0, nil, false
+
+	case TSpansOK:
+		if reqType != TSpans {
+			return nil, 0, unavailable("proofrpc: unexpected %s reply to %s", TypeString(replyType), TypeString(reqType)), true
 		}
 		return append([]byte(nil), body...), 0, nil, false
 
 	case TProofOK:
 		if reqType != TProve {
-			return nil, 0, unavailable("proofrpc: unexpected proof reply"), true
+			return nil, 0, unavailable("proofrpc: unexpected %s reply to %s", TypeString(replyType), TypeString(reqType)), true
 		}
 		if len(body) < 1 {
 			return nil, 0, unavailable("proofrpc: empty proof reply"), true
@@ -403,6 +491,6 @@ func InterpretReply(reqType, replyType uint32, body []byte) (out []byte, src byt
 		return nil, 0, bcferr.New(bcferr.Class(class), "proofrpc: remote: %s", msg), false
 
 	default:
-		return nil, 0, unavailable("proofrpc: unexpected reply type %d", replyType), true
+		return nil, 0, unavailable("proofrpc: unexpected reply type %s", TypeString(replyType)), true
 	}
 }

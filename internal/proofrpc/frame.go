@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"bcf/internal/obs"
 )
 
 // FrameMagic opens every frame ("BCFR" little-endian).
@@ -26,8 +28,9 @@ const FrameMagic = 0x52464342
 
 // FrameVersion is the protocol version; frames carrying any other
 // version are rejected (no negotiation — the fleet upgrades in lockstep
-// with the wire format, like bcfenc.Version).
-const FrameVersion = 1
+// with the wire format, like bcfenc.Version). Version 2 added the flags
+// header word and the optional trace-context block.
+const FrameVersion = 2
 
 // Frame types.
 const (
@@ -63,9 +66,51 @@ const (
 	// TFuzzResult carries per-item coverage bitmaps and oracle failures
 	// from a worker back to the manager.
 	TFuzzResult
+	// TSpans asks a daemon to ship back the spans it recorded under one
+	// trace ID (the payload: trace hi u64 | trace lo u64). Clients send
+	// it after a traced run so one Perfetto file can stitch both sides of
+	// the wire.
+	TSpans
+	// TSpansOK answers a TSpans: a JSON-encoded obs.ExportedTrace.
+	TSpansOK
 
-	maxFrameType = TFuzzResult
+	maxFrameType = TSpansOK
 )
+
+// TypeString names a frame type for error messages and journal entries
+// (decode/dispatch failures quoting only a numeric code are unreadable
+// in chaos-soak output).
+func TypeString(typ uint32) string {
+	switch typ {
+	case TPing:
+		return "TPing"
+	case TPong:
+		return "TPong"
+	case TProve:
+		return "TProve"
+	case TProofOK:
+		return "TProofOK"
+	case TCex:
+		return "TCex"
+	case TError:
+		return "TError"
+	case THealth:
+		return "THealth"
+	case THealthOK:
+		return "THealthOK"
+	case TFuzzPull:
+		return "TFuzzPull"
+	case TFuzzBatch:
+		return "TFuzzBatch"
+	case TFuzzResult:
+		return "TFuzzResult"
+	case TSpans:
+		return "TSpans"
+	case TSpansOK:
+		return "TSpansOK"
+	}
+	return fmt.Sprintf("unknown(%d)", typ)
+}
 
 // Proof sources reported in the first payload byte of a TProofOK reply,
 // so clients can observe (and tests can assert) where a proof came from.
@@ -98,18 +143,45 @@ func SrcString(src byte) string {
 const MaxPayload = 1 << 24
 
 // HeaderLen is the fixed frame header size in bytes:
-// magic u32 | version u32 | type u32 | request id u64 | payload len u32 |
-// payload crc32 u32.
-const HeaderLen = 28
+// magic u32 | version u32 | type u32 | flags u32 | request id u64 |
+// payload len u32 | payload crc32 u32.
+const HeaderLen = 32
 
-// Frame is one protocol message.
+// Frame flags (header word at offset 12). The decoder is strict:
+// unknown flag bits are an error, so new extensions ride a version
+// bump, never silent tolerance.
+const (
+	// FlagTraceContext marks a frame carrying a trace-context block
+	// between the header and the payload: the caller's distributed-trace
+	// position, under which the server records its own spans.
+	FlagTraceContext uint32 = 1 << 0
+
+	knownFlags = FlagTraceContext
+)
+
+// traceBlockLen is the trace-context block size in bytes:
+// trace id hi u64 | trace id lo u64 | parent span id u64 | trace flags u32.
+const traceBlockLen = 28
+
+// Frame is one protocol message. Trace, when valid, is the sender's
+// trace context; it rides an optional header extension so untraced
+// traffic pays nothing.
 type Frame struct {
 	Type    uint32
 	ReqID   uint64
 	Payload []byte
+	Trace   obs.TraceContext
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// extLen returns the length of f's header extensions.
+func (f *Frame) extLen() int {
+	if f.Trace.Valid() {
+		return traceBlockLen
+	}
+	return 0
+}
 
 // AppendFrame serializes f onto dst and returns the extended slice.
 func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
@@ -119,24 +191,47 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d", len(f.Payload), MaxPayload)
 	}
+	var flags uint32
+	if f.Trace.Valid() {
+		flags |= FlagTraceContext
+	}
 	var hdr [HeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], FrameMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], FrameVersion)
 	binary.LittleEndian.PutUint32(hdr[8:], f.Type)
-	binary.LittleEndian.PutUint64(hdr[12:], f.ReqID)
-	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(f.Payload)))
-	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(f.Payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[12:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], f.ReqID)
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(f.Payload, crcTable))
 	dst = append(dst, hdr[:]...)
+	if f.Trace.Valid() {
+		var tb [traceBlockLen]byte
+		binary.LittleEndian.PutUint64(tb[0:], f.Trace.TraceHi)
+		binary.LittleEndian.PutUint64(tb[8:], f.Trace.TraceLo)
+		binary.LittleEndian.PutUint64(tb[16:], f.Trace.Span)
+		binary.LittleEndian.PutUint32(tb[24:], f.Trace.Flags)
+		dst = append(dst, tb[:]...)
+	}
 	return append(dst, f.Payload...), nil
 }
 
 // EncodeFrame serializes one frame.
 func EncodeFrame(f *Frame) ([]byte, error) { return AppendFrame(nil, f) }
 
+// decodeTraceBlock parses the trace-context block at buf[0:].
+func decodeTraceBlock(buf []byte) obs.TraceContext {
+	return obs.TraceContext{
+		TraceHi: binary.LittleEndian.Uint64(buf[0:]),
+		TraceLo: binary.LittleEndian.Uint64(buf[8:]),
+		Span:    binary.LittleEndian.Uint64(buf[16:]),
+		Flags:   binary.LittleEndian.Uint32(buf[24:]),
+	}
+}
+
 // DecodeFrame parses one frame from the front of buf, returning the
 // frame and the number of bytes consumed. It is strict: bad magic,
-// unknown version or type, oversized payloads, truncation and CRC
-// mismatches are all errors. The returned payload aliases buf.
+// unknown version, type or flags, oversized payloads, truncation and
+// CRC mismatches are all errors. The returned payload aliases buf.
 func DecodeFrame(buf []byte) (*Frame, int, error) {
 	if len(buf) < HeaderLen {
 		return nil, 0, fmt.Errorf("proofrpc: truncated header (%d bytes)", len(buf))
@@ -151,22 +246,38 @@ func DecodeFrame(buf []byte) (*Frame, int, error) {
 	if typ == 0 || typ > maxFrameType {
 		return nil, 0, fmt.Errorf("proofrpc: unknown frame type %d", typ)
 	}
-	plen := binary.LittleEndian.Uint32(buf[20:])
+	flags := binary.LittleEndian.Uint32(buf[12:])
+	if flags&^knownFlags != 0 {
+		return nil, 0, fmt.Errorf("proofrpc: unknown frame flags %#x in %s frame", flags&^knownFlags, TypeString(typ))
+	}
+	extLen := 0
+	if flags&FlagTraceContext != 0 {
+		extLen = traceBlockLen
+	}
+	plen := binary.LittleEndian.Uint32(buf[24:])
 	if plen > MaxPayload {
-		return nil, 0, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d", plen, MaxPayload)
+		return nil, 0, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d in %s frame", plen, MaxPayload, TypeString(typ))
 	}
-	total := HeaderLen + int(plen)
+	total := HeaderLen + extLen + int(plen)
 	if len(buf) < total {
-		return nil, 0, fmt.Errorf("proofrpc: truncated payload (%d of %d bytes)", len(buf)-HeaderLen, plen)
+		return nil, 0, fmt.Errorf("proofrpc: truncated %s frame (%d of %d bytes)", TypeString(typ), len(buf)-HeaderLen, extLen+int(plen))
 	}
-	payload := buf[HeaderLen:total]
-	if c := crc32.Checksum(payload, crcTable); c != binary.LittleEndian.Uint32(buf[24:]) {
-		return nil, 0, fmt.Errorf("proofrpc: payload CRC mismatch")
+	var tc obs.TraceContext
+	if extLen > 0 {
+		tc = decodeTraceBlock(buf[HeaderLen:])
+		if !tc.Valid() {
+			return nil, 0, fmt.Errorf("proofrpc: %s frame carries an all-zero trace context", TypeString(typ))
+		}
+	}
+	payload := buf[HeaderLen+extLen : total]
+	if c := crc32.Checksum(payload, crcTable); c != binary.LittleEndian.Uint32(buf[28:]) {
+		return nil, 0, fmt.Errorf("proofrpc: payload CRC mismatch in %s frame", TypeString(typ))
 	}
 	return &Frame{
 		Type:    typ,
-		ReqID:   binary.LittleEndian.Uint64(buf[12:]),
+		ReqID:   binary.LittleEndian.Uint64(buf[16:]),
 		Payload: payload,
+		Trace:   tc,
 	}, total, nil
 }
 
@@ -187,11 +298,19 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	plen := binary.LittleEndian.Uint32(hdr[20:])
+	flags := binary.LittleEndian.Uint32(hdr[12:])
+	if flags&^knownFlags != 0 {
+		return nil, fmt.Errorf("proofrpc: unknown frame flags %#x", flags&^knownFlags)
+	}
+	extLen := 0
+	if flags&FlagTraceContext != 0 {
+		extLen = traceBlockLen
+	}
+	plen := binary.LittleEndian.Uint32(hdr[24:])
 	if plen > MaxPayload {
 		return nil, fmt.Errorf("proofrpc: payload %d bytes exceeds limit %d", plen, MaxPayload)
 	}
-	buf := make([]byte, HeaderLen+int(plen))
+	buf := make([]byte, HeaderLen+extLen+int(plen))
 	copy(buf, hdr[:])
 	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
 		return nil, fmt.Errorf("proofrpc: reading payload: %w", err)
@@ -256,6 +375,53 @@ func DecodeErrorPayload(buf []byte) (class uint32, msg string, err error) {
 		return 0, "", fmt.Errorf("proofrpc: truncated error payload")
 	}
 	return binary.LittleEndian.Uint32(buf), string(buf[4:]), nil
+}
+
+// spansPayloadLen is the fixed TSpans payload size: trace hi u64 |
+// trace lo u64.
+const spansPayloadLen = 16
+
+// EncodeSpansRequest serializes a TSpans payload asking for the spans
+// recorded under one trace ID.
+func EncodeSpansRequest(hi, lo uint64) []byte {
+	buf := make([]byte, spansPayloadLen)
+	binary.LittleEndian.PutUint64(buf[0:], hi)
+	binary.LittleEndian.PutUint64(buf[8:], lo)
+	return buf
+}
+
+// DecodeSpansRequest parses a TSpans payload.
+func DecodeSpansRequest(buf []byte) (hi, lo uint64, err error) {
+	if len(buf) != spansPayloadLen {
+		return 0, 0, fmt.Errorf("proofrpc: %s payload %d bytes, want %d", TypeString(TSpans), len(buf), spansPayloadLen)
+	}
+	return binary.LittleEndian.Uint64(buf[0:]), binary.LittleEndian.Uint64(buf[8:]), nil
+}
+
+// pongPayloadLen is the fixed TPong payload size: daemon wall clock,
+// UnixNano i64. Clients estimate the client↔daemon clock offset from it
+// (offset ≈ daemonNano − (sendNano + RTT/2)) when stitching shipped-back
+// spans onto the local timeline.
+const pongPayloadLen = 8
+
+// EncodePongPayload serializes a TPong payload carrying the daemon's
+// wall clock.
+func EncodePongPayload(unixNano int64) []byte {
+	buf := make([]byte, pongPayloadLen)
+	binary.LittleEndian.PutUint64(buf, uint64(unixNano))
+	return buf
+}
+
+// DecodePongPayload parses a TPong payload. An empty payload (a
+// minimal responder) decodes as 0: no clock information.
+func DecodePongPayload(buf []byte) (int64, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if len(buf) != pongPayloadLen {
+		return 0, fmt.Errorf("proofrpc: %s payload %d bytes, want %d", TypeString(TPong), len(buf), pongPayloadLen)
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
 }
 
 // Health is the daemon load snapshot carried by a THealthOK reply. Fleet
