@@ -95,6 +95,7 @@ const (
 	ProgXDP          = ebpf.ProgXDP
 	ProgTracepoint   = ebpf.ProgTracepoint
 	ProgSchedCLS     = ebpf.ProgSchedCLS
+	ProgCgroupSkb    = ebpf.ProgCgroupSkb
 )
 
 // Map types.

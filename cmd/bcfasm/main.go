@@ -3,8 +3,15 @@
 //
 // Usage:
 //
-//	bcfasm -o prog.bin prog.s        # assemble
-//	bcfasm -d prog.bin               # disassemble to stdout
+//	bcfasm -o prog.bin prog.s                  # assemble to raw bytecode
+//	bcfasm -elf -type xdp -o prog.o prog.s     # assemble to an ELF object
+//	bcfasm -d prog.bin                         # disassemble to stdout
+//
+// With -elf the output is an ELF relocatable object (see internal/elf):
+// the program lands in a section named after -type, `map[N]` references
+// become relocations against map symbols, and map definitions for every
+// referenced index are emitted with -map-value-size sized values. The -d
+// form also accepts ELF objects and disassembles every program in them.
 package main
 
 import (
@@ -13,14 +20,19 @@ import (
 	"os"
 
 	"bcf/internal/ebpf"
+	"bcf/internal/elf"
 )
 
 func main() {
-	out := flag.String("o", "", "output file (assembled bytecode)")
+	out := flag.String("o", "", "output file (assembled bytecode or ELF object)")
 	dis := flag.Bool("d", false, "disassemble the input instead of assembling")
+	emitELF := flag.Bool("elf", false, "emit an ELF relocatable object instead of raw bytecode")
+	progType := flag.String("type", "tracepoint", "program type for -elf: tracepoint|xdp|socket_filter|sched_cls|cgroup_skb")
+	valueSize := flag.Uint("map-value-size", 16, "value size of emitted map definitions (-elf)")
+	name := flag.String("name", "", "program name for -elf (default: derived from the input path)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bcfasm [-d] [-o out.bin] input")
+		fmt.Fprintln(os.Stderr, "usage: bcfasm [-d] [-elf] [-o out] input")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -28,6 +40,17 @@ func main() {
 		fatal(err)
 	}
 	if *dis {
+		if elf.IsObject(data) {
+			obj, err := elf.ParseObject(data)
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range obj.Programs {
+				fmt.Printf("; %s (%s)\n", p.Name, p.Type)
+				fmt.Print(p.Disassemble())
+			}
+			return
+		}
 		insns, err := ebpf.DecodeProgram(data)
 		if err != nil {
 			fatal(err)
@@ -40,6 +63,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *emitELF {
+		prog := &ebpf.Program{
+			Name:  progName(*name, flag.Arg(0)),
+			Type:  parseType(*progType),
+			Insns: insns,
+			Maps:  mapsFor(insns, uint32(*valueSize)),
+		}
+		obj, err := elf.EmitProgram(prog)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			fatal(fmt.Errorf("-elf requires -o"))
+		}
+		if err := os.WriteFile(*out, obj, 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	raw := ebpf.EncodeProgram(insns)
 	if *out == "" {
 		fmt.Printf("%d instructions, %d bytes\n", len(insns), len(raw))
@@ -49,6 +91,59 @@ func main() {
 	}
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		fatal(err)
+	}
+}
+
+// mapsFor builds array map definitions covering every map index the
+// program references, mirroring bcfverify's synthetic map[0].
+func mapsFor(insns []ebpf.Instruction, valueSize uint32) []*ebpf.MapSpec {
+	max := -1
+	for _, ins := range insns {
+		if ins.IsLoadFromMap() && int(ins.Imm) > max {
+			max = int(ins.Imm)
+		}
+	}
+	maps := make([]*ebpf.MapSpec, max+1)
+	for i := range maps {
+		maps[i] = &ebpf.MapSpec{
+			Name: fmt.Sprintf("map%d", i), Type: ebpf.MapArray,
+			KeySize: 4, ValueSize: valueSize, MaxEntries: 16,
+		}
+	}
+	return maps
+}
+
+func progName(flagName, path string) string {
+	if flagName != "" {
+		return flagName
+	}
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			base = path[i+1:]
+			break
+		}
+	}
+	for i := 0; i < len(base); i++ {
+		if base[i] == '.' {
+			return base[:i]
+		}
+	}
+	return base
+}
+
+func parseType(s string) ebpf.ProgType {
+	switch s {
+	case "xdp":
+		return ebpf.ProgXDP
+	case "socket_filter":
+		return ebpf.ProgSocketFilter
+	case "sched_cls":
+		return ebpf.ProgSchedCLS
+	case "cgroup_skb":
+		return ebpf.ProgCgroupSkb
+	default:
+		return ebpf.ProgTracepoint
 	}
 }
 

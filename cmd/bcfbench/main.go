@@ -17,6 +17,7 @@
 //	bcfbench -table duration # the §6.3 time split + wall-clock speedup
 //	bcfbench -table cache    # shared proof-cache hit/miss statistics
 //	bcfbench -n 96 -json out.json  # reduced-corpus smoke run, machine-readable
+//	bcfbench -elf-dir dataset/ -json out.json  # evaluate a directory of ELF objects
 //
 // Remote proving (single daemon or a fleet):
 //
@@ -49,6 +50,7 @@ import (
 	"time"
 
 	"bcf/internal/corpus"
+	"bcf/internal/elf"
 	"bcf/internal/eval"
 	"bcf/internal/loader"
 	"bcf/internal/obs"
@@ -126,6 +128,7 @@ func main() {
 	remote := flag.String("remote", "", "prove via bcfd daemon(s): unix:/path or host:port, comma-separated for a fleet")
 	hedge := flag.Duration("hedge", 0, "fleet hedging delay (0 = derive from latency percentiles, negative = off)")
 	coldwarm := flag.Bool("coldwarm", false, "run the corpus twice and report cold vs warm-cache timing")
+	elfDir := flag.String("elf-dir", "", "evaluate a directory of ELF objects (.o) instead of the synthetic corpus")
 	flag.Parse()
 
 	if *verifBench != "" {
@@ -142,7 +145,7 @@ func main() {
 	wantAll := *table == "" && *fig == ""
 	needRun := wantAll || *table == "accept" || *table == "3" || *table == "duration" ||
 		*table == "classes" || *table == "cache" || *fig == "8" || *jsonPath != "" ||
-		*metrics || *traceFile != "" || *coldwarm
+		*metrics || *traceFile != "" || *coldwarm || *elfDir != ""
 
 	// Telemetry is opt-in: with none of the observability flags set, the
 	// registry and tracer stay nil and every instrumented path pays only
@@ -239,7 +242,16 @@ func main() {
 		if *quiet {
 			progress = nil
 		}
+		var entries []corpus.Entry
 		size := corpus.Size
+		if *elfDir != "" {
+			var err error
+			entries, err = loadELFDir(*elfDir)
+			if err != nil {
+				fatal(err)
+			}
+			size = len(entries)
+		}
 		if *n > 0 && *n < size {
 			size = *n
 		}
@@ -249,6 +261,7 @@ func main() {
 		}
 		runOnce := func(cache *loader.ProofCache) *eval.Evaluation {
 			return eval.RunOpts(eval.Options{
+				Entries:       entries,
 				InsnLimit:     *limit,
 				Parallelism:   *parallel,
 				ParallelPaths: *parallelPaths,
@@ -469,6 +482,44 @@ func writeJSON(path string, ev *eval.Evaluation, reg *obs.Registry, meta reportM
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadELFDir parses every .o object in dir (sorted by name) into corpus
+// entries — one per program section — so the ELF frontend feeds the same
+// evaluation pipeline as the synthetic corpus.
+func loadELFDir(dir string) ([]corpus.Entry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var entries []corpus.Entry
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".o") {
+			continue
+		}
+		path := dir + string(os.PathSeparator) + f.Name()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := elf.ParseObject(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, p := range obj.Programs {
+			entries = append(entries, corpus.Entry{
+				Index:   len(entries),
+				Project: "elf-dir",
+				Source:  f.Name(),
+				Variant: p.Name,
+				Prog:    p,
+			})
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no .o objects found in %s", dir)
+	}
+	return entries, nil
 }
 
 // warmSpeedup is cold/warm, guarded against a zero warm measurement.

@@ -7,6 +7,7 @@
 //
 //	bcffuzz -execs 256 -workers 4 -json -          # bounded local campaign
 //	bcffuzz -duration 3m -promote out/ -json stats.json   # nightly shape
+//	bcffuzz -corpus-dir state/ ...                 # resume + save corpus coverage
 //	bcffuzz -sabotage collapse-add -stop-on-failure       # detection drill
 //	bcffuzz -listen tcp::7072 ...                  # also accept remote workers
 //	bcffuzz -connect tcp:mgr:7072                  # pure worker process
@@ -58,6 +59,7 @@ func main() {
 		stopOnFail = flag.Bool("stop-on-failure", false, "finish after the first failing item (deterministic item order)")
 		sabotage   = flag.String("sabotage", "", "plant a verifier bug for a detection drill: collapse-add | skip-mem-bounds")
 		promote    = flag.String("promote", "", "directory for minimized .bpfasm reproducers")
+		corpusDir  = flag.String("corpus-dir", "", "directory for cross-process corpus state: resume coverage from it, save back on exit")
 		remote     = flag.String("remote", "", "bcfd endpoint(s) for remote proving (comma-separated = fleet)")
 		listen     = flag.String("listen", "", "also accept external workers on this address (unix:/path or tcp:host:port)")
 		connect    = flag.String("connect", "", "run as a worker for the manager at this address (no local campaign)")
@@ -144,6 +146,15 @@ func main() {
 	}
 
 	camp := fuzzcamp.New(opt)
+	if *corpusDir != "" {
+		loaded, err := camp.LoadState(*corpusDir)
+		if err != nil {
+			fatal(err)
+		}
+		if loaded && !*quiet {
+			fmt.Fprintf(os.Stderr, "resumed corpus state from %s\n", *corpusDir)
+		}
+	}
 	mgr := fuzzcamp.NewManager(camp, *chunk)
 
 	// The local fan-out is the same manager/worker protocol external
@@ -178,6 +189,11 @@ func main() {
 	}
 	wg.Wait()
 	stats := mgr.Stats(*workers)
+	if *corpusDir != "" {
+		if err := mgr.SaveState(*corpusDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "campaign done: %d execs in %d rounds (%.0f/sec), coverage %d bits, corpus %d, failures %d seen / %d unique\n",

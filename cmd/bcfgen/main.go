@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bcfgen -o dataset/
+//	bcfgen -elf -o dataset/    # ELF relocatable objects instead of raw bytecode
 package main
 
 import (
@@ -35,14 +36,26 @@ type manifestEntry struct {
 
 func main() {
 	out := flag.String("o", "dataset", "output directory")
+	emitELF := flag.Bool("elf", false, "emit ELF relocatable objects (.o) instead of raw bytecode (.bin)")
 	flag.Parse()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 	var manifest []manifestEntry
 	for _, e := range corpus.Generate() {
-		raw := ebpf.EncodeProgram(e.Prog.Insns)
-		file := fmt.Sprintf("%03d_%s.bin", e.Index, e.Prog.Name)
+		var raw []byte
+		var file string
+		if *emitELF {
+			var err error
+			raw, err = e.EmitELF()
+			if err != nil {
+				fatal(fmt.Errorf("entry %d (%s): %w", e.Index, e.Prog.Name, err))
+			}
+			file = fmt.Sprintf("%03d_%s.o", e.Index, e.Prog.Name)
+		} else {
+			raw = ebpf.EncodeProgram(e.Prog.Insns)
+			file = fmt.Sprintf("%03d_%s.bin", e.Index, e.Prog.Name)
+		}
 		if err := os.WriteFile(filepath.Join(*out, file), raw, 0o644); err != nil {
 			fatal(err)
 		}

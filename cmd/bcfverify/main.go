@@ -5,12 +5,17 @@
 // Usage:
 //
 //	bcfverify [-bcf] [-debug] [-stats] [-map-value-size N] prog.s
+//	bcfverify [-bcf] prog.o
 //
 // The input is textual assembly (see bcfasm); `-bin` accepts raw bytecode
-// instead. `map[0]` references in the program resolve to a single array
-// map whose value size is set by -map-value-size. `-stats` dumps the
-// telemetry snapshot of the load (per-stage latency histograms, pipeline
-// counters) as JSON after the verdict.
+// instead, and an ELF relocatable object (detected by magic) is loaded
+// through the internal/elf frontend: each program section is verified in
+// turn with the object's own maps and section-derived program type, and
+// the process exits non-zero if any program is rejected. For the textual
+// and raw forms, `map[0]` references resolve to a single array map whose
+// value size is set by -map-value-size. `-stats` dumps the telemetry
+// snapshot of the load (per-stage latency histograms, pipeline counters)
+// as JSON after the verdict.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"time"
 
 	"bcf"
+	"bcf/internal/bcferr"
+	"bcf/internal/elf"
 	"bcf/internal/obs"
 	"bcf/internal/proofrpc"
 )
@@ -32,37 +39,48 @@ func main() {
 	valueSize := flag.Uint("map-value-size", 16, "value size of map[0]")
 	insnLimit := flag.Int("insn-limit", 0, "analyzed-instruction budget (0 = kernel default)")
 	parallelPaths := flag.Int("parallel-paths", 0, "verifier path-exploration workers (<=1 = sequential DFS)")
-	progType := flag.String("type", "tracepoint", "program type: tracepoint|xdp|socket_filter|sched_cls")
+	progType := flag.String("type", "tracepoint", "program type: tracepoint|xdp|socket_filter|sched_cls|cgroup_skb (ignored for ELF input)")
 	stats := flag.Bool("stats", false, "dump the telemetry metrics snapshot as JSON after the verdict")
 	remote := flag.String("remote", "", "prove via a bcfd daemon at this address (unix:/path or host:port)")
 	remoteOnly := flag.Bool("remote-only", false, "with -remote: fail instead of falling back to the in-process solver")
 	listen := flag.String("listen", "", "serve /metrics, /debug/journal and /debug/pprof on this address while verifying")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bcfverify [flags] prog.s")
+		fmt.Fprintln(os.Stderr, "usage: bcfverify [flags] prog.s|prog.o")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	var insns []bcf.Instruction
-	if *bin {
-		insns, err = decodeBin(data)
+	var progs []*bcf.Program
+	if elf.IsObject(data) {
+		obj, err := elf.ParseObject(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcfverify: %s: REJECTED (elf): %v (class %s)\n",
+				flag.Arg(0), err, bcferr.ClassOf(err))
+			os.Exit(1)
+		}
+		progs = obj.Programs
 	} else {
-		insns, err = bcf.Assemble(string(data))
-	}
-	if err != nil {
-		fatal(err)
-	}
-	prog := &bcf.Program{
-		Name:  flag.Arg(0),
-		Type:  parseType(*progType),
-		Insns: insns,
-		Maps: []*bcf.MapSpec{{
-			Name: "map0", Type: bcf.MapArray,
-			KeySize: 4, ValueSize: uint32(*valueSize), MaxEntries: 16,
-		}},
+		var insns []bcf.Instruction
+		if *bin {
+			insns, err = decodeBin(data)
+		} else {
+			insns, err = bcf.Assemble(string(data))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		progs = []*bcf.Program{{
+			Name:  flag.Arg(0),
+			Type:  parseType(*progType),
+			Insns: insns,
+			Maps: []*bcf.MapSpec{{
+				Name: "map0", Type: bcf.MapArray,
+				KeySize: 4, ValueSize: uint32(*valueSize), MaxEntries: 16,
+			}},
+		}}
 	}
 
 	opts := []bcf.Option{}
@@ -105,33 +123,41 @@ func main() {
 		fatal(fmt.Errorf("-remote-only requires -remote"))
 	}
 
-	start := time.Now()
-	report := bcf.Verify(prog, opts...)
-	elapsed := time.Since(start)
-
-	for _, line := range report.Log {
-		fmt.Println(" ", line)
-	}
 	mode := "baseline"
 	if *useBCF {
 		mode = "BCF"
 	}
-	if report.Accepted {
-		fmt.Printf("ACCEPTED (%s) in %v\n", mode, elapsed.Round(time.Microsecond))
-	} else {
-		fmt.Printf("REJECTED (%s): %v\n", mode, report.Err)
-	}
-	fmt.Printf("  insns processed: %d, paths: %d, states pruned: %d\n",
-		report.Stats.InsnProcessed, report.Stats.PathsExplored, report.Stats.StatesPruned)
-	if *useBCF {
-		fmt.Printf("  refinements: %d granted / %d requested\n",
-			report.Refinements, report.RefinementRequests)
-		for i, d := range report.RefinementDetails() {
-			fmt.Printf("    #%d: track=%d insns, condition=%dB, proof=%dB, check=%dµs\n",
-				i, d.TrackLen, d.CondBytes, d.ProofBytes, d.CheckNanos/1000)
+	rejected := false
+	for _, prog := range progs {
+		prefix := ""
+		if len(progs) > 1 {
+			prefix = prog.Name + ": "
 		}
-		if report.Counterexample != nil {
-			fmt.Printf("  counterexample: %v\n", report.Counterexample)
+		start := time.Now()
+		report := bcf.Verify(prog, opts...)
+		elapsed := time.Since(start)
+
+		for _, line := range report.Log {
+			fmt.Println(" ", line)
+		}
+		if report.Accepted {
+			fmt.Printf("%sACCEPTED (%s) in %v\n", prefix, mode, elapsed.Round(time.Microsecond))
+		} else {
+			rejected = true
+			fmt.Printf("%sREJECTED (%s): %v (class %s)\n", prefix, mode, report.Err, report.Class)
+		}
+		fmt.Printf("  insns processed: %d, paths: %d, states pruned: %d\n",
+			report.Stats.InsnProcessed, report.Stats.PathsExplored, report.Stats.StatesPruned)
+		if *useBCF {
+			fmt.Printf("  refinements: %d granted / %d requested\n",
+				report.Refinements, report.RefinementRequests)
+			for i, d := range report.RefinementDetails() {
+				fmt.Printf("    #%d: track=%d insns, condition=%dB, proof=%dB, check=%dµs\n",
+					i, d.TrackLen, d.CondBytes, d.ProofBytes, d.CheckNanos/1000)
+			}
+			if report.Counterexample != nil {
+				fmt.Printf("  counterexample: %v\n", report.Counterexample)
+			}
 		}
 	}
 	if *stats {
@@ -140,7 +166,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if !report.Accepted {
+	if rejected {
 		os.Exit(1)
 	}
 }
@@ -159,6 +185,8 @@ func parseType(s string) bcf.ProgType {
 		return bcf.ProgSocketFilter
 	case "sched_cls":
 		return bcf.ProgSchedCLS
+	case "cgroup_skb":
+		return bcf.ProgCgroupSkb
 	default:
 		return bcf.ProgTracepoint
 	}

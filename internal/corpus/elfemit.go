@@ -1,0 +1,11 @@
+package corpus
+
+import "bcf/internal/elf"
+
+// EmitELF renders the entry's program as an ELF relocatable object, the
+// container real toolchains produce. Every corpus family must round-trip
+// synthetic → ELF → parse → verify with an identical verdict; the
+// internal/elf round-trip tests hold that line for all entries.
+func (e Entry) EmitELF() ([]byte, error) {
+	return elf.EmitProgram(e.Prog)
+}

@@ -63,6 +63,7 @@ const (
 	ProgXDP
 	ProgTracepoint
 	ProgSchedCLS
+	ProgCgroupSkb
 )
 
 func (t ProgType) String() string {
@@ -75,6 +76,8 @@ func (t ProgType) String() string {
 		return "tracepoint"
 	case ProgSchedCLS:
 		return "sched_cls"
+	case ProgCgroupSkb:
+		return "cgroup_skb"
 	}
 	return fmt.Sprintf("prog_type(%d)", uint8(t))
 }
@@ -86,7 +89,7 @@ func (t ProgType) CtxSize() uint32 {
 		return 64 // struct xdp_md analog
 	case ProgTracepoint:
 		return 128
-	case ProgSocketFilter, ProgSchedCLS:
+	case ProgSocketFilter, ProgSchedCLS, ProgCgroupSkb:
 		return 192 // struct __sk_buff analog
 	}
 	return 0

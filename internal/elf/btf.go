@@ -1,0 +1,109 @@
+package elf
+
+import (
+	"encoding/binary"
+
+	"bcf/internal/bcferr"
+)
+
+// BTF-lite: a minimal type-size table carried in the ".btf.bcf" section.
+//
+// Scope: it exists solely to give map key/value sizes an independent,
+// cross-checkable source, the way real BTF does for libbpf. Each entry
+// binds a type id to a byte size; map definitions reference entries via
+// btf_key_type_id / btf_value_type_id, and the parser rejects an object
+// whose BTF-lite size disagrees with the map definition's key_size /
+// value_size — a compiler would never emit that, so it marks corruption.
+//
+// Non-goals (deliberately, see DESIGN.md): this is not the kernel BTF
+// format — no type graph, no kinds, no strings, no func_info/line_info,
+// and no CO-RE relocations. Objects without the section load fine; the
+// map definition sizes then stand alone.
+//
+// Wire format, little-endian, strict:
+//
+//	u32 magic   = btfLiteMagic
+//	u32 count   (<= maxBTFLiteTypes)
+//	count * { u32 id (non-zero, strictly increasing), u32 size (> 0) }
+
+const (
+	btfLiteMagic    = 0x4254_4C31 // "BTL1"
+	btfLiteHdrSize  = 8
+	btfLiteRecSize  = 8
+	maxBTFLiteTypes = 2 * MaxMaps
+)
+
+// btfLite is the decoded table: id → size.
+type btfLite map[uint32]uint32
+
+// parseBTFLite decodes a ".btf.bcf" section body.
+func parseBTFLite(data []byte) (btfLite, error) {
+	if len(data) < btfLiteHdrSize {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: btf-lite: truncated header (%d bytes)", len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data); magic != btfLiteMagic {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: btf-lite: bad magic %#x", magic)
+	}
+	count := binary.LittleEndian.Uint32(data[4:])
+	if count > maxBTFLiteTypes {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: btf-lite: %d types exceeds cap %d", count, maxBTFLiteTypes)
+	}
+	if want := btfLiteHdrSize + int(count)*btfLiteRecSize; len(data) != want {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: btf-lite: section size %d, want %d for %d types", len(data), want, count)
+	}
+	table := make(btfLite, count)
+	prev := uint32(0)
+	for i := uint32(0); i < count; i++ {
+		rec := data[btfLiteHdrSize+int(i)*btfLiteRecSize:]
+		id := binary.LittleEndian.Uint32(rec)
+		size := binary.LittleEndian.Uint32(rec[4:])
+		if id == 0 || id <= prev {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: btf-lite: type %d: id %d not strictly increasing", i, id)
+		}
+		if size == 0 {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: btf-lite: type id %d: zero size", id)
+		}
+		table[id] = size
+		prev = id
+	}
+	return table, nil
+}
+
+// checkBTFSize cross-validates one map field against the BTF-lite table.
+// id 0 means "no BTF info" and always passes; a non-zero id must resolve
+// and agree with the map definition's own size.
+func checkBTFSize(table btfLite, mapName, field string, id, size uint32) error {
+	if id == 0 {
+		return nil
+	}
+	if table == nil {
+		return bcferr.New(bcferr.ClassProtocol,
+			"elf: map %q: %s references btf-lite type %d but the object has no .btf.bcf section", mapName, field, id)
+	}
+	got, ok := table[id]
+	if !ok {
+		return bcferr.New(bcferr.ClassProtocol,
+			"elf: map %q: %s references unknown btf-lite type %d", mapName, field, id)
+	}
+	if got != size {
+		return bcferr.New(bcferr.ClassProtocol,
+			"elf: map %q: %s is %d bytes but btf-lite type %d says %d", mapName, field, size, id, got)
+	}
+	return nil
+}
+
+// appendBTFLite emits the table for the emitter's deterministic id
+// assignment: ids are handed out in record order, strictly increasing.
+type btfLiteRec struct {
+	id, size uint32
+}
+
+func appendBTFLite(dst []byte, recs []btfLiteRec) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, btfLiteMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, r := range recs {
+		dst = binary.LittleEndian.AppendUint32(dst, r.id)
+		dst = binary.LittleEndian.AppendUint32(dst, r.size)
+	}
+	return dst
+}

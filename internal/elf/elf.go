@@ -1,0 +1,153 @@
+// Package elf loads eBPF programs from ELF relocatable objects — the
+// interchange format produced by clang-style eBPF toolchains — and emits
+// them, so synthetic corpora round-trip through the exact container real
+// workloads arrive in.
+//
+// The decoder follows the same strict, size-capped discipline as
+// proofrpc: every structural field is validated before it is used to
+// index or allocate, all caps are enforced up front, and every rejection
+// is a typed bcferr.ClassProtocol error naming the structure at fault.
+// Malformed input must never panic — the parser is fuzzed
+// (FuzzParseObject) against that contract.
+//
+// Scope: little-endian ELF64 ET_REL objects for EM_BPF, with
+//
+//   - program sections mapped to ebpf.ProgType by name ("xdp",
+//     "tracepoint/...", "socket_filter/...", "sched_cls/...",
+//     "cgroup_skb/..."), one program per section;
+//   - a "maps" section of fixed 28-byte map definitions;
+//   - a ".symtab"/".strtab" pair naming programs (FUNC symbols) and maps
+//     (OBJECT symbols);
+//   - SHT_REL relocation sections rewriting lddw instructions into
+//     PseudoMapFD map references (R_BPF_64_64 against a map symbol);
+//   - an optional ".btf.bcf" BTF-lite table cross-checking map key/value
+//     sizes (see btf.go for scope and non-goals).
+package elf
+
+import (
+	"bcf/internal/ebpf"
+)
+
+// Object is the parsed contents of one eBPF ELF relocatable object. All
+// programs share the Maps slice; each Program.Maps aliases it, and map
+// references in instruction streams index into it (the PseudoMapFD
+// convention of internal/ebpf).
+type Object struct {
+	Programs []*ebpf.Program
+	Maps     []*ebpf.MapSpec
+}
+
+// Decoder caps. An input exceeding any of them is rejected before
+// allocation, bounding the work and memory a hostile object can cost.
+const (
+	// MaxObjectSize bounds the whole file.
+	MaxObjectSize = 1 << 24
+	// MaxSections bounds e_shnum.
+	MaxSections = 64
+	// MaxSymbols bounds the symbol table entry count.
+	MaxSymbols = 1024
+	// MaxMaps bounds the number of map definitions.
+	MaxMaps = 64
+)
+
+// ELF structure sizes and the few header constants the decoder pins.
+const (
+	ehdrSize = 64
+	shdrSize = 64
+	symSize  = 24
+	relSize  = 16
+
+	elfClass64   = 2
+	elfData2LSB  = 1
+	elfVersion   = 1
+	etRel        = 1
+	emBPF        = 247
+	rBPF64_64    = 1 // R_BPF_64_64: 64-bit map-pointer relocation on lddw
+	shtNull      = 0
+	shtProgbits  = 1
+	shtSymtab    = 2
+	shtStrtab    = 3
+	shtRel       = 9
+	stbGlobal    = 1
+	sttObject    = 1
+	sttFunc      = 2
+	shfAlloc     = 0x2
+	shfExecinstr = 0x4
+)
+
+// mapDefSize is the size of one record in the "maps" section: seven
+// little-endian u32 fields — type, key_size, value_size, max_entries,
+// flags, btf_key_type_id, btf_value_type_id. This mirrors the classic
+// (pre-BTF) libbpf map definition, extended with the two BTF-lite ids.
+const mapDefSize = 28
+
+// sectionProgType maps a program section name to its ebpf.ProgType. The
+// name is matched on its first path segment (the part before '/'), the
+// convention eBPF toolchains use: "xdp", "tracepoint/sys_enter_open",
+// "cgroup_skb/ingress". Unknown names are not program sections.
+func sectionProgType(name string) (ebpf.ProgType, bool) {
+	seg := name
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			seg = name[:i]
+			break
+		}
+	}
+	switch seg {
+	case "xdp":
+		return ebpf.ProgXDP, true
+	case "tracepoint", "tp", "raw_tracepoint":
+		return ebpf.ProgTracepoint, true
+	case "socket", "socket_filter":
+		return ebpf.ProgSocketFilter, true
+	case "tc", "classifier", "sched_cls":
+		return ebpf.ProgSchedCLS, true
+	case "cgroup_skb":
+		return ebpf.ProgCgroupSkb, true
+	case "cgroup":
+		// libbpf convention: "cgroup/skb" attaches as cgroup_skb.
+		if name == "cgroup/skb" || len(name) > 11 && name[:11] == "cgroup/skb/" {
+			return ebpf.ProgCgroupSkb, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// progSectionName is the emission inverse of sectionProgType: the
+// canonical section name for a program of the given type and name.
+func progSectionName(t ebpf.ProgType, name string) string {
+	prefix := "tracepoint"
+	switch t {
+	case ebpf.ProgXDP:
+		prefix = "xdp"
+	case ebpf.ProgSocketFilter:
+		prefix = "socket_filter"
+	case ebpf.ProgSchedCLS:
+		prefix = "sched_cls"
+	case ebpf.ProgCgroupSkb:
+		prefix = "cgroup_skb"
+	}
+	return prefix + "/" + sanitizeName(name)
+}
+
+// sanitizeName restricts a program or map name to the character set safe
+// for section and symbol names; everything else becomes '_'. Empty names
+// get a placeholder so symbols stay non-anonymous.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "prog"
+	}
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '.', c == '-':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,285 @@
+package elf_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bcf/internal/bcferr"
+	"bcf/internal/corpus"
+	"bcf/internal/ebpf"
+	"bcf/internal/elf"
+)
+
+// testObject builds a compiler-style XDP program: bounds-checked packet
+// parse, stack key, map lookup with null check — exercising sections,
+// symbols, relocations and BTF-lite in one object.
+func testProgram() *ebpf.Program {
+	m := &ebpf.MapSpec{Name: "counters", Type: ebpf.MapArray, KeySize: 4, ValueSize: 16, MaxEntries: 8}
+	insns := ebpf.Canonicalize([]ebpf.Instruction{
+		ebpf.LoadMem(ebpf.R2, ebpf.R1, 0, 4), // r2 = ctx->data
+		ebpf.LoadMem(ebpf.R3, ebpf.R1, 4, 4), // r3 = ctx->data_end
+		ebpf.Mov64Reg(ebpf.R4, ebpf.R2),
+		ebpf.Alu64Imm(ebpf.AluADD, ebpf.R4, 14),       // eth header end
+		ebpf.JmpReg(ebpf.JmpJGT, ebpf.R4, ebpf.R3, 8), // too short -> out
+		ebpf.LoadMem(ebpf.R5, ebpf.R2, 12, 2),         // ethertype
+		ebpf.StoreImm(ebpf.R10, -4, 0, 4),             // key = 0
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluADD, ebpf.R2, -4),
+		ebpf.LoadMapPtr(ebpf.R1, 0),
+		ebpf.Call(ebpf.FnMapLookupElem),
+		ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 1), // null -> out
+		ebpf.LoadMem(ebpf.R6, ebpf.R0, 8, 8),    // read map value
+		ebpf.Mov64Imm(ebpf.R0, 2),               // XDP_PASS
+		ebpf.Exit(),
+	})
+	return &ebpf.Program{Name: "xdp_filter", Type: ebpf.ProgXDP,
+		Insns: insns, Maps: []*ebpf.MapSpec{m}}
+}
+
+func mustEmit(t *testing.T, prog *ebpf.Program) []byte {
+	t.Helper()
+	data, err := elf.EmitProgram(prog)
+	if err != nil {
+		t.Fatalf("EmitProgram: %v", err)
+	}
+	return data
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	prog := testProgram()
+	data := mustEmit(t, prog)
+	obj, err := elf.ParseObject(data)
+	if err != nil {
+		t.Fatalf("ParseObject: %v", err)
+	}
+	if len(obj.Programs) != 1 || len(obj.Maps) != 1 {
+		t.Fatalf("got %d programs, %d maps", len(obj.Programs), len(obj.Maps))
+	}
+	got := obj.Programs[0]
+	if got.Name != "xdp_filter" {
+		t.Errorf("program name %q", got.Name)
+	}
+	if got.Type != ebpf.ProgXDP {
+		t.Errorf("program type %v", got.Type)
+	}
+	if !reflect.DeepEqual(got.Insns, prog.Insns) {
+		t.Errorf("instruction stream differs after round trip:\ngot:\n%swant:\n%s",
+			(&ebpf.Program{Insns: got.Insns}).Disassemble(), prog.Disassemble())
+	}
+	m := obj.Maps[0]
+	if m.Name != "counters" || m.Type != ebpf.MapArray || m.KeySize != 4 || m.ValueSize != 16 || m.MaxEntries != 8 {
+		t.Errorf("map spec differs: %+v", *m)
+	}
+	// Determinism: emitting the same input twice is byte-identical.
+	if !bytes.Equal(data, mustEmit(t, prog)) {
+		t.Error("emission is not deterministic")
+	}
+}
+
+func TestEmitParseEveryProgType(t *testing.T) {
+	for _, typ := range []ebpf.ProgType{
+		ebpf.ProgSocketFilter, ebpf.ProgXDP, ebpf.ProgTracepoint,
+		ebpf.ProgSchedCLS, ebpf.ProgCgroupSkb,
+	} {
+		prog := &ebpf.Program{Name: "p", Type: typ, Insns: []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit(),
+		}}
+		obj, err := elf.ParseObject(mustEmit(t, prog))
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got := obj.Programs[0].Type; got != typ {
+			t.Errorf("%v round-tripped as %v", typ, got)
+		}
+	}
+}
+
+func TestRoundTripCorpus(t *testing.T) {
+	for _, e := range corpus.Generate() {
+		data, err := elf.EmitProgram(e.Prog)
+		if err != nil {
+			t.Fatalf("entry %d (%s): emit: %v", e.Index, e.Prog.Name, err)
+		}
+		obj, err := elf.ParseObject(data)
+		if err != nil {
+			t.Fatalf("entry %d (%s): parse: %v", e.Index, e.Prog.Name, err)
+		}
+		if len(obj.Programs) != 1 {
+			t.Fatalf("entry %d: got %d programs", e.Index, len(obj.Programs))
+		}
+		got := obj.Programs[0]
+		if got.Type != e.Prog.Type {
+			t.Errorf("entry %d: type %v, want %v", e.Index, got.Type, e.Prog.Type)
+		}
+		if !reflect.DeepEqual(got.Insns, ebpf.Canonicalize(e.Prog.Insns)) {
+			t.Errorf("entry %d (%s): instruction stream differs after round trip", e.Index, e.Prog.Name)
+		}
+		if len(got.Maps) != len(e.Prog.Maps) {
+			t.Fatalf("entry %d: %d maps, want %d", e.Index, len(got.Maps), len(e.Prog.Maps))
+		}
+		for i, m := range got.Maps {
+			w := e.Prog.Maps[i]
+			if m.Type != w.Type || m.KeySize != w.KeySize || m.ValueSize != w.ValueSize || m.MaxEntries != w.MaxEntries {
+				t.Errorf("entry %d map %d: %+v, want %+v", e.Index, i, *m, *w)
+			}
+		}
+	}
+}
+
+// requireProtocolErr asserts the parse failed with a typed
+// bcferr.ClassProtocol error.
+func requireProtocolErr(t *testing.T, data []byte, what string) {
+	t.Helper()
+	obj, err := elf.ParseObject(data)
+	if err == nil {
+		t.Fatalf("%s: parse unexpectedly succeeded (%d programs)", what, len(obj.Programs))
+	}
+	if c := bcferr.ClassOf(err); c != bcferr.ClassProtocol {
+		t.Fatalf("%s: error class %v, want protocol (err: %v)", what, c, err)
+	}
+}
+
+// sectionHeader locates a section by predicate and returns the offset of
+// its header record plus its body window.
+func findSection(t *testing.T, data []byte, want func(name string, typ uint32) bool) (hdrOff, bodyOff, size int) {
+	t.Helper()
+	shoff := binary.LittleEndian.Uint64(data[40:])
+	shnum := int(binary.LittleEndian.Uint16(data[60:]))
+	shstrndx := int(binary.LittleEndian.Uint16(data[62:]))
+	strHdr := shoff + uint64(shstrndx)*64
+	strOff := binary.LittleEndian.Uint64(data[strHdr+24:])
+	for i := 0; i < shnum; i++ {
+		h := shoff + uint64(i)*64
+		nameOff := binary.LittleEndian.Uint32(data[h:])
+		typ := binary.LittleEndian.Uint32(data[h+4:])
+		name := ""
+		for j := strOff + uint64(nameOff); data[j] != 0; j++ {
+			name += string(data[j])
+		}
+		if want(name, typ) {
+			return int(h), int(binary.LittleEndian.Uint64(data[h+24:])), int(binary.LittleEndian.Uint64(data[h+32:]))
+		}
+	}
+	t.Fatal("section not found")
+	return 0, 0, 0
+}
+
+func TestParseObjectMutations(t *testing.T) {
+	base := mustEmit(t, testProgram())
+	mutate := func(f func(d []byte) []byte) []byte {
+		d := append([]byte(nil), base...)
+		return f(d)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 3, 4, 63, 64, 65, 100, len(base) / 2, len(base) - 1} {
+			requireProtocolErr(t, base[:n], fmt.Sprintf("truncated to %d", n))
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		big := make([]byte, elf.MaxObjectSize+1)
+		copy(big, base)
+		requireProtocolErr(t, big, "oversized")
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		requireProtocolErr(t, mutate(func(d []byte) []byte { d[0] = 0x7e; return d }), "magic")
+	})
+	t.Run("bad-class", func(t *testing.T) {
+		requireProtocolErr(t, mutate(func(d []byte) []byte { d[4] = 1; return d }), "class")
+	})
+	t.Run("bad-machine", func(t *testing.T) {
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[18:], 62)
+			return d
+		}), "machine")
+	})
+	t.Run("bad-shentsize", func(t *testing.T) {
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[58:], 32)
+			return d
+		}), "shentsize")
+	})
+	t.Run("shnum-over-cap", func(t *testing.T) {
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[60:], elf.MaxSections+1)
+			return d
+		}), "shnum")
+	})
+	t.Run("section-out-of-bounds", func(t *testing.T) {
+		hdr, _, _ := findSection(t, base, func(n string, typ uint32) bool { return typ == 2 })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[hdr+24:], uint64(len(d)))
+			return d
+		}), "section body")
+	})
+	t.Run("bad-reloc-offset", func(t *testing.T) {
+		_, body, _ := findSection(t, base, func(n string, typ uint32) bool { return typ == 9 })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[body:], 4) // not 8-aligned
+			return d
+		}), "reloc offset")
+	})
+	t.Run("reloc-on-non-lddw", func(t *testing.T) {
+		_, body, _ := findSection(t, base, func(n string, typ uint32) bool { return typ == 9 })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[body:], 0) // insn 0 is a ctx load
+			return d
+		}), "reloc target")
+	})
+	t.Run("bad-reloc-symbol", func(t *testing.T) {
+		_, body, _ := findSection(t, base, func(n string, typ uint32) bool { return typ == 9 })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[body+8:], 9999<<32|1)
+			return d
+		}), "reloc symbol")
+	})
+	t.Run("bad-reloc-type", func(t *testing.T) {
+		_, body, _ := findSection(t, base, func(n string, typ uint32) bool { return typ == 9 })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[body+8:], 1<<32|2)
+			return d
+		}), "reloc type")
+	})
+	t.Run("maps-size-misaligned", func(t *testing.T) {
+		hdr, _, size := findSection(t, base, func(n string, typ uint32) bool { return n == "maps" })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[hdr+32:], uint64(size-1))
+			return d
+		}), "maps size")
+	})
+	t.Run("btf-size-mismatch", func(t *testing.T) {
+		_, body, _ := findSection(t, base, func(n string, typ uint32) bool { return n == ".btf.bcf" })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			// First record's size field: header (8) + id (4).
+			binary.LittleEndian.PutUint32(d[body+12:], 1234)
+			return d
+		}), "btf size")
+	})
+	t.Run("program-size-misaligned", func(t *testing.T) {
+		hdr, _, size := findSection(t, base, func(n string, typ uint32) bool { return n == "xdp/xdp_filter" }) //nolint
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[hdr+32:], uint64(size-3))
+			return d
+		}), "program size")
+	})
+	t.Run("no-programs", func(t *testing.T) {
+		hdr, _, _ := findSection(t, base, func(n string, typ uint32) bool { return n == "xdp/xdp_filter" })
+		requireProtocolErr(t, mutate(func(d []byte) []byte {
+			// Rename the section so it no longer looks like a program.
+			binary.LittleEndian.PutUint32(d[hdr:], 0)
+			return d
+		}), "no programs")
+	})
+}
+
+func TestIsObject(t *testing.T) {
+	if !elf.IsObject(mustEmit(t, testProgram())) {
+		t.Error("emitted object not detected")
+	}
+	if elf.IsObject([]byte("r0 = 0\nexit\n")) {
+		t.Error("assembly text detected as ELF")
+	}
+}

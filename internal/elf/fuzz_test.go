@@ -1,0 +1,49 @@
+package elf_test
+
+import (
+	"testing"
+
+	"bcf/internal/bcferr"
+	"bcf/internal/corpus"
+	"bcf/internal/ebpf"
+	"bcf/internal/elf"
+)
+
+// FuzzParseObject drives the decoder with mutated objects. The contract
+// under test is the proofrpc one: arbitrary input must never panic, and
+// every rejection must be a typed bcferr.ClassProtocol error. Seeds come
+// from emitted corpus objects so mutation starts from structurally valid
+// ELF rather than noise.
+func FuzzParseObject(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("\x7fELF"))
+	seed := func(p *ebpf.Program) {
+		data, err := elf.EmitProgram(p)
+		if err != nil {
+			f.Fatalf("seed emit: %v", err)
+		}
+		f.Add(data)
+	}
+	seed(testProgram())
+	entries := corpus.Generate()
+	for i := 0; i < len(entries); i += 97 {
+		seed(entries[i].Prog)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := elf.ParseObject(data)
+		if err != nil {
+			if c := bcferr.ClassOf(err); c != bcferr.ClassProtocol {
+				t.Fatalf("error class %v, want protocol: %v", c, err)
+			}
+			return
+		}
+		if len(obj.Programs) == 0 {
+			t.Fatal("accepted object with no programs")
+		}
+		for _, p := range obj.Programs {
+			if len(p.Maps) != len(obj.Maps) {
+				t.Fatalf("program %q maps not aliased to object maps", p.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,404 @@
+package elf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bcf/internal/bcferr"
+	"bcf/internal/ebpf"
+)
+
+// maxNameLen bounds every section, symbol, program and map name read
+// from a string table.
+const maxNameLen = 256
+
+// IsObject reports whether data begins with the ELF magic — the cheap
+// front-end dispatch test ("is this prog.o or prog.s?").
+func IsObject(data []byte) bool {
+	return len(data) >= 4 && data[0] == 0x7f && data[1] == 'E' && data[2] == 'L' && data[3] == 'F'
+}
+
+// section is one decoded section header plus its body.
+type section struct {
+	index   int
+	name    string
+	typ     uint32
+	flags   uint64
+	link    uint32
+	info    uint32
+	entsize uint64
+	data    []byte // nil for SHT_NOBITS
+}
+
+// ParseObject decodes an eBPF ELF relocatable object into programs and
+// maps. Every malformed input yields a typed bcferr.ClassProtocol error;
+// no input may panic (FuzzParseObject enforces this).
+func ParseObject(data []byte) (*Object, error) {
+	if len(data) > MaxObjectSize {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: object size %d exceeds cap %d", len(data), MaxObjectSize)
+	}
+	if len(data) < ehdrSize {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: truncated header (%d bytes)", len(data))
+	}
+	if !IsObject(data) {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: bad magic")
+	}
+	if data[4] != elfClass64 {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: not ELFCLASS64 (class %d)", data[4])
+	}
+	if data[5] != elfData2LSB {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: not little-endian (data %d)", data[5])
+	}
+	if data[6] != elfVersion {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: bad ident version %d", data[6])
+	}
+	if t := binary.LittleEndian.Uint16(data[16:]); t != etRel {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: not a relocatable object (e_type %d)", t)
+	}
+	if m := binary.LittleEndian.Uint16(data[18:]); m != emBPF {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: not an eBPF object (e_machine %d)", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[20:]); v != elfVersion {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: bad version %d", v)
+	}
+	shoff := binary.LittleEndian.Uint64(data[40:])
+	shentsize := binary.LittleEndian.Uint16(data[58:])
+	shnum := binary.LittleEndian.Uint16(data[60:])
+	shstrndx := binary.LittleEndian.Uint16(data[62:])
+	if shnum == 0 {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: no sections")
+	}
+	if int(shnum) > MaxSections {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: %d sections exceeds cap %d", shnum, MaxSections)
+	}
+	if shentsize != shdrSize {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: e_shentsize %d, want %d", shentsize, shdrSize)
+	}
+	shTableLen := uint64(shnum) * shdrSize
+	if shoff > uint64(len(data)) || shTableLen > uint64(len(data))-shoff {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: section header table out of bounds (off %d, %d sections)", shoff, shnum)
+	}
+	if shstrndx >= shnum {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: e_shstrndx %d out of range (%d sections)", shstrndx, shnum)
+	}
+
+	// First pass: raw headers and bounds-checked bodies.
+	type rawShdr struct {
+		nameOff uint32
+		typ     uint32
+		flags   uint64
+		off     uint64
+		size    uint64
+		link    uint32
+		info    uint32
+		entsize uint64
+	}
+	raw := make([]rawShdr, shnum)
+	sections := make([]section, shnum)
+	for i := 0; i < int(shnum); i++ {
+		h := data[shoff+uint64(i)*shdrSize:]
+		raw[i] = rawShdr{
+			nameOff: binary.LittleEndian.Uint32(h[0:]),
+			typ:     binary.LittleEndian.Uint32(h[4:]),
+			flags:   binary.LittleEndian.Uint64(h[8:]),
+			off:     binary.LittleEndian.Uint64(h[24:]),
+			size:    binary.LittleEndian.Uint64(h[32:]),
+			link:    binary.LittleEndian.Uint32(h[40:]),
+			info:    binary.LittleEndian.Uint32(h[44:]),
+			entsize: binary.LittleEndian.Uint64(h[56:]),
+		}
+		sections[i] = section{
+			index:   i,
+			typ:     raw[i].typ,
+			flags:   raw[i].flags,
+			link:    raw[i].link,
+			info:    raw[i].info,
+			entsize: raw[i].entsize,
+		}
+		const shtNobits = 8
+		if raw[i].typ != shtNull && raw[i].typ != shtNobits && raw[i].size > 0 {
+			if raw[i].off > uint64(len(data)) || raw[i].size > uint64(len(data))-raw[i].off {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: section %d body out of bounds (off %d size %d)", i, raw[i].off, raw[i].size)
+			}
+			sections[i].data = data[raw[i].off : raw[i].off+raw[i].size]
+		}
+	}
+
+	// Section names from the header string table.
+	shstr := &sections[shstrndx]
+	if shstr.typ != shtStrtab {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: e_shstrndx section %d is not a string table", shstrndx)
+	}
+	for i := range sections {
+		name, err := strtabString(shstr.data, raw[i].nameOff, "section name")
+		if err != nil {
+			return nil, err
+		}
+		sections[i].name = name
+	}
+
+	// Locate the structural sections.
+	var symtab, mapsSec, btfSec *section
+	var progSecs []*section
+	for i := range sections {
+		s := &sections[i]
+		switch {
+		case s.typ == shtSymtab:
+			if symtab != nil {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: multiple symbol tables")
+			}
+			symtab = s
+		case s.typ == shtProgbits && s.name == "maps":
+			if mapsSec != nil {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: multiple maps sections")
+			}
+			mapsSec = s
+		case s.typ == shtProgbits && s.name == ".btf.bcf":
+			if btfSec != nil {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: multiple .btf.bcf sections")
+			}
+			btfSec = s
+		case s.typ == shtProgbits:
+			if _, ok := sectionProgType(s.name); ok {
+				progSecs = append(progSecs, s)
+			}
+		}
+	}
+	if len(progSecs) == 0 {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: no program sections")
+	}
+
+	// Symbols.
+	syms, symStr, err := parseSymtab(sections, symtab)
+	if err != nil {
+		return nil, err
+	}
+
+	// BTF-lite table, then maps (which cross-check against it).
+	var btf btfLite
+	if btfSec != nil {
+		if btf, err = parseBTFLite(btfSec.data); err != nil {
+			return nil, err
+		}
+	}
+	maps, err := parseMaps(mapsSec, btf, syms, symStr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Programs, with relocations rewritten into PseudoMapFD references.
+	obj := &Object{Maps: maps}
+	for _, ps := range progSecs {
+		prog, err := parseProgram(sections, ps, mapsSec, maps, syms, symStr)
+		if err != nil {
+			return nil, err
+		}
+		obj.Programs = append(obj.Programs, prog)
+	}
+	return obj, nil
+}
+
+// strtabString reads the NUL-terminated string at off, bounded by
+// maxNameLen.
+func strtabString(strtab []byte, off uint32, what string) (string, error) {
+	if uint64(off) >= uint64(len(strtab)) {
+		return "", bcferr.New(bcferr.ClassProtocol, "elf: %s offset %d outside string table (%d bytes)", what, off, len(strtab))
+	}
+	rest := strtab[off:]
+	for i := 0; i < len(rest) && i <= maxNameLen; i++ {
+		if rest[i] == 0 {
+			return string(rest[:i]), nil
+		}
+	}
+	return "", bcferr.New(bcferr.ClassProtocol, "elf: %s at offset %d not NUL-terminated within %d bytes", what, off, maxNameLen)
+}
+
+// sym is one decoded symbol.
+type sym struct {
+	nameOff uint32
+	info    uint8
+	shndx   uint16
+	value   uint64
+	size    uint64
+}
+
+// parseSymtab decodes the symbol table and returns it with its string
+// table. A missing symtab yields an empty table: names then fall back to
+// generated ones.
+func parseSymtab(sections []section, symtab *section) ([]sym, []byte, error) {
+	if symtab == nil {
+		return nil, nil, nil
+	}
+	if symtab.entsize != symSize {
+		return nil, nil, bcferr.New(bcferr.ClassProtocol, "elf: symtab entsize %d, want %d", symtab.entsize, symSize)
+	}
+	if len(symtab.data)%symSize != 0 {
+		return nil, nil, bcferr.New(bcferr.ClassProtocol, "elf: symtab size %d not a multiple of %d", len(symtab.data), symSize)
+	}
+	count := len(symtab.data) / symSize
+	if count > MaxSymbols {
+		return nil, nil, bcferr.New(bcferr.ClassProtocol, "elf: %d symbols exceeds cap %d", count, MaxSymbols)
+	}
+	if int(symtab.link) >= len(sections) || sections[symtab.link].typ != shtStrtab {
+		return nil, nil, bcferr.New(bcferr.ClassProtocol, "elf: symtab sh_link %d is not a string table", symtab.link)
+	}
+	strs := sections[symtab.link].data
+	syms := make([]sym, count)
+	for i := 0; i < count; i++ {
+		rec := symtab.data[i*symSize:]
+		syms[i] = sym{
+			nameOff: binary.LittleEndian.Uint32(rec[0:]),
+			info:    rec[4],
+			shndx:   binary.LittleEndian.Uint16(rec[6:]),
+			value:   binary.LittleEndian.Uint64(rec[8:]),
+			size:    binary.LittleEndian.Uint64(rec[16:]),
+		}
+	}
+	return syms, strs, nil
+}
+
+// parseMaps decodes the maps section into specs, naming them from OBJECT
+// symbols and cross-checking sizes against the BTF-lite table.
+func parseMaps(mapsSec *section, btf btfLite, syms []sym, symStr []byte) ([]*ebpf.MapSpec, error) {
+	if mapsSec == nil {
+		return nil, nil
+	}
+	if len(mapsSec.data)%mapDefSize != 0 {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: maps section size %d not a multiple of %d", len(mapsSec.data), mapDefSize)
+	}
+	count := len(mapsSec.data) / mapDefSize
+	if count > MaxMaps {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: %d maps exceeds cap %d", count, MaxMaps)
+	}
+	maps := make([]*ebpf.MapSpec, count)
+	for i := 0; i < count; i++ {
+		def := mapsSec.data[i*mapDefSize:]
+		u32 := func(field int) uint32 { return binary.LittleEndian.Uint32(def[field*4:]) }
+		typ := u32(0)
+		if typ == 0 || typ > 255 {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: map %d: invalid type %d", i, typ)
+		}
+		maps[i] = &ebpf.MapSpec{
+			Name:       fmt.Sprintf("map%d", i),
+			Type:       ebpf.MapType(typ),
+			KeySize:    u32(1),
+			ValueSize:  u32(2),
+			MaxEntries: u32(3),
+		}
+		// u32(4) is flags: accepted and ignored (no flag semantics here).
+		btfKey, btfVal := u32(5), u32(6)
+		if err := checkBTFSize(btf, maps[i].Name, "key_size", btfKey, maps[i].KeySize); err != nil {
+			return nil, err
+		}
+		if err := checkBTFSize(btf, maps[i].Name, "value_size", btfVal, maps[i].ValueSize); err != nil {
+			return nil, err
+		}
+	}
+	// Names from OBJECT symbols addressing the maps section.
+	for _, s := range syms {
+		if s.info != stbGlobal<<4|sttObject || int(s.shndx) != mapsSec.index {
+			continue
+		}
+		if s.value%mapDefSize != 0 || s.value/mapDefSize >= uint64(count) {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: map symbol at offset %d does not address a map definition", s.value)
+		}
+		name, err := strtabString(symStr, s.nameOff, "map symbol name")
+		if err != nil {
+			return nil, err
+		}
+		if name != "" {
+			maps[s.value/mapDefSize].Name = name
+		}
+	}
+	for i, m := range maps {
+		if err := m.Validate(); err != nil {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: map %d: %v", i, err)
+		}
+	}
+	return maps, nil
+}
+
+// parseProgram decodes one program section, applies its relocations, and
+// names it from its FUNC symbol.
+func parseProgram(sections []section, ps *section, mapsSec *section, maps []*ebpf.MapSpec, syms []sym, symStr []byte) (*ebpf.Program, error) {
+	if len(ps.data) == 0 {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: program section %q is empty", ps.name)
+	}
+	if len(ps.data) > ebpf.MaxInsns*8 {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: program section %q too large (%d bytes)", ps.name, len(ps.data))
+	}
+	insns, err := ebpf.DecodeProgram(ps.data)
+	if err != nil {
+		return nil, bcferr.New(bcferr.ClassProtocol, "elf: program section %q: %v", ps.name, err)
+	}
+
+	// Relocations: every SHT_REL section whose sh_info targets this
+	// program section.
+	for i := range sections {
+		rs := &sections[i]
+		if rs.typ != shtRel || int(rs.info) != ps.index {
+			continue
+		}
+		if rs.entsize != relSize {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: relocation section %q entsize %d, want %d", rs.name, rs.entsize, relSize)
+		}
+		if len(rs.data)%relSize != 0 {
+			return nil, bcferr.New(bcferr.ClassProtocol, "elf: relocation section %q size %d not a multiple of %d", rs.name, len(rs.data), relSize)
+		}
+		for off := 0; off < len(rs.data); off += relSize {
+			rOffset := binary.LittleEndian.Uint64(rs.data[off:])
+			rInfo := binary.LittleEndian.Uint64(rs.data[off+8:])
+			rType := uint32(rInfo)
+			symIdx := rInfo >> 32
+			if rType != rBPF64_64 {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: %q: unsupported relocation type %d", ps.name, rType)
+			}
+			if rOffset%8 != 0 || rOffset/8 >= uint64(len(insns)) {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: %q: relocation offset %d not on an instruction", ps.name, rOffset)
+			}
+			idx := int(rOffset / 8)
+			if !insns[idx].IsLoadImm64() || insns[idx].Src != 0 {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: %q: relocation at insn %d does not target a plain lddw", ps.name, idx)
+			}
+			if symIdx >= uint64(len(syms)) {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: %q: relocation symbol %d out of range (%d symbols)", ps.name, symIdx, len(syms))
+			}
+			s := syms[symIdx]
+			if mapsSec == nil || int(s.shndx) != mapsSec.index {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: %q: relocation symbol %d does not address the maps section", ps.name, symIdx)
+			}
+			if s.value%mapDefSize != 0 || s.value/mapDefSize >= uint64(len(maps)) {
+				return nil, bcferr.New(bcferr.ClassProtocol, "elf: %q: relocation symbol at offset %d does not address a map definition", ps.name, s.value)
+			}
+			insns[idx].Src = ebpf.PseudoMapFD
+			insns[idx].Imm = int64(s.value / mapDefSize)
+		}
+	}
+
+	typ, _ := sectionProgType(ps.name)
+	name := progNameFromSection(ps.name)
+	for _, s := range syms {
+		if s.info == stbGlobal<<4|sttFunc && int(s.shndx) == ps.index && s.value == 0 {
+			n, err := strtabString(symStr, s.nameOff, "program symbol name")
+			if err != nil {
+				return nil, err
+			}
+			if n != "" {
+				name = n
+			}
+			break
+		}
+	}
+	return &ebpf.Program{Name: name, Type: typ, Insns: insns, Maps: maps}, nil
+}
+
+// progNameFromSection derives a fallback program name from a section
+// name: the part after the first '/', or the whole name.
+func progNameFromSection(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

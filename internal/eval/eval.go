@@ -79,6 +79,10 @@ type Evaluation struct {
 
 // Options configure an evaluation run.
 type Options struct {
+	// Entries overrides the program set (nil = the generated corpus).
+	// The ELF benchmark mode uses this to evaluate a directory of parsed
+	// objects through the identical pipeline.
+	Entries []corpus.Entry
 	// InsnLimit is the analyzed-instruction budget per load.
 	InsnLimit int
 	// Parallelism is the worker-pool size; <=0 selects
@@ -130,7 +134,10 @@ func Run(insnLimit int, progress func(done, total int)) *Evaluation {
 // Results and Baseline are indexed by corpus position, so the tables and
 // figures are identical to a sequential run.
 func RunOpts(opts Options) *Evaluation {
-	entries := corpus.Generate()
+	entries := opts.Entries
+	if entries == nil {
+		entries = corpus.Generate()
+	}
 	if opts.Limit > 0 && opts.Limit < len(entries) {
 		entries = entries[:opts.Limit]
 	}

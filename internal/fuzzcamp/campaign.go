@@ -134,6 +134,7 @@ type Campaign struct {
 	corpus    []*corpusEntry
 	cov       Bitmap
 	round     int
+	base      int // round the campaign resumed at (LoadState), 0 when cold
 	execs     int64
 	accepted  int64
 	seen      int64
@@ -179,8 +180,10 @@ func (c *Campaign) totalRounds() int {
 }
 
 // Finished reports whether the campaign should build another round.
+// The round budget is relative to the resume point, so a campaign
+// restored with LoadState runs its full configured budget.
 func (c *Campaign) Finished() bool {
-	if c.stopped || c.round >= c.totalRounds() {
+	if c.stopped || c.round-c.base >= c.totalRounds() {
 		return true
 	}
 	if !c.opt.Deadline.IsZero() && time.Now().After(c.opt.Deadline) {

@@ -138,6 +138,15 @@ func (m *Manager) Stats(workers int) *Stats {
 	return m.c.Stats(workers, time.Since(m.start))
 }
 
+// SaveState persists the campaign's corpus state (Campaign.SaveState)
+// under the manager's lock, so straggling worker connections cannot
+// race the snapshot.
+func (m *Manager) SaveState(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.SaveState(dir)
+}
+
 func (m *Manager) addWorker(d int) {
 	m.mu.Lock()
 	m.workers += d

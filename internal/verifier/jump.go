@@ -66,6 +66,9 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 	if dst.Type.IsPtr() || src.Type.IsPtr() {
 		if dst.Type.IsPtr() && srcReg != nil && srcReg.Type.IsPtr() {
 			other := st.clone()
+			if !is32 {
+				learnPktRange(st, other, dst, srcReg, op)
+			}
 			push(branchItem{st: other, pc: target,
 				node: &pathNode{parent: node.parent, idx: int32(pc), taken: true, entry: node.entry}, obs: obsTok})
 			node.taken = false
@@ -109,6 +112,58 @@ func (v *Verifier) checkCondJmp(st *VState, pc int, ins ebpf.Instruction, node *
 		node: &pathNode{parent: node.parent, idx: int32(pc), taken: true, entry: node.entry}, obs: obsTok})
 	node.taken = false
 	return pc + 1, nil
+}
+
+// learnPktRange is the analog of the kernel's find_good_pkt_pointers: a
+// 64-bit comparison between a packet pointer pkt+N and pkt_end proves, on
+// the edge where pkt+N <=/< pkt_end holds, that at least N bytes past
+// ctx->data are readable. fall and taken are the two successor states of
+// the fork (the comparison instruction's fall-through and jump-target
+// edges). N is bounded below by the pointer's fixed offset plus the
+// unsigned minimum of its variable part, and learning is skipped past
+// maxPacketOff — the kernel's overflow guard.
+func learnPktRange(fall, taken *VState, dst, src *RegState, op uint8) {
+	pkt, end := dst, src
+	swapped := false
+	if dst.Type == PtrToPacketEnd && src.Type == PtrToPacket {
+		pkt, end, swapped = src, dst, true
+	}
+	if pkt.Type != PtrToPacket || end.Type != PtrToPacketEnd {
+		return
+	}
+	if pkt.Off < 0 || pkt.UMin > maxPacketOff {
+		return
+	}
+	n := int64(pkt.Off) + int64(pkt.UMin)
+	if n <= 0 || n > maxPacketOff {
+		return
+	}
+	// Select the edge on which pkt+N <= pkt_end is proven. With operands
+	// in program order (pkt OP end): JGT/JGE fail on it (fall-through),
+	// JLT/JLE succeed on it (taken). With the operands swapped
+	// (end OP pkt) the edges mirror. The strict comparisons prove the
+	// stronger pkt+N < pkt_end; adopting range N for both is the
+	// conservative sound choice.
+	var good *VState
+	switch op {
+	case ebpf.JmpJGT, ebpf.JmpJGE:
+		if swapped {
+			good = taken
+		} else {
+			good = fall
+		}
+	case ebpf.JmpJLT, ebpf.JmpJLE:
+		if swapped {
+			good = fall
+		} else {
+			good = taken
+		}
+	default:
+		return
+	}
+	if uint32(n) > good.PktRange {
+		good.PktRange = uint32(n)
+	}
 }
 
 // markPtrOrNull resolves every register and spill slot carrying the given

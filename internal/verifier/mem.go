@@ -7,6 +7,11 @@ import (
 	"bcf/internal/tnum"
 )
 
+// maxPacketOff mirrors the kernel's MAX_PACKET_OFF (0xffff): packet
+// offsets beyond it can never be proven in range, which keeps all
+// packet-bound arithmetic overflow-free.
+const maxPacketOff = 0xffff
+
 // checkLoad verifies an LDX instruction and models its effect.
 func (v *Verifier) checkLoad(st *VState, pc int, ins ebpf.Instruction, node *pathNode) error {
 	src := &st.Regs[ins.Src]
@@ -21,10 +26,34 @@ func (v *Verifier) checkLoad(st *VState, pc int, ins ebpf.Instruction, node *pat
 	switch src.Type {
 	case PtrToStack:
 		*dst = v.readStack(st, src, ins.Off, size)
+	case PtrToCtx:
+		if pt, ok := ctxPacketField(v.prog.Type, src, ins.Off, size); ok {
+			*dst = RegState{Type: pt}
+			dst.zeroVar()
+		} else {
+			*dst = loadedScalar(size)
+		}
 	default:
 		*dst = loadedScalar(size)
 	}
 	return nil
+}
+
+// ctxPacketField reports whether a context load yields a packet pointer:
+// under XDP, the 4-byte data and data_end fields of struct xdp_md
+// (offsets 0 and 4) load as pkt / pkt_end pointers rather than scalars
+// (the kernel's convert_ctx_access for xdp_md).
+func ctxPacketField(t ebpf.ProgType, reg *RegState, off int16, size int) (RegType, bool) {
+	if t != ebpf.ProgXDP || size != 4 || !reg.Var.IsConst() {
+		return 0, false
+	}
+	switch int64(reg.Off) + int64(off) + int64(reg.Var.Value) {
+	case 0:
+		return PtrToPacket, true
+	case 4:
+		return PtrToPacketEnd, true
+	}
+	return 0, false
 }
 
 // loadedScalar is the abstract value of a size-byte memory load.
@@ -117,6 +146,13 @@ func (v *Verifier) checkMemAccess(st *VState, pc int, regno ebpf.Reg, off int16,
 			if hi >= lo {
 				want.lo, want.hi, want.ok = uint64(lo), uint64(hi), true
 			}
+		case CheckPktAccess:
+			// The variable offset must keep fixed + var + size within the
+			// proven packet range.
+			hi := int64(st.PktRange) - int64(size) - int64(reg.Off) - int64(off)
+			if hi >= 0 {
+				want.lo, want.hi, want.ok = 0, uint64(hi), true
+			}
 		}
 		if !want.ok {
 			// No variable range can satisfy the check (e.g. the fixed
@@ -174,6 +210,11 @@ func (v *Verifier) checkMemAccessOnce(st *VState, pc int, reg *RegState, regno e
 			return &Error{InsnIdx: pc, Kind: CheckCtxAccess,
 				Msg: fmt.Sprintf("variable ctx access var_off=%s off=%d size=%d", reg.Var, off, size)}
 		}
+		if write && v.prog.Type == ebpf.ProgTracepoint {
+			// The tracepoint context is the raw trace record: read-only.
+			return &Error{InsnIdx: pc, Kind: CheckCtxAccess,
+				Msg: fmt.Sprintf("invalid bpf_context access off=%d size=%d (tracepoint ctx is read-only)", off, size)}
+		}
 		coff := int64(reg.Off) + int64(off) + int64(reg.Var.Value)
 		ctxSize := int64(v.prog.Type.CtxSize())
 		if coff < 0 || coff+int64(size) > ctxSize {
@@ -181,6 +222,25 @@ func (v *Verifier) checkMemAccessOnce(st *VState, pc int, reg *RegState, regno e
 				Msg: fmt.Sprintf("invalid bpf_context access off=%d size=%d", coff, size)}
 		}
 		return nil
+
+	case PtrToPacket:
+		fixed := int64(reg.Off) + int64(off)
+		if fixed+reg.SMin < 0 {
+			return &Error{InsnIdx: pc, Kind: CheckPktAccess,
+				Msg: fmt.Sprintf("R%d min packet offset is negative (%d)", regno, fixed+reg.SMin)}
+		}
+		// The unsigned-max guard doubles as the overflow guard: a variable
+		// part past the kernel's MAX_PACKET_OFF can never be in range.
+		if reg.UMax > maxPacketOff || fixed+int64(reg.UMax)+int64(size) > int64(st.PktRange) {
+			return &Error{InsnIdx: pc, Kind: CheckPktAccess,
+				Msg: fmt.Sprintf("invalid access to packet, off=%d size=%d, R%d pkt range=%d",
+					fixed, size, regno, st.PktRange)}
+		}
+		return nil
+
+	case PtrToPacketEnd:
+		return &Error{InsnIdx: pc, Kind: CheckOther,
+			Msg: fmt.Sprintf("R%d invalid mem access 'pkt_end'", regno)}
 
 	case PtrToMapValueOrNull:
 		return &Error{InsnIdx: pc, Kind: CheckOther,

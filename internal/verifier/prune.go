@@ -127,6 +127,13 @@ func (m idMap) match(oldID, newID uint32) bool {
 // statesSubsume reports whether every concrete state admitted by `new`
 // was admitted by `old` (states_equal with range liveness, conservative).
 func statesSubsume(old, new *VState) bool {
+	// The old exploration's subtree may contain packet accesses proven
+	// safe only up to old.PktRange; a new state with a smaller proven
+	// range would not survive them (kernel: rold->range > rcur->range is
+	// not safe).
+	if old.PktRange > new.PktRange {
+		return false
+	}
 	ids := idMap{}
 	for i := range old.Regs {
 		if !regSubsumes(&old.Regs[i], &new.Regs[i], ids) {
@@ -157,7 +164,8 @@ func regSubsumes(old, new *RegState, ids idMap) bool {
 			return false
 		}
 		return rangeSubsumes(old, new)
-	case PtrToStack, PtrToCtx, PtrToMapValue, PtrToMapValueOrNull, ConstPtrToMap:
+	case PtrToStack, PtrToCtx, PtrToMapValue, PtrToMapValueOrNull, ConstPtrToMap,
+		PtrToPacket, PtrToPacketEnd:
 		if new.Type != old.Type || new.Off != old.Off || new.MapIdx != old.MapIdx {
 			return false
 		}

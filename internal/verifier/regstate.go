@@ -28,6 +28,8 @@ const (
 	ConstPtrToMap
 	PtrToMapValue
 	PtrToMapValueOrNull
+	PtrToPacket
+	PtrToPacketEnd
 )
 
 func (t RegType) String() string {
@@ -46,6 +48,10 @@ func (t RegType) String() string {
 		return "map_value"
 	case PtrToMapValueOrNull:
 		return "map_value_or_null"
+	case PtrToPacket:
+		return "pkt"
+	case PtrToPacketEnd:
+		return "pkt_end"
 	}
 	return "inval"
 }
@@ -274,6 +280,13 @@ func (r *RegState) String() string {
 			return fmt.Sprintf("%s[%d]%+d", name, r.MapIdx, r.Off)
 		}
 		return fmt.Sprintf("%s[%d]%+d(var umax=%d)", name, r.MapIdx, r.Off, r.UMax)
+	case PtrToPacket:
+		if r.Var.IsConst() && r.Var.Value == 0 {
+			return fmt.Sprintf("pkt%+d", r.Off)
+		}
+		return fmt.Sprintf("pkt%+d(var umax=%d)", r.Off, r.UMax)
+	case PtrToPacketEnd:
+		return "pkt_end"
 	}
 	return "inval"
 }
@@ -348,9 +361,16 @@ type StackSlot struct {
 const NumStackSlots = ebpf.StackSize / 8
 
 // VState is the verifier state for one analysis path position.
+//
+// PktRange is the number of bytes past ctx->data proven readable on this
+// path (the kernel's pkt_range analog, learned from data/data_end
+// comparisons). It is state-level, not per-register, because every packet
+// pointer on a path derives from the same ctx->data load: a range learned
+// for one applies to all.
 type VState struct {
-	Regs  [ebpf.MaxReg]RegState
-	Stack [NumStackSlots]StackSlot
+	Regs     [ebpf.MaxReg]RegState
+	Stack    [NumStackSlots]StackSlot
+	PktRange uint32
 }
 
 // clone deep-copies the state (arrays copy by value).

@@ -24,6 +24,8 @@ const (
 	CheckHelperSize            // helper memory-size argument bounds
 	CheckHelperMem             // helper memory-pointer argument bounds
 	CheckCtxAccess             // context access (not instrumented for refinement)
+	CheckPktAccess             // packet data access bounds (XDP data/data_end)
+	CheckRetRange              // program return-value range at exit (cgroup)
 	CheckOther
 )
 
@@ -39,6 +41,10 @@ func (k CheckKind) String() string {
 		return "helper-mem"
 	case CheckCtxAccess:
 		return "ctx-access"
+	case CheckPktAccess:
+		return "pkt-access"
+	case CheckRetRange:
+		return "ret-range"
 	case CheckOther:
 		return "other"
 	}
@@ -507,8 +513,8 @@ func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 			op := ins.JmpOp()
 			switch op {
 			case ebpf.JmpEXIT:
-				if st.Regs[ebpf.R0].Type == NotInit {
-					return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "R0 !read_ok"}
+				if err := v.checkExit(st, pc, node); err != nil {
+					return pathDone(err)
 				}
 				v.logf("%d: exit, path ok", pc)
 				return nil
@@ -535,6 +541,38 @@ func (v *Verifier) walk(item branchItem, push func(branchItem)) error {
 			return &Error{InsnIdx: pc, Kind: CheckOther,
 				Msg: fmt.Sprintf("unknown insn class %d", ins.Class())}
 		}
+	}
+}
+
+// checkExit validates the state at an exit instruction
+// (check_return_code). Every program type requires R0 readable; cgroup
+// programs additionally constrain the return value to [0, 1], with a
+// failed range check instrumented for BCF refinement like any other
+// bounds check: the refiner is asked to prove R0's value lies in the
+// accepted range on this path.
+func (v *Verifier) checkExit(st *VState, pc int, node *pathNode) error {
+	for {
+		r0 := &st.Regs[ebpf.R0]
+		if r0.Type == NotInit {
+			return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "R0 !read_ok"}
+		}
+		if v.prog.Type != ebpf.ProgCgroupSkb {
+			return nil
+		}
+		if r0.Type != Scalar {
+			return &Error{InsnIdx: pc, Kind: CheckOther,
+				Msg: "At program exit the register R0 must be a scalar value"}
+		}
+		if r0.UMax <= 1 {
+			return nil
+		}
+		orig := &Error{InsnIdx: pc, Kind: CheckRetRange,
+			Msg: fmt.Sprintf("At program exit the register R0 has value (umin=%d, umax=%d) should have been in [0, 1]",
+				r0.UMin, r0.UMax)}
+		if rerr := v.refine(st, pc, ebpf.R0, CheckRetRange, 0, 1, node, orig); rerr != nil {
+			return rerr
+		}
+		// Refinement adopted: re-check the return range.
 	}
 }
 
@@ -668,6 +706,9 @@ func (v *Verifier) adjustPtr(st *VState, pc int, ins ebpf.Instruction, dst *RegS
 	}
 	if ptr.Type == ConstPtrToMap {
 		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "pointer arithmetic on map_ptr prohibited"}
+	}
+	if ptr.Type == PtrToPacketEnd {
+		return &Error{InsnIdx: pc, Kind: CheckOther, Msg: "pointer arithmetic on pkt_end prohibited"}
 	}
 
 	out := *ptr

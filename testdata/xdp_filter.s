@@ -1,0 +1,21 @@
+; Compiler-style XDP filter: bounds-checked ethernet parse, per-CPU-style
+; counter bump via map lookup. Regenerate the object with:
+;   bcfasm -elf -type xdp -name xdp_filter -o testdata/xdp_filter.o testdata/xdp_filter.s
+	r2 = *(u32 *)(r1 +0)
+	r3 = *(u32 *)(r1 +4)
+	r4 = r2
+	r4 += 14
+	if r4 > r3 goto out
+	r6 = *(u16 *)(r2 +12)
+	*(u32 *)(r10 -4) = 0
+	r2 = r10
+	r2 += -4
+	r1 = map[0]
+	call 1
+	if r0 == 0 goto out
+	r5 = *(u64 *)(r0 +0)
+	r5 += 1
+	*(u64 *)(r0 +0) = r5
+out:
+	r0 = 2
+	exit
